@@ -1,0 +1,27 @@
+"""Fig. 1: effect of k with aggregation (Sec. 7.1.1).
+
+Fig. 1a sweeps k ∈ {8..11} at d=7, a=2; Fig. 1b sweeps k ∈ {7..10} at
+d=6, a=1; G/D/N at Table 7 defaults otherwise. Paper shape: running
+time rises sharply with k; grouping fastest, dominator-based pays its
+dominator-generation overhead, naïve slowest.
+"""
+
+import pytest
+
+from .conftest import bench_ksjq, dataset
+
+
+@pytest.mark.parametrize("algo", ["G", "D", "N"])
+@pytest.mark.parametrize("k", [8, 9, 10, 11])
+@pytest.mark.benchmark(group="fig1a")
+def test_fig1a_effect_of_k_d7_a2(benchmark, algo, k):
+    left, right = dataset(d=7, a=2)
+    bench_ksjq(benchmark, algo, left, right, k, "sum")
+
+
+@pytest.mark.parametrize("algo", ["G", "D", "N"])
+@pytest.mark.parametrize("k", [7, 8, 9, 10])
+@pytest.mark.benchmark(group="fig1b")
+def test_fig1b_effect_of_k_d6_a1(benchmark, algo, k):
+    left, right = dataset(d=6, a=1)
+    bench_ksjq(benchmark, algo, left, right, k, "sum")

@@ -1,0 +1,32 @@
+"""Fig. 2: effect of dimensionality with aggregation (Sec. 7.1.1).
+
+Fig. 2a sweeps the number of aggregate attributes a ∈ {0..3} at d=7,
+k=11 (a=0 means no aggregation). Fig. 2b is the paper's medley of
+(d, k, a) combinations. Paper shape: time rises with a and k, but
+*falls* with d at fixed k, because larger d lowers the categorization
+thresholds k' and cheapens grouping and joining.
+"""
+
+import pytest
+
+from .conftest import bench_ksjq, dataset
+
+
+@pytest.mark.parametrize("algo", ["G", "D", "N"])
+@pytest.mark.parametrize("a", [0, 1, 2, 3])
+@pytest.mark.benchmark(group="fig2a")
+def test_fig2a_effect_of_a(benchmark, algo, a):
+    left, right = dataset(d=7, a=a)
+    bench_ksjq(benchmark, algo, left, right, 11, "sum" if a else None)
+
+
+@pytest.mark.parametrize("algo", ["G", "D", "N"])
+@pytest.mark.parametrize(
+    "d,k,a",
+    [(5, 7, 1), (5, 7, 2), (6, 7, 1), (6, 7, 2), (6, 8, 2)],
+    ids=lambda v: str(v),
+)
+@pytest.mark.benchmark(group="fig2b")
+def test_fig2b_medley(benchmark, algo, d, k, a):
+    left, right = dataset(d=d, a=a)
+    bench_ksjq(benchmark, algo, left, right, k, "sum")

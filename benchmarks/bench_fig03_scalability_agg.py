@@ -1,0 +1,30 @@
+"""Fig. 3: scalability with aggregation (Sec. 7.1.2-7.1.3).
+
+Fig. 3a sweeps the number of join groups g (g=1 is the cartesian
+special case: no SN tuples at all); Fig. 3b sweeps the base-relation
+size n (joined size grows as n²/g). Paper shape: g shows two opposing
+effects with a peak at medium values; n grows drastically while the
+optimized algorithms scale sublinearly in the joined size.
+"""
+
+import pytest
+
+from .conftest import bench_ksjq, dataset, scaled_n, skip_if_oversized
+
+
+@pytest.mark.parametrize("algo", ["G", "D", "N"])
+@pytest.mark.parametrize("g", [1, 2, 5, 10, 25, 50, 100])
+@pytest.mark.benchmark(group="fig3a")
+def test_fig3a_effect_of_join_groups(benchmark, algo, g):
+    skip_if_oversized(scaled_n(), g)
+    left, right = dataset(d=7, a=2, g=g)
+    bench_ksjq(benchmark, algo, left, right, 11, "sum")
+
+
+@pytest.mark.parametrize("algo", ["G", "D", "N"])
+@pytest.mark.parametrize("paper_n", [100, 330, 1000, 3300, 10_000, 33_000])
+@pytest.mark.benchmark(group="fig3b")
+def test_fig3b_effect_of_dataset_size(benchmark, algo, paper_n):
+    skip_if_oversized(scaled_n(paper_n), 10)
+    left, right = dataset(paper_n=paper_n, d=7, a=2)
+    bench_ksjq(benchmark, algo, left, right, 11, "sum")

@@ -1,0 +1,18 @@
+"""Fig. 4: effect of the data distribution with aggregation (Sec. 7.1.4).
+
+Correlated data is dominated often (tiny skylines, fastest);
+anti-correlated data resists domination (largest skylines, slowest);
+independent sits between.
+"""
+
+import pytest
+
+from .conftest import bench_ksjq, dataset
+
+
+@pytest.mark.parametrize("algo", ["G", "D", "N"])
+@pytest.mark.parametrize("dist", ["independent", "correlated", "anticorrelated"])
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_data_distribution(benchmark, algo, dist):
+    left, right = dataset(d=7, a=2, distribution=dist)
+    bench_ksjq(benchmark, algo, left, right, 11, "sum")

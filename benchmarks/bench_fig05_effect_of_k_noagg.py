@@ -1,0 +1,29 @@
+"""Fig. 5: effect of k and d without aggregation (Sec. 7.2.1).
+
+Fig. 5a sweeps k ∈ {6..9} at d=5, a=0. Fig. 5b fixes k and varies d:
+(4,7), (5,7), (6,7), (6,11), (7,11), (10,11). Paper shape: time rises
+sharply with k; at fixed k, growing d lowers k' and the time drops.
+"""
+
+import pytest
+
+from .conftest import bench_ksjq, dataset
+
+
+@pytest.mark.parametrize("algo", ["G", "D", "N"])
+@pytest.mark.parametrize("k", [6, 7, 8, 9])
+@pytest.mark.benchmark(group="fig5a")
+def test_fig5a_effect_of_k_d5(benchmark, algo, k):
+    left, right = dataset(d=5, a=0)
+    bench_ksjq(benchmark, algo, left, right, k, None)
+
+
+@pytest.mark.parametrize("algo", ["G", "D", "N"])
+@pytest.mark.parametrize(
+    "d,k", [(4, 7), (5, 7), (6, 7), (6, 11), (7, 11), (10, 11)],
+    ids=lambda v: str(v),
+)
+@pytest.mark.benchmark(group="fig5b")
+def test_fig5b_effect_of_d_at_fixed_k(benchmark, algo, d, k):
+    left, right = dataset(d=d, a=0)
+    bench_ksjq(benchmark, algo, left, right, k, None)

@@ -1,0 +1,28 @@
+"""Fig. 8: find-k versus delta and dimensionality (Sec. 7.3.1-7.3.2).
+
+Fig. 8a sweeps the threshold delta at d=5 (paper deltas are relative to
+a ~1.09M joined relation; ours scale with the benchmark joined size).
+Fig. 8b sweeps d at fixed delta. Paper shape: binary search (B) always
+fastest; range-based (R) fast when the bounds short-circuit (very small
+or very large delta); naive (N) slowest, growing with delta.
+"""
+
+import pytest
+
+from .conftest import bench_findk, dataset, scaled_delta
+
+
+@pytest.mark.parametrize("method", ["B", "R", "N"])
+@pytest.mark.parametrize("paper_delta", [10, 100, 1000, 10_000, 100_000])
+@pytest.mark.benchmark(group="fig8a")
+def test_fig8a_effect_of_delta(benchmark, method, paper_delta):
+    left, right = dataset(d=5, a=0)
+    bench_findk(benchmark, method, left, right, scaled_delta(paper_delta))
+
+
+@pytest.mark.parametrize("method", ["B", "R", "N"])
+@pytest.mark.parametrize("d", [3, 4, 5, 7, 10])
+@pytest.mark.benchmark(group="fig8b")
+def test_fig8b_effect_of_d(benchmark, method, d):
+    left, right = dataset(d=d, a=0)
+    bench_findk(benchmark, method, left, right, scaled_delta(10_000))

@@ -1,0 +1,28 @@
+"""Fig. 9: find-k scalability (Sec. 7.3.3-7.3.4).
+
+Fig. 9a sweeps the number of join groups (paper: no appreciable
+effect); Fig. 9b sweeps n at delta=1000 paper units (for very small n
+the threshold is unreachable and k=max returns quickly).
+"""
+
+import pytest
+
+from .conftest import bench_findk, dataset, scaled_delta, scaled_n, skip_if_oversized
+
+
+@pytest.mark.parametrize("method", ["B", "R", "N"])
+@pytest.mark.parametrize("g", [1, 2, 5, 10, 25, 50, 100])
+@pytest.mark.benchmark(group="fig9a")
+def test_fig9a_effect_of_join_groups(benchmark, method, g):
+    skip_if_oversized(scaled_n(), g)
+    left, right = dataset(d=5, a=0, g=g)
+    bench_findk(benchmark, method, left, right, scaled_delta(10_000))
+
+
+@pytest.mark.parametrize("method", ["B", "R", "N"])
+@pytest.mark.parametrize("paper_n", [100, 330, 1000, 3300, 10_000, 33_000])
+@pytest.mark.benchmark(group="fig9b")
+def test_fig9b_effect_of_dataset_size(benchmark, method, paper_n):
+    skip_if_oversized(scaled_n(paper_n), 10)
+    left, right = dataset(paper_n=paper_n, d=5, a=0)
+    bench_findk(benchmark, method, left, right, scaled_delta(1000))

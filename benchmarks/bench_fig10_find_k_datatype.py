@@ -1,0 +1,16 @@
+"""Fig. 10: find-k versus the data distribution (Sec. 7.3.5).
+
+Correlated fastest, anti-correlated slowest, as in Figs. 4/7.
+"""
+
+import pytest
+
+from .conftest import bench_findk, dataset, scaled_delta
+
+
+@pytest.mark.parametrize("method", ["B", "R", "N"])
+@pytest.mark.parametrize("dist", ["independent", "correlated", "anticorrelated"])
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_data_distribution(benchmark, method, dist):
+    left, right = dataset(d=5, a=0, distribution=dist)
+    bench_findk(benchmark, method, left, right, scaled_delta(10_000))

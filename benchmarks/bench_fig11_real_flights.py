@@ -1,0 +1,21 @@
+"""Fig. 11: the real-data experiment (Sec. 7.4).
+
+The paper crawled 192 Delhi->hub and 155 hub->Mumbai flights over 13
+intermediate cities (5 attributes each, cost and flying time
+aggregated) and ran k ∈ {6, 7, 8}. Our simulated network has the same
+shape (see repro.datagen.flights); this benchmark is unscaled — the
+dataset is already small. Paper shape: milliseconds overall, G best,
+then D, then N.
+"""
+
+import pytest
+
+from .conftest import bench_ksjq, flights
+
+
+@pytest.mark.parametrize("algo", ["G", "D", "N"])
+@pytest.mark.parametrize("k", [6, 7, 8])
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_real_flight_data(benchmark, algo, k):
+    outbound, inbound = flights()
+    bench_ksjq(benchmark, algo, outbound, inbound, k, "sum")

@@ -1,0 +1,126 @@
+"""Shared infrastructure for the per-figure benchmarks.
+
+Every paper figure has a benchmark file here; each benchmark measures
+one (sweep point, algorithm) cell with ``benchmark.pedantic`` (a single
+timed round — the algorithms are deterministic and the paper plots
+single-run component breakdowns, so statistical repetition adds little
+besides wall-clock cost).
+
+Sizes are paper units scaled by ``REPRO_BENCH_SCALE`` (default 0.05 →
+n = 165, joined ≈ 2,722 at Table 7 defaults). Raise the scale to probe
+closer to paper sizes; sweep points whose joined relation would exceed
+``REPRO_BENCH_MAX_JOINED`` (default 60,000) are skipped so the naïve
+baseline stays feasible.
+
+Skyline sizes / chosen k are recorded in ``benchmark.extra_info`` so the
+benchmark JSON doubles as a correctness record.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.core import JoinPlan, run_dominator, run_grouping, run_naive
+from repro.core.find_k import find_k_at_least_delta
+from repro.datagen import generate_relation_pair, make_flight_relations
+from repro.errors import SoundnessWarning
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+MAX_JOINED = int(os.environ.get("REPRO_BENCH_MAX_JOINED", "60000"))
+
+_ALGOS = {"G": "grouping", "D": "dominator", "N": "naive"}
+_METHODS = {"B": "binary", "R": "range", "N": "naive"}
+
+_pair_cache: Dict[tuple, tuple] = {}
+
+
+def scaled_n(paper_n: int = 3300) -> int:
+    """Paper base-relation size -> benchmark size."""
+    return max(20, int(round(paper_n * BENCH_SCALE)))
+
+
+def scaled_delta(paper_delta: int) -> int:
+    """Paper delta (joined-size proportional) -> benchmark delta."""
+    return max(1, int(round(paper_delta * BENCH_SCALE * BENCH_SCALE)))
+
+
+def skip_if_oversized(n: int, g: int) -> None:
+    if n * n // max(g, 1) > MAX_JOINED:
+        pytest.skip(f"joined size {n * n // g} > REPRO_BENCH_MAX_JOINED={MAX_JOINED}")
+
+
+def dataset(
+    paper_n: int = 3300,
+    d: int = 7,
+    g: int = 10,
+    a: int = 2,
+    distribution: str = "independent",
+    seed: int = 42,
+):
+    """Cached scaled relation pair for one sweep point."""
+    n = scaled_n(paper_n)
+    key = (n, d, g, a, distribution, seed)
+    if key not in _pair_cache:
+        _pair_cache[key] = generate_relation_pair(
+            n=n, d=d, g=g, distribution=distribution, a=a, seed=seed
+        )
+    return _pair_cache[key]
+
+
+def flights():
+    key = ("flights",)
+    if key not in _pair_cache:
+        _pair_cache[key] = make_flight_relations()
+    return _pair_cache[key]
+
+
+def run_ksjq(letter: str, left, right, k: int, aggregate: Optional[str]):
+    """One full algorithm execution, including plan construction."""
+    plan = JoinPlan(left, right, aggregate=aggregate)
+    if letter == "N":
+        return run_naive(plan, k)
+    if letter == "G":
+        return run_grouping(plan, k, mode="faithful")
+    return run_dominator(plan, k, mode="faithful")
+
+
+def run_findk(letter: str, left, right, delta: int, aggregate: Optional[str] = None):
+    plan = JoinPlan(left, right, aggregate=aggregate)
+    return find_k_at_least_delta(plan, delta, method=_METHODS[letter])
+
+
+def bench_ksjq(benchmark, letter, left, right, k, aggregate):
+    """Benchmark one KSJQ cell and record the answer size."""
+    result = benchmark.pedantic(
+        run_ksjq, args=(letter, left, right, k, aggregate),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info["skyline"] = result.count
+    benchmark.extra_info["algorithm"] = _ALGOS[letter]
+    benchmark.extra_info["timings"] = {
+        key: round(val, 6) for key, val in result.timings.as_dict().items()
+    }
+    return result
+
+
+def bench_findk(benchmark, letter, left, right, delta, aggregate=None):
+    result = benchmark.pedantic(
+        run_findk, args=(letter, left, right, delta, aggregate),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info["k"] = result.k
+    benchmark.extra_info["method"] = _METHODS[letter]
+    benchmark.extra_info["full_evaluations"] = result.full_evaluations
+    return result
+
+
+@pytest.fixture(autouse=True)
+def _silence_soundness_warnings():
+    """Benchmarks run the faithful (paper) path on aggregate data."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", SoundnessWarning)
+        yield

@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 660 editable-install support.
+
+All project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` (or ``python setup.py develop``) works with older
+setuptools/pip stacks that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

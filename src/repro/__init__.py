@@ -1,0 +1,112 @@
+"""repro — K-Dominant Skyline Join Queries (KSJQ).
+
+A complete reproduction of Awasthi, Bhattacharya, Gupta & Singh,
+"K-Dominant Skyline Join Queries: Extending the Join Paradigm to
+K-Dominant Skylines" (ICDE 2017), as a reusable Python library:
+
+* :mod:`repro.relational` — schemas, relations, joins and aggregation;
+* :mod:`repro.skyline` — dominance primitives and skyline algorithms;
+* :mod:`repro.core` — SS/SN/NN categorization, the naïve / grouping /
+  dominator-based KSJQ algorithms, the cartesian and theta-join
+  variants, and the find-k algorithms;
+* :mod:`repro.datagen` — synthetic generators and the flight dataset;
+* :mod:`repro.experiments` — the harness regenerating every figure of
+  the paper's evaluation.
+
+Quickstart::
+
+    import repro
+
+    r1 = repro.Relation.from_records(schema1, rows1)
+    r2 = repro.Relation.from_records(schema2, rows2)
+    result = repro.ksjq(r1, r2, k=7, aggregate="sum")
+    for left_row, right_row in result.pairs:
+        ...
+"""
+
+from .core import (
+    CascadeResult,
+    FATE_TABLE,
+    Categorization,
+    Category,
+    Fate,
+    FindKResult,
+    Hop,
+    JoinPlan,
+    KSJQParams,
+    KSJQResult,
+    TimingBreakdown,
+    cascade_ksjq,
+    categorize,
+    find_k,
+    ksjq,
+    ksjq_progressive,
+    make_plan,
+    run_cartesian,
+    run_dominator,
+    run_grouping,
+    run_naive,
+)
+from .errors import (
+    AggregateError,
+    AlgorithmError,
+    JoinError,
+    ParameterError,
+    ReproError,
+    ReproWarning,
+    SchemaError,
+    SoundnessWarning,
+)
+from .relational import (
+    AttributeSpec,
+    JoinedView,
+    Preference,
+    Relation,
+    RelationSchema,
+    Role,
+    ThetaCondition,
+    ThetaOp,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateError",
+    "AlgorithmError",
+    "AttributeSpec",
+    "Categorization",
+    "Category",
+    "FATE_TABLE",
+    "Fate",
+    "FindKResult",
+    "JoinError",
+    "JoinPlan",
+    "JoinedView",
+    "KSJQParams",
+    "KSJQResult",
+    "ParameterError",
+    "Preference",
+    "Relation",
+    "RelationSchema",
+    "ReproError",
+    "ReproWarning",
+    "Role",
+    "SchemaError",
+    "SoundnessWarning",
+    "ThetaCondition",
+    "ThetaOp",
+    "TimingBreakdown",
+    "CascadeResult",
+    "Hop",
+    "cascade_ksjq",
+    "categorize",
+    "find_k",
+    "ksjq",
+    "ksjq_progressive",
+    "make_plan",
+    "run_cartesian",
+    "run_dominator",
+    "run_grouping",
+    "run_naive",
+    "__version__",
+]

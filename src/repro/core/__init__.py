@@ -1,0 +1,61 @@
+"""KSJQ core: categorization, algorithms 1-6, query facade.
+
+Public entry points are :func:`repro.core.query.ksjq` and
+:func:`repro.core.query.find_k`; the per-algorithm runners
+(:func:`run_naive`, :func:`run_grouping`, :func:`run_dominator`,
+:func:`run_cartesian`) are exposed for benchmarking and testing.
+"""
+
+from .cascade import CascadeResult, Hop, cascade_ksjq
+from .categorize import (
+    FATE_TABLE,
+    Categorization,
+    Category,
+    Fate,
+    categorize,
+    categorize_theta,
+)
+from .cartesian import run_cartesian
+from .dominator import run_dominator
+from .find_k import find_k_at_least_delta, find_k_at_most_delta
+from .grouping import run_grouping
+from .naive import run_naive
+from .params import KSJQParams
+from .plan import JoinPlan
+from .progressive import ksjq_progressive
+from .query import find_k, ksjq, make_plan
+from .result import FindKResult, FindKStep, KSJQResult
+from .targets import target_rows_exact, target_rows_paper
+from .timing import PHASES, PhaseClock, TimingBreakdown
+
+__all__ = [
+    "CascadeResult",
+    "FATE_TABLE",
+    "Categorization",
+    "Category",
+    "Fate",
+    "FindKResult",
+    "FindKStep",
+    "Hop",
+    "JoinPlan",
+    "KSJQParams",
+    "KSJQResult",
+    "PHASES",
+    "PhaseClock",
+    "TimingBreakdown",
+    "cascade_ksjq",
+    "categorize",
+    "categorize_theta",
+    "find_k",
+    "find_k_at_least_delta",
+    "find_k_at_most_delta",
+    "ksjq",
+    "ksjq_progressive",
+    "make_plan",
+    "run_cartesian",
+    "run_dominator",
+    "run_grouping",
+    "run_naive",
+    "target_rows_exact",
+    "target_rows_paper",
+]

@@ -1,0 +1,270 @@
+"""Multi-relation KSJQ via cascaded joins (paper Sec. 2.3).
+
+"The case for more than two base relations can be handled by cascading
+the joins." — e.g. a two-stop flight joins three leg relations. This
+module implements the m-way generalization:
+
+* chains ``(i_1, ..., i_m)`` are join-compatible compositions: hop
+  ``j`` connects ``relations[j]`` to ``relations[j+1]`` on an equality
+  of one column each (:class:`Hop`), defaulting to the relations'
+  composite join keys — e.g. ``Hop("dest", "source")`` expresses
+  ``leg_j.dest = leg_{j+1}.source``;
+* the joined skyline attributes are all relations' local attributes
+  plus each aggregate attribute folded across all m relations;
+* a chain k-dominates another exactly as in the two-way case.
+
+Algorithms:
+
+* ``naive`` — materialize every chain, run the k-dominant skyline
+  (ground truth);
+* ``pruned`` — the m-way analogue of the paper's Theorem 4: a tuple of
+  relation i dominated under threshold ``k'_i = k − Σ_{j≠i} l_j``
+  (counted over its base attributes) *by a tuple sharing both its hop
+  values* can never appear in a skyline chain, because substituting the
+  dominator yields a valid chain that k-dominates. Surviving chains are
+  verified against the full chain set, keeping the algorithm exact for
+  strictly monotone aggregates.
+
+The valid k range generalizes to ``max_i d_i < k <= Σ_i l_i + a``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import JoinError, ParameterError
+from ..relational.aggregates import AggregateFunction, get_aggregate
+from ..relational.relation import Relation
+from ..skyline.dominance import is_k_dominated
+from ..skyline.kdominant import k_dominant_skyline
+from .verify import sort_rows_for_early_exit
+
+__all__ = ["Hop", "CascadeResult", "cascade_chains", "cascade_oriented", "cascade_ksjq"]
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One equality hop of a cascade: ``left.column == right.column``.
+
+    ``None`` selects the relation's composite join key (all join-role
+    attributes), matching the two-way default.
+    """
+
+    left_column: Optional[str] = None
+    right_column: Optional[str] = None
+
+
+def _hop_value(relation: Relation, column: Optional[str], row: int):
+    if column is None:
+        return relation.join_key(row)
+    return relation.column(column)[row]
+
+
+def _hop_values(relation: Relation, column: Optional[str]) -> List:
+    if column is None:
+        return relation.join_keys()
+    return list(relation.column(column))
+
+
+@dataclass(frozen=True)
+class CascadeResult:
+    """Answer of an m-way cascade KSJQ."""
+
+    k: int
+    chains: np.ndarray  # (s x m) array of skyline chains
+    total_chains: int
+    pruned_rows: int
+    algorithm: str
+
+    @property
+    def count(self) -> int:
+        return int(self.chains.shape[0])
+
+    def chain_set(self) -> frozenset:
+        return frozenset(tuple(int(x) for x in row) for row in self.chains)
+
+
+def _normalize_hops(relations: Sequence[Relation], hops) -> List[Hop]:
+    m = len(relations)
+    if hops is None:
+        hops = [Hop()] * (m - 1)
+    hops = list(hops)
+    if len(hops) != m - 1:
+        raise JoinError(f"need {m - 1} hops for {m} relations, got {len(hops)}")
+    return hops
+
+
+def _validate(relations: Sequence[Relation], k: int) -> int:
+    if len(relations) < 2:
+        raise JoinError("a cascade needs at least two relations")
+    first = relations[0].schema
+    for rel in relations[1:]:
+        first.validate_compatible_aggregates(rel.schema)
+    a = first.a
+    joined_d = sum(rel.schema.l for rel in relations) + a
+    k_min = max(rel.schema.d for rel in relations) + 1
+    if not k_min <= k <= joined_d:
+        raise ParameterError(f"k={k} outside valid cascade range [{k_min}, {joined_d}]")
+    return a
+
+
+def cascade_chains(
+    relations: Sequence[Relation],
+    hops: Optional[Sequence[Hop]] = None,
+    keep: Optional[Sequence[np.ndarray]] = None,
+) -> np.ndarray:
+    """Enumerate join-compatible chains ``(i_1, ..., i_m)`` as an (s x m) array.
+
+    ``keep`` optionally restricts each relation to a row subset (used by
+    the pruned algorithm).
+    """
+    hops = _normalize_hops(relations, hops)
+    masks = (
+        [np.asarray(rows, dtype=np.intp) for rows in keep]
+        if keep is not None
+        else [np.arange(len(rel)) for rel in relations]
+    )
+    chains = masks[0].reshape(-1, 1)
+    for idx, hop in enumerate(hops):
+        left_rel, right_rel = relations[idx], relations[idx + 1]
+        left_values = _hop_values(left_rel, hop.left_column)
+        right_groups: Dict[object, List[int]] = {}
+        right_values = _hop_values(right_rel, hop.right_column)
+        for row in masks[idx + 1]:
+            right_groups.setdefault(right_values[int(row)], []).append(int(row))
+        out: List[np.ndarray] = []
+        for chain in chains:
+            partners = right_groups.get(left_values[int(chain[-1])], [])
+            for partner in partners:
+                out.append(np.append(chain, partner))
+        chains = (
+            np.asarray(out, dtype=np.intp)
+            if out
+            else np.empty((0, idx + 2), dtype=np.intp)
+        )
+    return chains
+
+
+def cascade_oriented(
+    relations: Sequence[Relation],
+    chains: np.ndarray,
+    aggregate: Optional[AggregateFunction],
+) -> np.ndarray:
+    """Oriented joined matrix: locals per relation + folded aggregates."""
+    if chains.shape[0] == 0:
+        width = sum(rel.schema.l for rel in relations) + relations[0].schema.a
+        return np.empty((0, width), dtype=np.float64)
+    blocks = [rel.oriented_local()[chains[:, i]] for i, rel in enumerate(relations)]
+    a = relations[0].schema.a
+    if a:
+        agg_names = list(relations[0].schema.aggregate_names)
+        combined = relations[0].matrix[chains[:, 0]][
+            :, relations[0].aggregate_column_indices()
+        ]
+        for i in range(1, len(relations)):
+            rel = relations[i]
+            combined = aggregate(
+                combined, rel.matrix[chains[:, i]][:, rel.aggregate_column_indices()]
+            )
+        signs = np.asarray(
+            [relations[0].schema[name].preference.sign for name in agg_names]
+        )
+        blocks.append(combined * signs)
+    return np.concatenate(blocks, axis=1)
+
+
+def cascade_ksjq(
+    relations: Sequence[Relation],
+    k: int,
+    hops: Optional[Sequence[Hop]] = None,
+    aggregate=None,
+    algorithm: str = "pruned",
+) -> CascadeResult:
+    """m-way k-dominant skyline join over cascaded equality joins."""
+    a = _validate(relations, k)
+    hops = _normalize_hops(relations, hops)
+    if a and aggregate is None:
+        raise JoinError("schemas declare aggregate attributes; pass aggregate=...")
+    agg = get_aggregate(aggregate) if aggregate is not None else None
+    if algorithm not in ("naive", "pruned"):
+        raise ParameterError(f"unknown cascade algorithm {algorithm!r}")
+    if algorithm == "pruned" and agg is not None and not agg.strictly_monotone:
+        raise ParameterError(
+            "pruned cascade requires a strictly monotone aggregate; use naive"
+        )
+
+    all_chains = cascade_chains(relations, hops)
+    matrix = cascade_oriented(relations, all_chains, agg)
+
+    if algorithm == "naive":
+        skyline_idx = k_dominant_skyline(matrix, k)
+        return CascadeResult(
+            k=k,
+            chains=all_chains[skyline_idx],
+            total_chains=int(all_chains.shape[0]),
+            pruned_rows=0,
+            algorithm="naive",
+        )
+
+    keep = _prune_rows(relations, hops, k)
+    pruned_rows = sum(len(rel) - len(rows) for rel, rows in zip(relations, keep))
+    candidates = cascade_chains(relations, hops, keep=keep)
+    cand_matrix = cascade_oriented(relations, candidates, agg)
+    full_sorted = sort_rows_for_early_exit(matrix)
+    keep_idx = [
+        pos
+        for pos in range(candidates.shape[0])
+        if not is_k_dominated(full_sorted, cand_matrix[pos], k)
+    ]
+    return CascadeResult(
+        k=k,
+        chains=candidates[keep_idx],
+        total_chains=int(all_chains.shape[0]),
+        pruned_rows=pruned_rows,
+        algorithm="pruned",
+    )
+
+
+def _prune_rows(
+    relations: Sequence[Relation], hops: Sequence[Hop], k: int
+) -> List[np.ndarray]:
+    """Per-relation NN pruning (m-way Theorem 4).
+
+    A row of relation i may be discarded when some other row shares
+    *both* its hop values (so it can substitute into every chain) and
+    k'_i-dominates it, with ``k'_i = k − Σ_{j≠i} l_j`` counted over all
+    of relation i's base attributes. Substituting the dominator keeps
+    the chain valid, matches all other components exactly, and wins at
+    least ``k'_i − a`` locals plus the dominated aggregate inputs —
+    at least k joined attributes in total (strictness via the strictly
+    monotone aggregate).
+    """
+    total_locals = sum(rel.schema.l for rel in relations)
+    keep: List[np.ndarray] = []
+    for i, rel in enumerate(relations):
+        k_prime = k - (total_locals - rel.schema.l)
+        if k_prime < 1:
+            keep.append(np.arange(len(rel)))
+            continue
+        # Group rows by the hop values that constrain substitution.
+        incoming = _hop_values(rel, hops[i - 1].right_column) if i > 0 else None
+        outgoing = _hop_values(rel, hops[i].left_column) if i < len(relations) - 1 else None
+        groups: Dict[tuple, List[int]] = {}
+        for row in range(len(rel)):
+            key = (
+                incoming[row] if incoming is not None else None,
+                outgoing[row] if outgoing is not None else None,
+            )
+            groups.setdefault(key, []).append(row)
+        oriented = rel.oriented()
+        survivors = []
+        for rows in groups.values():
+            sub = oriented[rows]
+            for row in rows:
+                if not is_k_dominated(sub, oriented[row], k_prime):
+                    survivors.append(row)
+        keep.append(np.asarray(sorted(survivors), dtype=np.intp))
+    return keep

@@ -1,0 +1,164 @@
+"""SS / SN / NN categorization of base relations (paper Sec. 5.2-5.4).
+
+Under threshold ``k'``, relation ``R`` partitions into:
+
+* ``SS`` — tuples not k'-dominated by *any* tuple of ``R`` (k'-dominant
+  skyline of the whole relation; Def. 1);
+* ``SN`` — tuples k'-dominant within their join group but k'-dominated
+  by some tuple of another group (Def. 2);
+* ``NN`` — tuples k'-dominated within their own group (Def. 3).
+
+The categorization drives the fate table (paper Tables 4/5): joined
+tuples composed solely of SS components are guaranteed k-dominant
+skylines, any NN component makes them guaranteed non-skylines, and
+mixed SS/SN compositions must be verified against target sets.
+
+For non-equality join conditions (Sec. 6.6) the "own group" of a tuple
+generalizes to the set of tuples guaranteed to join with at least the
+same partners (:class:`~repro.relational.groups.ThetaGroupIndex`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..relational.groups import GroupIndex, ThetaGroupIndex
+from ..relational.relation import Relation
+from ..skyline.dominance import is_k_dominated
+
+__all__ = ["Category", "Fate", "FATE_TABLE", "Categorization", "categorize", "categorize_theta"]
+
+
+class Category(enum.IntEnum):
+    """Per-tuple categorization label."""
+
+    SS = 0
+    SN = 1
+    NN = 2
+
+
+class Fate(enum.Enum):
+    """Fate of a joined tuple per its components' categories (Table 5)."""
+
+    YES = "yes"  # guaranteed k-dominant skyline (Th. 1/3)
+    LIKELY = "likely"  # probably skyline; verify vs augmented targets (Obs. 1/3)
+    MAYBE = "may be"  # verify vs full target join (Obs. 2/4)
+    NO = "no"  # guaranteed non-skyline (Th. 2/4)
+
+
+#: (left category, right category) -> fate of the joined tuple.
+FATE_TABLE: Dict[Tuple[Category, Category], Fate] = {
+    (Category.SS, Category.SS): Fate.YES,
+    (Category.SS, Category.SN): Fate.LIKELY,
+    (Category.SN, Category.SS): Fate.LIKELY,
+    (Category.SN, Category.SN): Fate.MAYBE,
+    (Category.SS, Category.NN): Fate.NO,
+    (Category.SN, Category.NN): Fate.NO,
+    (Category.NN, Category.SS): Fate.NO,
+    (Category.NN, Category.SN): Fate.NO,
+    (Category.NN, Category.NN): Fate.NO,
+}
+
+
+@dataclass
+class Categorization:
+    """Result of categorizing one base relation under threshold ``k'``."""
+
+    relation: Relation
+    k_prime: int
+    labels: np.ndarray  # int8 array of Category values, one per row
+
+    @property
+    def ss_rows(self) -> np.ndarray:
+        """Row indices labelled SS."""
+        return np.flatnonzero(self.labels == Category.SS)
+
+    @property
+    def sn_rows(self) -> np.ndarray:
+        """Row indices labelled SN."""
+        return np.flatnonzero(self.labels == Category.SN)
+
+    @property
+    def nn_rows(self) -> np.ndarray:
+        """Row indices labelled NN."""
+        return np.flatnonzero(self.labels == Category.NN)
+
+    def category(self, row: int) -> Category:
+        """Label of one row."""
+        return Category(int(self.labels[row]))
+
+    def counts(self) -> Dict[str, int]:
+        """Category name -> number of rows."""
+        return {
+            "SS": int((self.labels == Category.SS).sum()),
+            "SN": int((self.labels == Category.SN).sum()),
+            "NN": int((self.labels == Category.NN).sum()),
+        }
+
+
+def categorize(
+    relation: Relation,
+    k_prime: int,
+    group_index: Optional[GroupIndex] = None,
+) -> Categorization:
+    """Partition ``relation`` into SS/SN/NN under ``k_prime``-dominance.
+
+    Group-local domination decides SN vs NN; whole-relation domination
+    decides SS vs SN. Only group skylines need the (more expensive)
+    whole-relation check, since an overall-undominated tuple is
+    necessarily group-undominated.
+    """
+    if group_index is None:
+        group_index = GroupIndex(relation)
+    matrix = relation.oriented()
+    n = len(relation)
+    labels = np.full(n, Category.NN, dtype=np.int8)
+
+    group_skyline: List[int] = []
+    for _key, rows in group_index.items():
+        sub = matrix[rows]
+        for pos, row in enumerate(rows):
+            if not is_k_dominated(sub, matrix[row], k_prime):
+                group_skyline.append(row)
+
+    for row in group_skyline:
+        if is_k_dominated(matrix, matrix[row], k_prime):
+            labels[row] = Category.SN
+        else:
+            labels[row] = Category.SS
+    return Categorization(relation=relation, k_prime=k_prime, labels=labels)
+
+
+def categorize_theta(
+    relation: Relation,
+    k_prime: int,
+    theta_index: ThetaGroupIndex,
+) -> Categorization:
+    """Categorize one side of a non-equality join (Sec. 6.6).
+
+    The "own group" of tuple ``u`` is the set of tuples guaranteed to be
+    join-compatible with every partner of ``u`` (including ties on the
+    theta attribute). If such a tuple k'-dominates ``u``, every joined
+    tuple built from ``u`` is dominated by the corresponding joined
+    tuple built from the dominator, so ``u`` is NN. The paper notes this
+    may conservatively classify some would-be NN tuples as SN, which
+    costs only extra verification, never correctness.
+    """
+    matrix = relation.oriented()
+    n = len(relation)
+    labels = np.full(n, Category.NN, dtype=np.int8)
+
+    for row in range(n):
+        superset = theta_index.superset_rows(row)
+        sub = matrix[superset]
+        if is_k_dominated(sub, matrix[row], k_prime):
+            continue  # NN: dominated by a guaranteed-compatible tuple
+        if is_k_dominated(matrix, matrix[row], k_prime):
+            labels[row] = Category.SN
+        else:
+            labels[row] = Category.SS
+    return Categorization(relation=relation, k_prime=k_prime, labels=labels)

@@ -1,0 +1,47 @@
+"""Algorithm 1: the naïve KSJQ algorithm.
+
+Materializes the complete join, then runs a standard k-dominant skyline
+computation over it (paper Sec. 6.1). Simple, always correct (it is the
+ground truth the optimized algorithms are tested against), but it pays
+the full join cost and the full skyline cost, and produces no results
+until the join finishes.
+"""
+
+from __future__ import annotations
+
+from ..skyline.kdominant import k_dominant_skyline
+from .plan import JoinPlan
+from .result import KSJQResult
+from .timing import PhaseClock
+
+__all__ = ["run_naive"]
+
+
+def run_naive(plan: JoinPlan, k: int, skyline_method: str = "tsa") -> KSJQResult:
+    """Run Algorithm 1 on a prepared join plan.
+
+    Parameters
+    ----------
+    plan:
+        The join to query (any kind; any monotone aggregate).
+    k:
+        Number of joined skyline attributes a dominator must cover.
+    skyline_method:
+        Inner k-dominant skyline engine: ``"tsa"`` (two-scan, default)
+        or ``"naive"`` (quadratic reference).
+    """
+    params = plan.params(k)
+    clock = PhaseClock()
+    with clock.phase("join"):
+        view = plan.view()
+        matrix = view.oriented()
+    with clock.phase("remaining"):
+        skyline_idx = k_dominant_skyline(matrix, k, method=skyline_method)
+        pairs = view.pairs[skyline_idx]
+    return KSJQResult(
+        algorithm="naive",
+        mode="exact",
+        params=params,
+        pairs=pairs,
+        timings=clock.freeze(),
+    )

@@ -1,0 +1,115 @@
+"""KSJQ problem parameters and derived thresholds (paper Sec. 3, 5.4, 5.6).
+
+Given base relations with ``d1``/``d2`` skyline attributes of which
+``a`` are aggregated (``l_i = d_i - a`` local attributes) and a query
+parameter ``k``, the algorithms derive:
+
+* ``k1_prime = k - l2`` / ``k2_prime = k - l1`` — the categorization
+  thresholds, counted over **all** ``d_i`` base skyline attributes.
+  Without aggregation this equals the paper's ``k'_i = k - d_other``
+  (Sec. 5.4); with aggregation it equals ``k''_i + a`` (Sec. 5.6).
+* ``k1_min_local = k - a - l2`` / ``k2_min_local = k - a - l1`` — the
+  minimum number of *local* attributes a dominator's component must be
+  better-or-equal in (``k''_i``); used by exact-mode target sets.
+
+Validity (Problems 1-2): ``max(d1, d2) < k <= l1 + l2 + a``. The lower
+bound guarantees ``k'_i >= 1`` so every base relation contributes at
+least one preferred attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..relational.schema import RelationSchema
+
+__all__ = ["KSJQParams"]
+
+
+@dataclass(frozen=True)
+class KSJQParams:
+    """Validated parameter bundle for one KSJQ query."""
+
+    k: int
+    d1: int
+    d2: int
+    a: int
+
+    def __post_init__(self) -> None:
+        if self.a < 0 or self.a > min(self.d1, self.d2):
+            raise ParameterError(
+                f"a={self.a} must be within [0, min(d1, d2)={min(self.d1, self.d2)}]"
+            )
+        if self.d1 < 1 or self.d2 < 1:
+            raise ParameterError("both relations need at least one skyline attribute")
+        if not self.k_min <= self.k <= self.k_max:
+            raise ParameterError(
+                f"k={self.k} outside valid range [{self.k_min}, {self.k_max}] "
+                f"(d1={self.d1}, d2={self.d2}, a={self.a}); "
+                "the paper requires max(d1, d2) < k <= l1 + l2 + a"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_schemas(
+        cls, left: RelationSchema, right: RelationSchema, k: int
+    ) -> "KSJQParams":
+        """Derive parameters from the two base schemas."""
+        left.validate_compatible_aggregates(right)
+        return cls(k=k, d1=left.d, d2=right.d, a=left.a)
+
+    # ------------------------------------------------------------------
+    @property
+    def l1(self) -> int:
+        """Local (non-aggregate) skyline attributes of R1."""
+        return self.d1 - self.a
+
+    @property
+    def l2(self) -> int:
+        """Local (non-aggregate) skyline attributes of R2."""
+        return self.d2 - self.a
+
+    @property
+    def joined_d(self) -> int:
+        """Skyline attributes of the joined relation (``l1 + l2 + a``)."""
+        return self.l1 + self.l2 + self.a
+
+    @property
+    def k_min(self) -> int:
+        """Smallest valid ``k``: ``max(d1, d2) + 1`` (Sec. 3)."""
+        return max(self.d1, self.d2) + 1
+
+    @property
+    def k_max(self) -> int:
+        """Largest valid ``k``: all joined skyline attributes."""
+        return self.joined_d
+
+    @property
+    def k1_prime(self) -> int:
+        """Categorization threshold for R1 over its ``d1`` base attributes."""
+        return self.k - self.l2
+
+    @property
+    def k2_prime(self) -> int:
+        """Categorization threshold for R2 over its ``d2`` base attributes."""
+        return self.k - self.l1
+
+    @property
+    def k1_min_local(self) -> int:
+        """``k''_1``: minimum local better-or-equal count on the R1 side."""
+        return self.k - self.a - self.l2
+
+    @property
+    def k2_min_local(self) -> int:
+        """``k''_2``: minimum local better-or-equal count on the R2 side."""
+        return self.k - self.a - self.l1
+
+    def describe(self) -> str:
+        """Readable summary of all derived quantities."""
+        return (
+            f"k={self.k} over joined d={self.joined_d} "
+            f"(d1={self.d1}, d2={self.d2}, a={self.a}, l1={self.l1}, l2={self.l2}); "
+            f"k'=({self.k1_prime}, {self.k2_prime}), k''=({self.k1_min_local}, "
+            f"{self.k2_min_local}); valid k in [{self.k_min}, {self.k_max}]"
+        )

@@ -1,0 +1,305 @@
+"""Join plans: one object describing how two base relations combine.
+
+A :class:`JoinPlan` captures the join kind (equality / cartesian /
+theta), the optional aggregate function, and memoizes the derived
+structures every KSJQ algorithm needs: the joined view, group indexes,
+categorizations, and compatible-pair enumeration between arbitrary row
+subsets. Algorithms 1-3 all consume a plan, so naïve, grouping and
+dominator-based runs are guaranteed to answer the same query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AggregateError, JoinError
+from ..relational.aggregates import AggregateFunction, get_aggregate
+from ..relational.groups import ConjunctiveThetaIndex, GroupIndex, ThetaGroupIndex
+from ..relational.join import (
+    JoinedView,
+    ThetaCondition,
+    cartesian_pairs,
+    equality_pairs,
+    pairs_product,
+)
+from ..relational.relation import Relation
+from .categorize import Categorization, categorize, categorize_theta
+from .params import KSJQParams
+
+__all__ = ["JoinPlan"]
+
+
+class JoinPlan:
+    """A prepared (but unexecuted) join of two base relations.
+
+    Parameters
+    ----------
+    left, right:
+        Base relations.
+    kind:
+        ``"equality"`` (default; uses the schemas' join attributes),
+        ``"cartesian"`` (Sec. 6.5) or ``"theta"`` (Sec. 6.6).
+    aggregate:
+        Aggregate function or registry name; required iff the schemas
+        mark aggregate attributes.
+    theta:
+        The :class:`ThetaCondition` for ``kind="theta"``.
+    """
+
+    def __init__(
+        self,
+        left: Relation,
+        right: Relation,
+        kind: str = "equality",
+        aggregate=None,
+        theta: Optional[ThetaCondition] = None,
+    ) -> None:
+        if kind not in ("equality", "cartesian", "theta"):
+            raise JoinError(f"unknown join kind {kind!r}")
+        if kind == "theta" and theta is None:
+            raise JoinError("kind='theta' requires a ThetaCondition")
+        if kind != "theta" and theta is not None:
+            raise JoinError(f"theta condition given but kind={kind!r}")
+        self.left = left
+        self.right = right
+        self.kind = kind
+        if theta is not None:
+            from ..relational.join import normalize_theta
+
+            self.theta_conditions = normalize_theta(theta)
+            self.theta = self.theta_conditions[0]
+        else:
+            self.theta_conditions = ()
+            self.theta = None
+        left.schema.validate_compatible_aggregates(right.schema)
+        if left.schema.a and aggregate is None:
+            raise JoinError("schemas declare aggregate attributes; pass aggregate=...")
+        self.aggregate: Optional[AggregateFunction] = (
+            get_aggregate(aggregate) if aggregate is not None else None
+        )
+
+        self._view: Optional[JoinedView] = None
+        self._left_groups: Optional[GroupIndex] = None
+        self._right_groups: Optional[GroupIndex] = None
+        self._left_theta = None
+        self._right_theta = None
+
+    # ------------------------------------------------------------------
+    def params(self, k: int) -> KSJQParams:
+        """Validated KSJQ parameters for this plan at a given ``k``."""
+        return KSJQParams.from_schemas(self.left.schema, self.right.schema, k)
+
+    def require_strict_aggregate(self, algorithm: str) -> None:
+        """Optimized algorithms need strict monotonicity (see DESIGN.md)."""
+        if self.aggregate is not None and not self.aggregate.strictly_monotone:
+            raise AggregateError(
+                f"{algorithm}: aggregate {self.aggregate.name!r} is not strictly "
+                "monotone; its NN-pruning proof does not apply. Use the naive "
+                "algorithm or a strictly monotone aggregate such as 'sum'."
+            )
+
+    # ------------------------------------------------------------------
+    # Memoized derived structures
+    # ------------------------------------------------------------------
+    def view(self) -> JoinedView:
+        """The joined view (pair enumeration happens on first call)."""
+        if self._view is None:
+            if self.kind == "equality":
+                pairs = equality_pairs(self.left_groups(), self.right_groups())
+            elif self.kind == "cartesian":
+                pairs = cartesian_pairs(len(self.left), len(self.right))
+            else:
+                from ..relational.join import theta_pairs
+
+                pairs = theta_pairs(self.left, self.right, self.theta_conditions)
+            self._view = JoinedView(self.left, self.right, pairs, aggregate=self.aggregate)
+        return self._view
+
+    def left_groups(self) -> GroupIndex:
+        if self._left_groups is None:
+            self._left_groups = GroupIndex(self.left)
+        return self._left_groups
+
+    def right_groups(self) -> GroupIndex:
+        if self._right_groups is None:
+            self._right_groups = GroupIndex(self.right)
+        return self._right_groups
+
+    def left_theta_index(self):
+        if self._left_theta is None:
+            indexes = [
+                ThetaGroupIndex(self.left, cond.left_attr, cond.op, is_left=True)
+                for cond in self.theta_conditions
+            ]
+            self._left_theta = (
+                indexes[0]
+                if len(indexes) == 1
+                else ConjunctiveThetaIndex(indexes)
+            )
+        return self._left_theta
+
+    def right_theta_index(self):
+        if self._right_theta is None:
+            indexes = [
+                ThetaGroupIndex(self.right, cond.right_attr, cond.op, is_left=False)
+                for cond in self.theta_conditions
+            ]
+            self._right_theta = (
+                indexes[0]
+                if len(indexes) == 1
+                else ConjunctiveThetaIndex(indexes)
+            )
+        return self._right_theta
+
+    # ------------------------------------------------------------------
+    # Categorization (SS/SN/NN) per join kind
+    # ------------------------------------------------------------------
+    def categorize_left(self, k_prime: int) -> Categorization:
+        """Categorize R1 under its threshold, honoring the join kind."""
+        if self.kind == "equality":
+            return categorize(self.left, k_prime, self.left_groups())
+        if self.kind == "theta":
+            return categorize_theta(self.left, k_prime, self.left_theta_index())
+        return self._categorize_cartesian(self.left, k_prime)
+
+    def categorize_right(self, k_prime: int) -> Categorization:
+        """Categorize R2 under its threshold, honoring the join kind."""
+        if self.kind == "equality":
+            return categorize(self.right, k_prime, self.right_groups())
+        if self.kind == "theta":
+            return categorize_theta(self.right, k_prime, self.right_theta_index())
+        return self._categorize_cartesian(self.right, k_prime)
+
+    @staticmethod
+    def _categorize_cartesian(relation: Relation, k_prime: int) -> Categorization:
+        """Cartesian special case (Sec. 6.5): one group, hence no SN.
+
+        A tuple is SS when it is a k'-dominant skyline of the whole
+        relation and NN otherwise; the fate table then decides every
+        joined tuple without any verification.
+        """
+        from ..skyline.dominance import is_k_dominated
+        from .categorize import Category
+
+        matrix = relation.oriented()
+        labels = np.full(len(relation), Category.NN, dtype=np.int8)
+        for row in range(len(relation)):
+            if not is_k_dominated(matrix, matrix[row], k_prime):
+                labels[row] = Category.SS
+        return Categorization(relation=relation, k_prime=k_prime, labels=labels)
+
+    # ------------------------------------------------------------------
+    # Pair enumeration between row subsets
+    # ------------------------------------------------------------------
+    def compatible_pairs(
+        self, left_rows: Sequence[int], right_rows: Sequence[int]
+    ) -> np.ndarray:
+        """Join-compatible pairs between two row subsets (m x 2)."""
+        left_rows = np.asarray(list(left_rows), dtype=np.intp)
+        right_rows = np.asarray(list(right_rows), dtype=np.intp)
+        if left_rows.size == 0 or right_rows.size == 0:
+            return np.empty((0, 2), dtype=np.intp)
+        if self.kind == "cartesian":
+            return pairs_product(left_rows, right_rows)
+        if self.kind == "equality":
+            lkeys = self.left.join_keys()
+            by_key: Dict[tuple, List[int]] = {}
+            for r in right_rows:
+                by_key.setdefault(self.right.join_key(int(r)), []).append(int(r))
+            chunks = []
+            for l in left_rows:
+                partners = by_key.get(lkeys[int(l)])
+                if partners:
+                    chunks.append(pairs_product([int(l)], partners))
+            if not chunks:
+                return np.empty((0, 2), dtype=np.intp)
+            return np.concatenate(chunks, axis=0)
+        # theta: filter the cross product through the conjunction
+        value_pairs = [
+            (
+                np.asarray(self.left.column(cond.left_attr), dtype=np.float64),
+                np.asarray(self.right.column(cond.right_attr), dtype=np.float64),
+            )
+            for cond in self.theta_conditions
+        ]
+        chunks = []
+        for l in left_rows:
+            mask = np.ones(right_rows.shape, dtype=bool)
+            for cond, (lvals, rvals) in zip(self.theta_conditions, value_pairs):
+                mask &= _theta_mask(cond, lvals[int(l)], rvals[right_rows])
+            partners = right_rows[mask]
+            if partners.size:
+                chunks.append(pairs_product([int(l)], partners))
+        if not chunks:
+            return np.empty((0, 2), dtype=np.intp)
+        return np.concatenate(chunks, axis=0)
+
+    def compatible_pair_count(
+        self, left_rows: Sequence[int], right_rows: Sequence[int]
+    ) -> int:
+        """Number of join-compatible pairs, without enumerating them.
+
+        Used by the find-k bound computation (Algos 5-6), where only the
+        cell cardinalities matter: for an equality join the count is
+        ``sum_g |L_g| * |R_g|`` over shared group keys.
+        """
+        left_rows = np.asarray(list(left_rows), dtype=np.intp)
+        right_rows = np.asarray(list(right_rows), dtype=np.intp)
+        if left_rows.size == 0 or right_rows.size == 0:
+            return 0
+        if self.kind == "cartesian":
+            return int(left_rows.size) * int(right_rows.size)
+        if self.kind == "equality":
+            left_counts: Dict[tuple, int] = {}
+            for r in left_rows:
+                key = self.left.join_key(int(r))
+                left_counts[key] = left_counts.get(key, 0) + 1
+            right_counts: Dict[tuple, int] = {}
+            for r in right_rows:
+                key = self.right.join_key(int(r))
+                right_counts[key] = right_counts.get(key, 0) + 1
+            return sum(
+                count * right_counts.get(key, 0) for key, count in left_counts.items()
+            )
+        # theta: sorted partner counts via binary search (single
+        # condition); conjunctions fall back to enumeration.
+        from ..relational.groups import ThetaOp
+
+        if len(self.theta_conditions) > 1:
+            return int(self.compatible_pairs(left_rows, right_rows).shape[0])
+        lvals = np.asarray(self.left.column(self.theta.left_attr), dtype=np.float64)
+        rvals = np.asarray(self.right.column(self.theta.right_attr), dtype=np.float64)
+        rsorted = np.sort(rvals[right_rows])
+        total = 0
+        for l in left_rows:
+            value = lvals[int(l)]
+            if self.theta.op is ThetaOp.LT:
+                total += rsorted.size - int(np.searchsorted(rsorted, value, side="right"))
+            elif self.theta.op is ThetaOp.LE:
+                total += rsorted.size - int(np.searchsorted(rsorted, value, side="left"))
+            elif self.theta.op is ThetaOp.GT:
+                total += int(np.searchsorted(rsorted, value, side="left"))
+            else:
+                total += int(np.searchsorted(rsorted, value, side="right"))
+        return total
+
+    def __repr__(self) -> str:
+        agg = self.aggregate.name if self.aggregate else None
+        return (
+            f"<JoinPlan {self.kind} {self.left.name!r} x {self.right.name!r}, "
+            f"aggregate={agg}, theta={self.theta}>"
+        )
+
+
+def _theta_mask(theta: ThetaCondition, left_value: float, right_values: np.ndarray) -> np.ndarray:
+    from ..relational.groups import ThetaOp
+
+    if theta.op is ThetaOp.LT:
+        return right_values > left_value
+    if theta.op is ThetaOp.LE:
+        return right_values >= left_value
+    if theta.op is ThetaOp.GT:
+        return right_values < left_value
+    return right_values <= left_value

@@ -1,0 +1,131 @@
+"""High-level query facade: the primary public entry points.
+
+Typical use::
+
+    from repro import ksjq, find_k
+
+    result = ksjq(flights_out, flights_in, k=7, aggregate="sum")
+    print(result.count, result.timings.total)
+
+    tuned = find_k(flights_out, flights_in, delta=100, aggregate="sum")
+    print(tuned.k)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import AlgorithmError
+from ..relational.join import ThetaCondition
+from ..relational.relation import Relation
+from .cartesian import run_cartesian
+from .dominator import run_dominator
+from .find_k import find_k_at_least_delta, find_k_at_most_delta
+from .grouping import run_grouping
+from .naive import run_naive
+from .plan import JoinPlan
+from .result import FindKResult, KSJQResult
+
+__all__ = ["make_plan", "ksjq", "find_k"]
+
+_ALGORITHMS = ("auto", "grouping", "dominator", "naive", "cartesian")
+
+
+def make_plan(
+    left: Relation,
+    right: Relation,
+    join: str = "equality",
+    aggregate=None,
+    theta=None,
+) -> JoinPlan:
+    """Build a reusable :class:`JoinPlan` (cheaper when issuing many queries).
+
+    ``theta`` may be a single :class:`ThetaCondition` or a sequence of
+    them (conjunction).
+    """
+    return JoinPlan(left, right, kind=join, aggregate=aggregate, theta=theta)
+
+
+def ksjq(
+    left: Relation,
+    right: Relation,
+    k: int,
+    algorithm: str = "auto",
+    mode: str = "faithful",
+    join: str = "equality",
+    aggregate=None,
+    theta=None,
+    plan: Optional[JoinPlan] = None,
+) -> KSJQResult:
+    """Answer a k-dominant skyline join query (Problems 1-2).
+
+    Parameters
+    ----------
+    left, right:
+        Base relations whose schemas define join / skyline / aggregate
+        attributes and preference directions.
+    k:
+        Number of joined skyline attributes in which a dominator must be
+        better-or-equal; must satisfy ``max(d1, d2) < k <= l1 + l2 + a``.
+    algorithm:
+        ``"auto"`` (grouping, or the cartesian fast path for cartesian
+        joins), ``"grouping"`` (Algo 2), ``"dominator"`` (Algo 3),
+        ``"naive"`` (Algo 1) or ``"cartesian"`` (Sec. 6.5).
+    mode:
+        ``"faithful"`` reproduces the paper exactly; ``"exact"`` adds
+        the verification that closes the ``a >= 2`` soundness gap
+        (DESIGN.md errata). Ignored by ``"naive"``, which is always
+        exact.
+    join:
+        ``"equality"``, ``"cartesian"`` or ``"theta"``.
+    aggregate:
+        Aggregate function (name or object) for schemas with aggregate
+        attributes, e.g. ``"sum"``.
+    theta:
+        Join condition (or a list of conditions, interpreted as a
+        conjunction) for ``join="theta"``.
+    plan:
+        Pre-built plan; when given, ``join``/``aggregate``/``theta`` are
+        ignored.
+    """
+    if plan is None:
+        plan = make_plan(left, right, join=join, aggregate=aggregate, theta=theta)
+    if algorithm not in _ALGORITHMS:
+        raise AlgorithmError(f"unknown algorithm {algorithm!r}; choose from {_ALGORITHMS}")
+    if algorithm == "auto":
+        algorithm = "cartesian" if plan.kind == "cartesian" else "grouping"
+    if algorithm == "naive":
+        return run_naive(plan, k)
+    if algorithm == "grouping":
+        return run_grouping(plan, k, mode=mode)
+    if algorithm == "dominator":
+        return run_dominator(plan, k, mode=mode)
+    return run_cartesian(plan, k, mode=mode)
+
+
+def find_k(
+    left: Relation,
+    right: Relation,
+    delta: int,
+    method: str = "binary",
+    objective: str = "at_least",
+    mode: str = "faithful",
+    join: str = "equality",
+    aggregate=None,
+    theta=None,
+    plan: Optional[JoinPlan] = None,
+) -> FindKResult:
+    """Tune ``k`` from a desired skyline cardinality δ (Problems 3-4).
+
+    ``objective="at_least"`` finds the smallest k returning >= δ skyline
+    tuples (Problem 3); ``"at_most"`` the largest k returning <= δ
+    (Problem 4, via the paper's reduction). ``method`` is ``"binary"``
+    (Algo 6), ``"range"`` (Algo 5) or ``"naive"`` (Algo 4).
+    """
+    if plan is None:
+        plan = make_plan(left, right, join=join, aggregate=aggregate, theta=theta)
+    if objective == "at_least":
+        return find_k_at_least_delta(plan, delta, method=method, mode=mode)
+    if objective == "at_most":
+        return find_k_at_most_delta(plan, delta, method=method, mode=mode)
+    raise AlgorithmError(f"unknown objective {objective!r} (use 'at_least' or 'at_most')")

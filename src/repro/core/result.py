@@ -1,0 +1,136 @@
+"""Result objects returned by the KSJQ algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from ..relational.join import JoinedView
+from ..relational.relation import Relation
+from .params import KSJQParams
+from .timing import TimingBreakdown
+
+__all__ = ["KSJQResult", "FindKResult", "FindKStep"]
+
+
+def _canonical_pairs(pairs: np.ndarray) -> np.ndarray:
+    """Sort pairs lexicographically so results compare deterministically."""
+    pairs = np.asarray(pairs, dtype=np.intp).reshape(-1, 2)
+    if pairs.shape[0] == 0:
+        return pairs
+    order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+    return pairs[order]
+
+
+@dataclass(frozen=True)
+class KSJQResult:
+    """Answer of one k-dominant skyline join query.
+
+    Attributes
+    ----------
+    algorithm:
+        ``"naive"``, ``"grouping"``, ``"dominator"`` or ``"cartesian"``.
+    mode:
+        ``"faithful"`` (paper behaviour) or ``"exact"``.
+    params:
+        The validated :class:`KSJQParams` used.
+    pairs:
+        (m x 2) array of ``(left_row, right_row)`` skyline pairs, in
+        lexicographic order.
+    timings:
+        Component-wise wall-clock breakdown.
+    left_counts / right_counts:
+        SS/SN/NN sizes per base relation (empty for the naïve algorithm,
+        which never categorizes).
+    cell_pair_counts:
+        Joined-pair counts per fate cell, e.g. ``"SS*SS"`` (empty for
+        naïve).
+    checked:
+        Number of candidate joined tuples that required verification.
+    """
+
+    algorithm: str
+    mode: str
+    params: KSJQParams
+    pairs: np.ndarray
+    timings: TimingBreakdown
+    left_counts: Dict[str, int] = field(default_factory=dict)
+    right_counts: Dict[str, int] = field(default_factory=dict)
+    cell_pair_counts: Dict[str, int] = field(default_factory=dict)
+    checked: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pairs", _canonical_pairs(self.pairs))
+
+    @property
+    def count(self) -> int:
+        """Number of k-dominant skyline joined tuples."""
+        return int(self.pairs.shape[0])
+
+    def pair_set(self) -> FrozenSet[Tuple[int, int]]:
+        """Skyline pairs as a hashable set (for comparisons in tests)."""
+        return frozenset((int(a), int(b)) for a, b in self.pairs)
+
+    def to_relation(self, view: JoinedView, name: str = "skyline") -> Relation:
+        """Materialize the skyline pairs as a relation using ``view``'s layout."""
+        sub = JoinedView(view.left, view.right, self.pairs, aggregate=view.aggregate)
+        return sub.to_relation(name=name)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        lines = [
+            f"{self.algorithm} ({self.mode}): {self.count} skyline pairs, "
+            f"{self.params.describe()}",
+            f"timings: "
+            + ", ".join(f"{k}={v:.4f}s" for k, v in self.timings.as_dict().items()),
+        ]
+        if self.left_counts:
+            lines.append(f"R1 categories: {self.left_counts}")
+        if self.right_counts:
+            lines.append(f"R2 categories: {self.right_counts}")
+        if self.cell_pair_counts:
+            lines.append(f"cell pair counts: {self.cell_pair_counts}")
+        if self.checked:
+            lines.append(f"verified candidates: {self.checked}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FindKStep:
+    """One probe of the find-k search (paper Algos 4-6)."""
+
+    k: int
+    lower_bound: Optional[int]
+    upper_bound: Optional[int]
+    exact_count: Optional[int]
+    decision: str
+
+
+@dataclass(frozen=True)
+class FindKResult:
+    """Answer of a find-k search (Problem 3)."""
+
+    method: str
+    delta: int
+    k: int
+    steps: Tuple[FindKStep, ...]
+    timings: TimingBreakdown
+
+    @property
+    def full_evaluations(self) -> int:
+        """How many k values required a full skyline computation."""
+        return sum(1 for s in self.steps if s.exact_count is not None)
+
+    def summary(self) -> str:
+        lines = [
+            f"find-k[{self.method}]: delta={self.delta} -> k={self.k} "
+            f"({len(self.steps)} probes, {self.full_evaluations} full evaluations)"
+        ]
+        for step in self.steps:
+            lines.append(
+                f"  k={step.k}: lb={step.lower_bound} ub={step.upper_bound} "
+                f"exact={step.exact_count} -> {step.decision}"
+            )
+        return "\n".join(lines)

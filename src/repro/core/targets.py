@@ -1,0 +1,54 @@
+"""Target sets (paper Sec. 6.2, Def. 5).
+
+The target set of a base tuple ``u'`` is the set of tuples that could
+serve as the R1-side (resp. R2-side) of a joined tuple dominating some
+joined tuple built from ``u'``; tuples outside it can be ignored during
+verification.
+
+Two predicates are provided:
+
+* **paper** (faithful): ``{u : #{i : u_i ⪯ u'_i over all d base
+  attributes} >= k'}``. For an SS tuple this is exactly the paper's
+  "itself plus tuples sharing at least k' attribute values" (a strict
+  improvement anywhere would contradict SS membership); for SN tuples it
+  equals the stored dominator set union the equal-sharers of Algo 3.
+* **exact**: ``{u : #{i : u_i ⪯ u'_i over the l local attributes} >=
+  k''}``. This is complete for any monotone aggregate and any ``a``
+  (counting argument: a dominating joined tuple is better-or-equal in at
+  least ``k`` joined attributes, of which at most ``l2`` come from the
+  partner's locals and at most ``a`` from aggregates, leaving at least
+  ``k - l2 - a = k''_1`` local attributes on this side). Without
+  aggregation the two predicates coincide.
+
+Both predicates include ``u'`` itself (its better-or-equal count versus
+itself is ``d`` / ``l``), which Def. 5 requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..relational.relation import Relation
+from ..skyline.dominance import boe_counts
+
+__all__ = ["target_rows_paper", "target_rows_exact"]
+
+
+def target_rows_paper(relation: Relation, row: int, k_prime: int) -> np.ndarray:
+    """Faithful target set: better-or-equal in >= k' of all base attributes."""
+    matrix = relation.oriented()
+    return np.flatnonzero(boe_counts(matrix, matrix[row]) >= k_prime)
+
+
+def target_rows_exact(relation: Relation, row: int, k_min_local: int) -> np.ndarray:
+    """Exact-mode target set: better-or-equal in >= k'' local attributes.
+
+    When the relation has no aggregate inputs, the local matrix is the
+    full matrix and callers should pass ``k_min_local = k'`` (the two
+    predicates coincide).
+    """
+    matrix = relation.oriented_local()
+    if matrix.shape[1] == 0:
+        # No local attributes at all: every tuple is a potential partner.
+        return np.arange(len(relation))
+    return np.flatnonzero(boe_counts(matrix, matrix[row]) >= k_min_local)

@@ -1,0 +1,100 @@
+"""Component-wise timing instrumentation.
+
+The paper's figures split every algorithm's running time into four
+stacked components (Sec. 7): *grouping* (computing SS/SN/NN), *join*
+(materializing the non-pruned joined tuples), *dominator generation*
+(Algo 3 only) and *remaining* (everything else, chiefly the candidate
+verification). :class:`PhaseClock` accumulates wall-clock time into
+those buckets and freezes into an immutable :class:`TimingBreakdown`
+attached to each result, so the experiment harness can regenerate the
+same stacked series.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["PHASES", "TimingBreakdown", "PhaseClock"]
+
+PHASES = ("grouping", "join", "dominator", "remaining")
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Seconds spent per algorithm phase."""
+
+    grouping: float = 0.0
+    join: float = 0.0
+    dominator: float = 0.0
+    remaining: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum of all components."""
+        return self.grouping + self.join + self.dominator + self.remaining
+
+    def as_dict(self) -> Dict[str, float]:
+        """Components plus total as a plain dict (for reports/CSV)."""
+        return {
+            "grouping": self.grouping,
+            "join": self.join,
+            "dominator": self.dominator,
+            "remaining": self.remaining,
+            "total": self.total,
+        }
+
+    def __add__(self, other: "TimingBreakdown") -> "TimingBreakdown":
+        return TimingBreakdown(
+            grouping=self.grouping + other.grouping,
+            join=self.join + other.join,
+            dominator=self.dominator + other.dominator,
+            remaining=self.remaining + other.remaining,
+        )
+
+    def scaled(self, factor: float) -> "TimingBreakdown":
+        """All components multiplied by ``factor`` (averaging helper)."""
+        return TimingBreakdown(
+            grouping=self.grouping * factor,
+            join=self.join * factor,
+            dominator=self.dominator * factor,
+            remaining=self.remaining * factor,
+        )
+
+
+class PhaseClock:
+    """Mutable accumulator of per-phase wall-clock time.
+
+    Usage::
+
+        clock = PhaseClock()
+        with clock.phase("grouping"):
+            ...
+        result_timings = clock.freeze()
+    """
+
+    def __init__(self) -> None:
+        self._acc: Dict[str, float] = {name: 0.0 for name in PHASES}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate the wall time of the enclosed block into ``name``."""
+        if name not in self._acc:
+            raise KeyError(f"unknown phase {name!r}; valid phases: {PHASES}")
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._acc[name] += time.perf_counter() - start
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add pre-measured seconds to a phase."""
+        if name not in self._acc:
+            raise KeyError(f"unknown phase {name!r}; valid phases: {PHASES}")
+        self._acc[name] += seconds
+
+    def freeze(self) -> TimingBreakdown:
+        """Snapshot into an immutable breakdown."""
+        return TimingBreakdown(**self._acc)

@@ -1,0 +1,59 @@
+"""Candidate verification helpers shared by the optimized algorithms.
+
+A candidate joined tuple survives iff no join-compatible pair drawn from
+its components' target sets k-dominates it. The candidate pair itself is
+always inside its own target join; that is harmless because a tuple is
+never strictly better than itself (k-dominance requires one strictly
+better attribute), and duplicated attribute vectors legitimately do not
+dominate each other.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..relational.join import JoinedView
+from ..skyline.dominance import is_k_dominated
+from .plan import JoinPlan
+
+__all__ = ["dominated_by_target_join", "dominated_in_matrix", "sort_rows_for_early_exit"]
+
+
+def dominated_by_target_join(
+    plan: JoinPlan,
+    view: JoinedView,
+    tuple_vec: np.ndarray,
+    left_target_rows: Sequence[int],
+    right_target_rows: Sequence[int],
+    k: int,
+) -> bool:
+    """Is the oriented joined tuple dominated within the target join?
+
+    Enumerates the join-compatible pairs of the two target row sets,
+    materializes their oriented joined vectors and tests k-dominance.
+    """
+    candidates = plan.compatible_pairs(left_target_rows, right_target_rows)
+    if candidates.shape[0] == 0:
+        return False
+    matrix = view.oriented_for_pairs(candidates)
+    return is_k_dominated(matrix, tuple_vec, k)
+
+
+def dominated_in_matrix(matrix: np.ndarray, tuple_vec: np.ndarray, k: int) -> bool:
+    """Is the tuple k-dominated by any row of a precomputed joined matrix?"""
+    return is_k_dominated(matrix, tuple_vec, k)
+
+
+def sort_rows_for_early_exit(matrix: np.ndarray) -> np.ndarray:
+    """Reorder rows by ascending attribute sum.
+
+    Strong tuples (likely dominators) come first, so the blocked
+    early-exit scan in :func:`~repro.skyline.dominance.is_k_dominated`
+    usually terminates after the first block.
+    """
+    if matrix.shape[0] == 0:
+        return matrix
+    order = np.argsort(matrix.sum(axis=1), kind="stable")
+    return matrix[order]

@@ -1,0 +1,38 @@
+"""Dataset generators: synthetic distributions, flights, paper example."""
+
+from .flights import HUB_CITIES, make_flight_relations
+from .paper_example import (
+    EXPECTED_AGGREGATE_SKYLINE_FNOS,
+    EXPECTED_SKYLINE_FNOS,
+    EXPECTED_TABLE1_CATEGORIES,
+    EXPECTED_TABLE2_CATEGORIES,
+    PAPER_TABLE1_CATEGORIES,
+    PAPER_TABLE2_CATEGORIES,
+    flight_example_aggregate_relations,
+    flight_example_relations,
+    fno_pairs,
+)
+from .synthetic import (
+    DISTRIBUTIONS,
+    generate_matrix,
+    generate_relation,
+    generate_relation_pair,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "EXPECTED_AGGREGATE_SKYLINE_FNOS",
+    "EXPECTED_SKYLINE_FNOS",
+    "EXPECTED_TABLE1_CATEGORIES",
+    "EXPECTED_TABLE2_CATEGORIES",
+    "HUB_CITIES",
+    "PAPER_TABLE1_CATEGORIES",
+    "PAPER_TABLE2_CATEGORIES",
+    "flight_example_aggregate_relations",
+    "flight_example_relations",
+    "fno_pairs",
+    "generate_matrix",
+    "generate_relation",
+    "generate_relation_pair",
+    "make_flight_relations",
+]

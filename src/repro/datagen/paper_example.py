@@ -1,0 +1,135 @@
+"""The paper's worked example: flight Tables 1-6.
+
+Table 1 lists nine flights out of city A and Table 2 eight flights into
+city B; the join condition is destination = source. All four skyline
+attributes (cost, dur, rtg, amn) are treated as lower-is-better
+(paper footnote 2).
+
+Known inconsistencies in the printed tables (see DESIGN.md "Soundness
+errata" and ``tests/integration/test_paper_example.py``):
+
+* Flight 28's ``amn`` is printed as 37 in Table 2 but 39 in the joined
+  Tables 3 and 6. Only 39 makes the paper's own elimination of (18,28)
+  by (19,25) arithmetically valid, so this module uses 39.
+* Under the paper's Sec. 2.2 definition, flight 16 (452, 3.6, 20, 36)
+  3-dominates flight 18 (451, 3.7, 20, 37) — better-or-equal in dur,
+  rtg and amn, strictly better in dur and amn — so 18 is SN1, not the
+  SS1 printed in Table 1. The final skyline sets (Tables 3/6) are
+  unaffected and reproduce exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from ..relational.relation import Relation
+from ..relational.schema import RelationSchema
+
+__all__ = [
+    "TABLE1_ROWS",
+    "TABLE2_ROWS",
+    "PAPER_TABLE1_CATEGORIES",
+    "PAPER_TABLE2_CATEGORIES",
+    "EXPECTED_TABLE1_CATEGORIES",
+    "EXPECTED_TABLE2_CATEGORIES",
+    "EXPECTED_SKYLINE_FNOS",
+    "EXPECTED_AGGREGATE_SKYLINE_FNOS",
+    "flight_example_relations",
+    "flight_example_aggregate_relations",
+    "fno_pairs",
+]
+
+# fno, city (destination for f1 / source for f2), cost, dur, rtg, amn
+TABLE1_ROWS: Tuple[Tuple[int, str, float, float, float, float], ...] = (
+    (11, "C", 448, 3.2, 40, 40),
+    (12, "C", 468, 4.2, 50, 38),
+    (13, "D", 456, 3.8, 60, 34),
+    (14, "D", 460, 4.0, 70, 32),
+    (15, "E", 450, 3.4, 30, 42),
+    (16, "F", 452, 3.6, 20, 36),
+    (17, "G", 472, 4.6, 80, 46),
+    (18, "H", 451, 3.7, 20, 37),
+    (19, "E", 451, 3.7, 40, 37),
+)
+
+TABLE2_ROWS: Tuple[Tuple[int, str, float, float, float, float], ...] = (
+    (21, "D", 348, 2.2, 40, 36),
+    (22, "D", 368, 3.2, 50, 34),
+    (23, "C", 356, 2.8, 60, 30),
+    (24, "C", 360, 3.0, 70, 28),
+    (25, "E", 350, 2.4, 30, 38),
+    (26, "F", 352, 2.6, 20, 32),
+    (27, "G", 372, 3.6, 80, 42),
+    # amn = 39, not the 37 printed in Table 2 (see module docstring).
+    (28, "H", 350, 2.4, 35, 39),
+)
+
+#: Categorization as printed in the paper's Tables 1-2 (k' = 3).
+PAPER_TABLE1_CATEGORIES: Dict[int, str] = {
+    11: "SS", 12: "NN", 13: "SN", 14: "NN", 15: "SN",
+    16: "SS", 17: "SN", 18: "SS", 19: "NN",
+}
+PAPER_TABLE2_CATEGORIES: Dict[int, str] = {
+    21: "SS", 22: "NN", 23: "SN", 24: "NN",
+    25: "SN", 26: "SS", 27: "SN", 28: "SN",
+}
+
+#: Categorization under the paper's own Sec. 2.2 definition (k' = 3);
+#: differs from the printed table only at flight 18 (16 ≻_3 18).
+EXPECTED_TABLE1_CATEGORIES: Dict[int, str] = {
+    **PAPER_TABLE1_CATEGORIES,
+    18: "SN",
+}
+EXPECTED_TABLE2_CATEGORIES: Dict[int, str] = dict(PAPER_TABLE2_CATEGORIES)
+
+#: Final k=7 skyline of the joined relation, Table 3 "skyline = yes".
+EXPECTED_SKYLINE_FNOS: FrozenSet[Tuple[int, int]] = frozenset(
+    {(11, 23), (13, 21), (15, 25), (16, 26)}
+)
+
+#: Final k=6 skyline with cost aggregated (a=1), Table 6 "skyline = yes".
+EXPECTED_AGGREGATE_SKYLINE_FNOS: FrozenSet[Tuple[int, int]] = frozenset(
+    {(11, 23), (13, 21), (15, 25), (16, 26)}
+)
+
+_SKYLINE = ["cost", "dur", "rtg", "amn"]
+
+
+def _build(rows, aggregate, name: str) -> Relation:
+    schema = RelationSchema.build(
+        join=["city"],
+        skyline=_SKYLINE,
+        aggregate=aggregate,
+        payload=["fno"],
+    )
+    columns = {
+        "fno": [r[0] for r in rows],
+        "city": [r[1] for r in rows],
+        "cost": [r[2] for r in rows],
+        "dur": [r[3] for r in rows],
+        "rtg": [r[4] for r in rows],
+        "amn": [r[5] for r in rows],
+    }
+    return Relation(schema, columns, name=name)
+
+
+def flight_example_relations() -> Tuple[Relation, Relation]:
+    """Tables 1-2 with all four attributes local (Problem 1, k = 7)."""
+    return _build(TABLE1_ROWS, [], "f1"), _build(TABLE2_ROWS, [], "f2")
+
+
+def flight_example_aggregate_relations() -> Tuple[Relation, Relation]:
+    """Tables 1-2 with cost aggregated (Problem 2, a = 1, k = 6)."""
+    return (
+        _build(TABLE1_ROWS, ["cost"], "f1"),
+        _build(TABLE2_ROWS, ["cost"], "f2"),
+    )
+
+
+def fno_pairs(left: Relation, right: Relation, row_pairs) -> FrozenSet[Tuple[int, int]]:
+    """Convert (left_row, right_row) index pairs into (fno, fno) pairs."""
+    left_fnos = list(left.column("fno"))
+    right_fnos = list(right.column("fno"))
+    return frozenset(
+        (int(left_fnos[int(i)]), int(right_fnos[int(j)])) for i, j in row_pairs
+    )

@@ -1,0 +1,129 @@
+"""Synthetic dataset generators (paper Sec. 7, Table 7).
+
+The paper generates data with the pgfoundry ``randdataset`` tool, which
+implements the three classic skyline-benchmark distributions of
+Börzsönyi et al.; the tool is gone, so we re-implement the same family:
+
+* **independent** — attributes i.i.d. uniform on [0, 1];
+* **correlated** — attributes concentrated around the main diagonal: a
+  per-tuple level ``m ~ U(0,1)`` plus small uniform jitter per
+  attribute. Tuples that are good in one attribute tend to be good in
+  all, so skylines are tiny and domination is frequent;
+* **anticorrelated** — attributes concentrated around the hyperplane of
+  constant sum: uniform vectors rescaled to a common, narrowly
+  distributed sum. Tuples good in one attribute tend to be bad in
+  others, inflating the skyline — the hardest case, matching the
+  paper's Figs. 4/7/10.
+
+Join groups are assigned round-robin (``row % g``), giving the paper's
+derived joined-relation size ``N = n^2 / g`` exactly when ``g | n``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..relational.relation import Relation
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "generate_matrix",
+    "generate_relation",
+    "generate_relation_pair",
+]
+
+DISTRIBUTIONS = ("independent", "correlated", "anticorrelated")
+
+_CORRELATED_JITTER = 0.15
+_ANTICORRELATED_SPREAD = 0.05
+
+
+def _rng(seed: Union[int, np.random.Generator, None]) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def generate_matrix(
+    n: int,
+    d: int,
+    distribution: str = "independent",
+    seed: Union[int, np.random.Generator, None] = None,
+) -> np.ndarray:
+    """Generate an (n x d) attribute matrix in [0, 1] per distribution."""
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    if d < 1:
+        raise ParameterError(f"d must be positive, got {d}")
+    if distribution not in DISTRIBUTIONS:
+        raise ParameterError(
+            f"unknown distribution {distribution!r}; choose from {DISTRIBUTIONS}"
+        )
+    rng = _rng(seed)
+    if distribution == "independent":
+        return rng.uniform(0.0, 1.0, size=(n, d))
+    if distribution == "correlated":
+        level = rng.uniform(0.0, 1.0, size=(n, 1))
+        jitter = rng.uniform(-_CORRELATED_JITTER, _CORRELATED_JITTER, size=(n, d))
+        return np.clip(level + jitter, 0.0, 1.0)
+    # anticorrelated
+    raw = rng.uniform(0.0, 1.0, size=(n, d))
+    sums = raw.sum(axis=1, keepdims=True)
+    sums[sums == 0.0] = 1.0
+    target = rng.normal(0.5, _ANTICORRELATED_SPREAD, size=(n, 1)) * d
+    return np.clip(raw * (target / sums), 0.0, 1.0)
+
+
+def generate_relation(
+    n: int,
+    d: int,
+    g: int = 1,
+    distribution: str = "independent",
+    a: int = 0,
+    seed: Union[int, np.random.Generator, None] = None,
+    name: str = "R",
+) -> Relation:
+    """Generate a base relation with ``d`` skyline attributes and ``g`` groups.
+
+    The first ``a`` skyline attributes (``s1 .. sa``) are marked as
+    aggregate inputs; groups are assigned round-robin so each of the
+    ``g`` groups holds ``n/g`` tuples (paper Table 7's derived joined
+    size ``n^2/g``).
+    """
+    if g < 1:
+        raise ParameterError(f"g must be positive, got {g}")
+    if not 0 <= a <= d:
+        raise ParameterError(f"a={a} must be within [0, d={d}]")
+    matrix = generate_matrix(n, d, distribution, seed)
+    names = [f"s{i + 1}" for i in range(d)]
+    groups = [int(i % g) for i in range(n)]
+    return Relation.from_arrays(
+        matrix,
+        names,
+        join_key=groups,
+        join_name="grp",
+        aggregate=names[:a],
+        name=name,
+    )
+
+
+def generate_relation_pair(
+    n: int,
+    d: int,
+    g: int = 1,
+    distribution: str = "independent",
+    a: int = 0,
+    seed: Optional[int] = None,
+) -> Tuple[Relation, Relation]:
+    """Generate the two-relation input of one KSJQ experiment.
+
+    Both relations share ``n, d, g, a`` and the distribution, as in all
+    of the paper's synthetic experiments; they differ in random content.
+    """
+    rng = _rng(seed)
+    left = generate_relation(n, d, g, distribution, a, rng, name="R1")
+    right = generate_relation(n, d, g, distribution, a, rng, name="R2")
+    return left, right

@@ -1,0 +1,74 @@
+"""Exception and warning hierarchy for the ``repro`` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors (``TypeError`` etc. still propagate).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "JoinError",
+    "ParameterError",
+    "AggregateError",
+    "AlgorithmError",
+    "ReproWarning",
+    "SoundnessWarning",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """Schema construction or validation failed.
+
+    Raised for duplicate attribute names, unknown attributes, mismatched
+    column lengths, non-numeric skyline attributes, and similar problems.
+    """
+
+
+class JoinError(ReproError):
+    """A join could not be performed.
+
+    Raised when join attributes are missing or incompatible between the
+    two relations, or when a theta-join condition is malformed.
+    """
+
+
+class ParameterError(ReproError):
+    """An algorithm parameter is out of its valid range.
+
+    The KSJQ problem constrains ``max(d1, d2) < k <= d`` (Sec. 3 of the
+    paper); violations raise this error unless validation is disabled.
+    """
+
+
+class AggregateError(ReproError):
+    """An aggregate specification is invalid.
+
+    Raised for unknown aggregate functions, mismatched aggregate pairs,
+    or use of a non-strictly-monotone aggregate with an optimized
+    algorithm whose pruning proof requires strict monotonicity.
+    """
+
+
+class AlgorithmError(ReproError):
+    """An algorithm was invoked on inputs it does not support."""
+
+
+class ReproWarning(UserWarning):
+    """Base class for warnings emitted by the ``repro`` library."""
+
+
+class SoundnessWarning(ReproWarning):
+    """The requested configuration may return a superset of the answer.
+
+    Emitted when the *faithful* grouping/dominator algorithms run with
+    ``a >= 2`` aggregate attributes, where the paper's Theorem 3 does not
+    hold (see DESIGN.md, "Soundness errata"). Use ``mode="exact"`` for a
+    guaranteed-correct answer.
+    """

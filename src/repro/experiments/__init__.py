@@ -1,0 +1,34 @@
+"""Experiment harness regenerating every figure of the paper's evaluation.
+
+See :mod:`repro.experiments.figures` for the per-figure registry and
+:mod:`repro.experiments.cli` for the command-line entry point
+(``ksjq-experiments`` / ``python -m repro.experiments``).
+"""
+
+from .config import PaperDefaults, Scale, scale_from_env
+from .figures import FIGURES, figure_ids, get_figure
+from .harness import RunRecord, SpecResult, build_point_relations, run_figure, run_spec
+from .report import render_shape_summary, render_spec_result, render_table, write_csv
+from .spec import FINDK_METHODS, KSJQ_ALGORITHMS, ExperimentSpec, SweepPoint
+
+__all__ = [
+    "FIGURES",
+    "FINDK_METHODS",
+    "KSJQ_ALGORITHMS",
+    "ExperimentSpec",
+    "PaperDefaults",
+    "RunRecord",
+    "Scale",
+    "SpecResult",
+    "SweepPoint",
+    "build_point_relations",
+    "figure_ids",
+    "get_figure",
+    "render_shape_summary",
+    "render_spec_result",
+    "render_table",
+    "run_figure",
+    "run_spec",
+    "scale_from_env",
+    "write_csv",
+]

@@ -1,0 +1,6 @@
+"""Module entry point: ``python -m repro.experiments run fig1a``."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""Command-line interface for regenerating the paper's figures.
+
+Usage::
+
+    ksjq-experiments list
+    ksjq-experiments run fig1a fig5a
+    ksjq-experiments run all --scale 0.1 --csv results/
+
+(or ``python -m repro.experiments ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .config import Scale
+from .figures import FIGURES, figure_ids
+from .harness import run_figure
+from .report import render_spec_result, write_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ksjq-experiments",
+        description="Regenerate the evaluation figures of the KSJQ paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all figure ids and titles")
+
+    run = sub.add_parser("run", help="run one or more figures (or 'all')")
+    run.add_argument("figures", nargs="+", help="figure ids, e.g. fig1a, or 'all'")
+    run.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="scale factor on paper sizes (default: REPRO_SCALE or 0.1)",
+    )
+    run.add_argument(
+        "--max-joined",
+        type=int,
+        default=200_000,
+        help="skip sweep points whose joined size exceeds this",
+    )
+    run.add_argument(
+        "--repeats", type=int, default=1, help="timing repetitions per run"
+    )
+    run.add_argument(
+        "--csv",
+        type=Path,
+        default=None,
+        help="directory to write one CSV per figure",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for fid in figure_ids():
+            print(f"{fid:8s} {FIGURES[fid].title}")
+        return 0
+
+    wanted = figure_ids() if "all" in args.figures else list(args.figures)
+    unknown = [f for f in wanted if f not in FIGURES]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(figure_ids())}", file=sys.stderr)
+        return 2
+
+    scale = None
+    if args.scale is not None:
+        scale = Scale(
+            factor=args.scale, max_joined=args.max_joined, repeats=args.repeats
+        )
+    if args.csv is not None:
+        args.csv.mkdir(parents=True, exist_ok=True)
+
+    for fid in wanted:
+        result = run_figure(fid, scale)
+        print(render_spec_result(result))
+        print()
+        if args.csv is not None:
+            write_csv(result.records, args.csv / f"{fid}.csv")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,173 @@
+"""Experiment harness: run figure specs and collect timing records.
+
+The harness turns an :class:`~repro.experiments.spec.ExperimentSpec`
+into :class:`RunRecord` rows — one per (sweep point, series letter) —
+by generating the dataset at the configured scale, building a fresh
+:class:`~repro.core.plan.JoinPlan` per run (so no caching leaks across
+algorithms), executing the algorithm and recording the component
+timings the paper plots.
+
+Faithful mode is used throughout, matching the paper;
+:class:`~repro.errors.SoundnessWarning` is suppressed here because the
+aggregate experiments intentionally exercise the paper-faithful path.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.find_k import find_k_at_least_delta
+from ..core.plan import JoinPlan
+from ..core.timing import TimingBreakdown
+from ..datagen.flights import make_flight_relations
+from ..datagen.synthetic import generate_relation_pair
+from ..errors import SoundnessWarning
+from ..relational.relation import Relation
+from .config import Scale, scale_from_env
+from .figures import get_figure
+from .spec import FINDK_METHODS, KSJQ_ALGORITHMS, ExperimentSpec, SweepPoint
+
+__all__ = ["RunRecord", "SpecResult", "run_figure", "run_spec", "build_point_relations"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One algorithm execution at one sweep point."""
+
+    figure: str
+    point: str
+    series: str  # paper letter: G/D/N or B/R/N
+    algorithm: str  # library name
+    timings: TimingBreakdown
+    result: int  # skyline size (ksjq) or chosen k (findk)
+    n: int
+    joined_size: int
+    k: Optional[int] = None
+    delta: Optional[int] = None
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for CSV/report rendering."""
+        out: Dict[str, object] = {
+            "figure": self.figure,
+            "point": self.point,
+            "series": self.series,
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "joined": self.joined_size,
+        }
+        out.update({key: round(val, 6) for key, val in self.timings.as_dict().items()})
+        out["result"] = self.result
+        return out
+
+
+@dataclass
+class SpecResult:
+    """All records of one figure plus any skipped sweep points."""
+
+    spec: ExperimentSpec
+    scale: Scale
+    records: List[RunRecord] = field(default_factory=list)
+    skipped: List[Tuple[str, str]] = field(default_factory=list)  # (point, reason)
+
+
+def build_point_relations(
+    point: SweepPoint, scale: Scale
+) -> Tuple[Relation, Relation, int]:
+    """Generate the two base relations of one sweep point.
+
+    Returns ``(left, right, scaled_n)``; the flights dataset ignores the
+    scale factor (it is already small).
+    """
+    if point.dataset == "flights":
+        left, right = make_flight_relations(seed=point.seed)
+        return left, right, len(left)
+    n = scale.n(point.n)
+    left, right = generate_relation_pair(
+        n=n,
+        d=point.d,
+        g=point.g,
+        distribution=point.distribution,
+        a=point.a,
+        seed=point.seed,
+    )
+    return left, right, n
+
+
+def _fresh_plan(left: Relation, right: Relation, point: SweepPoint) -> JoinPlan:
+    return JoinPlan(left, right, kind="equality", aggregate=point.aggregate)
+
+
+def _joined_size(plan: JoinPlan) -> int:
+    return plan.compatible_pair_count(range(len(plan.left)), range(len(plan.right)))
+
+
+def run_spec(spec: ExperimentSpec, scale: Optional[Scale] = None) -> SpecResult:
+    """Execute one figure spec; returns records plus skipped points."""
+    scale = scale or scale_from_env()
+    result = SpecResult(spec=spec, scale=scale)
+    from ..core.dominator import run_dominator
+    from ..core.grouping import run_grouping
+    from ..core.naive import run_naive
+
+    runners = {"grouping": run_grouping, "dominator": run_dominator}
+
+    for point in spec.points:
+        scaled_n = scale.n(point.n) if point.dataset is None else point.n
+        if point.dataset is None and not scale.fits(scaled_n, point.g):
+            result.skipped.append(
+                (point.label, f"joined size {scaled_n * scaled_n // point.g} exceeds "
+                              f"max_joined={scale.max_joined}")
+            )
+            continue
+        left, right, n = build_point_relations(point, scale)
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", SoundnessWarning)
+            for letter in spec.series:
+                timings = TimingBreakdown()
+                value = 0
+                joined = 0
+                for _ in range(scale.repeats):
+                    plan = _fresh_plan(left, right, point)
+                    joined = _joined_size(plan)
+                    if spec.kind == "ksjq":
+                        algorithm = KSJQ_ALGORITHMS[letter]
+                        if algorithm == "naive":
+                            res = run_naive(plan, point.k)
+                        else:
+                            res = runners[algorithm](plan, point.k, mode="faithful")
+                        timings = timings + res.timings
+                        value = res.count
+                    else:
+                        method = FINDK_METHODS[letter]
+                        res = find_k_at_least_delta(
+                            plan, scale.delta(point.delta), method=method
+                        )
+                        timings = timings + res.timings
+                        value = res.k
+                result.records.append(
+                    RunRecord(
+                        figure=spec.figure,
+                        point=point.label,
+                        series=letter,
+                        algorithm=(
+                            KSJQ_ALGORITHMS[letter]
+                            if spec.kind == "ksjq"
+                            else FINDK_METHODS[letter]
+                        ),
+                        timings=timings.scaled(1.0 / scale.repeats),
+                        result=value,
+                        n=n,
+                        joined_size=joined,
+                        k=point.k,
+                        delta=scale.delta(point.delta) if point.delta else None,
+                    )
+                )
+    return result
+
+
+def run_figure(figure_id: str, scale: Optional[Scale] = None) -> SpecResult:
+    """Execute one figure by id (e.g. ``"fig1a"``)."""
+    return run_spec(get_figure(figure_id), scale)

@@ -1,0 +1,117 @@
+"""Rendering of experiment results: ASCII tables, CSV, shape summaries.
+
+The tables mirror the paper's stacked-bar figures: one row per (sweep
+point, algorithm letter), with the four timing components, the total,
+and the result (skyline size or chosen k). ``render_shape_summary``
+computes the headline comparison the paper reads off each figure —
+speedup of the grouping algorithm over the naïve one (or binary over
+naïve for find-k) per sweep point.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from .harness import RunRecord, SpecResult
+
+__all__ = ["render_table", "render_shape_summary", "write_csv", "render_spec_result"]
+
+_COLUMNS = (
+    "point",
+    "series",
+    "grouping",
+    "join",
+    "dominator",
+    "remaining",
+    "total",
+    "result",
+)
+
+
+def render_table(records: Sequence[RunRecord]) -> str:
+    """Fixed-width table of run records."""
+    rows = []
+    for rec in records:
+        flat = rec.row()
+        rows.append(
+            [
+                str(flat["point"]),
+                str(flat["series"]),
+                f"{flat['grouping']:.4f}",
+                f"{flat['join']:.4f}",
+                f"{flat['dominator']:.4f}",
+                f"{flat['remaining']:.4f}",
+                f"{flat['total']:.4f}",
+                str(flat["result"]),
+            ]
+        )
+    widths = [
+        max(len(col), *(len(r[i]) for r in rows)) if rows else len(col)
+        for i, col in enumerate(_COLUMNS)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(_COLUMNS, widths))
+    sep = "-" * len(header)
+    lines = [header, sep]
+    lines.extend("  ".join(v.ljust(w) for v, w in zip(row, widths)) for row in rows)
+    return "\n".join(lines)
+
+
+def render_shape_summary(result: SpecResult) -> str:
+    """Per-point speedup of the best optimized series over the naïve one."""
+    baseline_letter = "N"
+    best_letter = "G" if result.spec.kind == "ksjq" else "B"
+    by_point: Dict[str, Dict[str, RunRecord]] = {}
+    for rec in result.records:
+        by_point.setdefault(rec.point, {})[rec.series] = rec
+
+    lines = []
+    for point, series in by_point.items():
+        if baseline_letter in series and best_letter in series:
+            base = series[baseline_letter].timings.total
+            best = series[best_letter].timings.total
+            if best > 0:
+                lines.append(
+                    f"{point}: {best_letter} is {base / best:.2f}x faster than N "
+                    f"(N={base:.4f}s, {best_letter}={best:.4f}s)"
+                )
+    if not lines:
+        return "(no comparable series)"
+    return "\n".join(lines)
+
+
+def render_spec_result(result: SpecResult) -> str:
+    """Full report for one figure: header, table, skips, shape summary."""
+    spec = result.spec
+    out = [
+        f"== {spec.figure}: {spec.title} ==",
+        f"scale factor {result.scale.factor} (paper sizes x{result.scale.factor}); "
+        f"repeats={result.scale.repeats}",
+    ]
+    if spec.paper_shape:
+        out.append(f"paper shape: {spec.paper_shape}")
+    out.append("")
+    out.append(render_table(result.records))
+    if result.skipped:
+        out.append("")
+        out.append("skipped points:")
+        out.extend(f"  {label}: {reason}" for label, reason in result.skipped)
+    out.append("")
+    out.append("speedups:")
+    out.append(render_shape_summary(result))
+    return "\n".join(out)
+
+
+def write_csv(records: Sequence[RunRecord], path: Union[str, Path]) -> None:
+    """Write run records as CSV (one row per record)."""
+    path = Path(path)
+    if not records:
+        path.write_text("")
+        return
+    fieldnames = list(records[0].row().keys())
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for rec in records:
+            writer.writerow(rec.row())

@@ -1,0 +1,79 @@
+"""Experiment specifications: declarative descriptions of each figure.
+
+An :class:`ExperimentSpec` lists the sweep points of one paper figure;
+each :class:`SweepPoint` fully determines a dataset and query in *paper
+units* (the harness applies scaling). Two experiment kinds exist:
+
+* ``"ksjq"`` — run the G/D/N KSJQ algorithms and record component
+  timings plus the skyline size (Figs. 1-7, 11);
+* ``"findk"`` — run the B/R/N find-k methods (Figs. 8-10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["SweepPoint", "ExperimentSpec", "KSJQ_ALGORITHMS", "FINDK_METHODS"]
+
+#: Paper's algorithm letters -> library algorithm names.
+KSJQ_ALGORITHMS: Dict[str, str] = {
+    "G": "grouping",
+    "D": "dominator",
+    "N": "naive",
+}
+
+#: Paper's find-k letters -> library method names.
+FINDK_METHODS: Dict[str, str] = {
+    "B": "binary",
+    "R": "range",
+    "N": "naive",
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-axis point of a figure, in paper units.
+
+    ``label`` is the x-axis tick (e.g. ``"k=9"``); ``n``/``g``/``d``/
+    ``a``/``distribution`` describe the generated dataset; ``k`` the
+    query (KSJQ experiments) and ``delta`` the threshold (find-k
+    experiments). ``dataset`` selects a named real dataset ("flights")
+    instead of synthetic generation.
+    """
+
+    label: str
+    n: int = 3300
+    d: int = 7
+    g: int = 10
+    a: int = 0
+    distribution: str = "independent"
+    k: Optional[int] = None
+    delta: Optional[int] = None
+    seed: int = 42
+    dataset: Optional[str] = None
+
+    @property
+    def aggregate(self) -> Optional[str]:
+        """Aggregate function name implied by ``a`` (paper uses sum)."""
+        return "sum" if self.a > 0 or self.dataset == "flights" else None
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One figure of the paper's evaluation section."""
+
+    figure: str
+    title: str
+    kind: str  # "ksjq" | "findk"
+    points: Tuple[SweepPoint, ...]
+    series: Tuple[str, ...] = ("G", "D", "N")
+    paper_shape: str = ""  # expected qualitative outcome, for reports
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ksjq", "findk"):
+            raise ValueError(f"unknown experiment kind {self.kind!r}")
+        valid = KSJQ_ALGORITHMS if self.kind == "ksjq" else FINDK_METHODS
+        unknown = set(self.series) - set(valid)
+        if unknown:
+            raise ValueError(f"unknown series letters {sorted(unknown)} for {self.kind}")

@@ -1,0 +1,60 @@
+"""Relational substrate: schemas, relations, joins and join groups.
+
+This package is the storage and join layer beneath the KSJQ algorithms.
+See :mod:`repro.relational.schema` for attribute roles and preferences,
+:mod:`repro.relational.relation` for the numpy-backed relation type, and
+:mod:`repro.relational.join` for equality/cartesian/theta joins with
+optional attribute aggregation.
+"""
+
+from .aggregates import (
+    MAX,
+    MEAN,
+    MIN,
+    PRODUCT,
+    SUM,
+    AggregateFunction,
+    get_aggregate,
+    register_aggregate,
+)
+from .csvio import read_csv, write_csv
+from .groups import GroupIndex, ThetaGroupIndex, ThetaOp
+from .join import (
+    JoinedLayout,
+    JoinedView,
+    ThetaCondition,
+    cartesian_pairs,
+    equality_pairs,
+    pairs_product,
+    theta_pairs,
+)
+from .relation import Relation
+from .schema import AttributeSpec, Preference, RelationSchema, Role
+
+__all__ = [
+    "AggregateFunction",
+    "AttributeSpec",
+    "GroupIndex",
+    "JoinedLayout",
+    "JoinedView",
+    "MAX",
+    "MEAN",
+    "MIN",
+    "PRODUCT",
+    "Preference",
+    "Relation",
+    "RelationSchema",
+    "Role",
+    "SUM",
+    "ThetaCondition",
+    "ThetaGroupIndex",
+    "ThetaOp",
+    "cartesian_pairs",
+    "equality_pairs",
+    "get_aggregate",
+    "pairs_product",
+    "read_csv",
+    "register_aggregate",
+    "theta_pairs",
+    "write_csv",
+]

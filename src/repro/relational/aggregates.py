@@ -1,0 +1,120 @@
+"""Aggregate functions applied to paired attributes at join time.
+
+Paper Sec. 2.3/5.6: ``a`` skyline attributes of each relation are marked
+for aggregation; on a join, each pair is combined by a *monotonic*
+aggregation operator ``⊕`` (the paper's experiments use ``sum``).
+
+Monotonicity is required in *preference* order: if ``u1`` is preferred
+over ``u2`` and ``v1`` over ``v2``, then ``u1 ⊕ v1`` must be preferred
+over ``u2 ⊕ v2``. Because paired attributes must share a preference
+direction (validated at join time), any function that is increasing in
+each raw argument satisfies this for both "lower" and "higher"
+preferences.
+
+Strict monotonicity (strictly better input on one side with equal input
+on the other gives a strictly better output) is additionally required by
+the NN-pruning proof of the optimized algorithms (Theorem 4 analogue;
+see DESIGN.md "Soundness errata"). ``sum`` is strictly monotone;
+``max``/``min`` are not (``max(3, 5) == max(4, 5)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..errors import AggregateError
+
+__all__ = [
+    "AggregateFunction",
+    "SUM",
+    "PRODUCT",
+    "MEAN",
+    "MAX",
+    "MIN",
+    "get_aggregate",
+    "register_aggregate",
+]
+
+
+@dataclass(frozen=True)
+class AggregateFunction:
+    """A binary aggregation operator over raw attribute values.
+
+    Parameters
+    ----------
+    name:
+        Registry key (e.g. ``"sum"``).
+    fn:
+        Vectorized ``(left_values, right_values) -> combined_values`` in
+        raw (un-oriented) space.
+    strictly_monotone:
+        ``True`` iff the function is strictly increasing in each
+        argument over its intended domain. Optimized KSJQ algorithms
+        require this; the naïve algorithm does not.
+    domain_note:
+        Human-readable restriction (e.g. product requires positives).
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    strictly_monotone: bool
+    domain_note: str = ""
+
+    def __call__(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        left = np.asarray(left, dtype=np.float64)
+        right = np.asarray(right, dtype=np.float64)
+        if left.shape != right.shape:
+            raise AggregateError(
+                f"aggregate {self.name!r}: shape mismatch {left.shape} vs {right.shape}"
+            )
+        return self.fn(left, right)
+
+
+SUM = AggregateFunction("sum", lambda x, y: x + y, strictly_monotone=True)
+MEAN = AggregateFunction("mean", lambda x, y: (x + y) / 2.0, strictly_monotone=True)
+PRODUCT = AggregateFunction(
+    "product",
+    lambda x, y: x * y,
+    strictly_monotone=True,
+    domain_note="strictly monotone only for positive values",
+)
+MAX = AggregateFunction("max", np.maximum, strictly_monotone=False)
+MIN = AggregateFunction("min", np.minimum, strictly_monotone=False)
+
+_REGISTRY: Dict[str, AggregateFunction] = {
+    f.name: f for f in (SUM, MEAN, PRODUCT, MAX, MIN)
+}
+
+
+def get_aggregate(name_or_fn) -> AggregateFunction:
+    """Resolve an aggregate by registry name or pass one through.
+
+    Accepts an :class:`AggregateFunction` (returned unchanged) or a
+    string key such as ``"sum"``.
+    """
+    if isinstance(name_or_fn, AggregateFunction):
+        return name_or_fn
+    if isinstance(name_or_fn, str):
+        try:
+            return _REGISTRY[name_or_fn]
+        except KeyError:
+            raise AggregateError(
+                f"unknown aggregate {name_or_fn!r}; known: {sorted(_REGISTRY)}"
+            ) from None
+    raise AggregateError(
+        f"aggregate must be a name or AggregateFunction, got {type(name_or_fn).__name__}"
+    )
+
+
+def register_aggregate(func: AggregateFunction, overwrite: bool = False) -> None:
+    """Add a custom aggregate to the registry.
+
+    Raises :class:`~repro.errors.AggregateError` if the name is taken and
+    ``overwrite`` is false.
+    """
+    if func.name in _REGISTRY and not overwrite:
+        raise AggregateError(f"aggregate {func.name!r} already registered")
+    _REGISTRY[func.name] = func

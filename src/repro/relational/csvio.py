@@ -1,0 +1,75 @@
+"""CSV persistence for relations.
+
+Small, dependency-free reader/writer so datasets (e.g. the simulated
+flight tables) can be exported, inspected and re-imported. Skyline
+attributes round-trip as floats; join/payload columns as strings unless
+they parse as integers.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..errors import SchemaError
+from .relation import Relation
+from .schema import RelationSchema, Role
+
+__all__ = ["write_csv", "read_csv"]
+
+
+def write_csv(relation: Relation, path: Union[str, Path]) -> None:
+    """Write a relation to ``path`` with a header row of attribute names."""
+    path = Path(path)
+    names = list(relation.schema.names)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for rec in relation.records():
+            writer.writerow([rec[name] for name in names])
+
+
+def read_csv(
+    schema: RelationSchema, path: Union[str, Path], name: str = "R"
+) -> Relation:
+    """Read a relation from ``path``; the header must cover the schema.
+
+    Extra CSV columns are ignored. Join and payload values are kept as
+    strings except when every value in the column is an integer literal.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: empty CSV file") from None
+        rows = [row for row in reader if row]
+
+    missing = set(schema.names) - set(header)
+    if missing:
+        raise SchemaError(f"{path}: CSV missing columns {sorted(missing)}")
+    position = {col: header.index(col) for col in schema.names}
+
+    columns: Dict[str, List] = {col: [] for col in schema.names}
+    for lineno, row in enumerate(rows, start=2):
+        if len(row) < len(header):
+            raise SchemaError(f"{path}:{lineno}: expected {len(header)} fields")
+        for col in schema.names:
+            columns[col].append(row[position[col]])
+
+    for col in schema.names:
+        spec = schema[col]
+        if spec.role is Role.SKYLINE:
+            columns[col] = [float(v) for v in columns[col]]
+        else:
+            columns[col] = [_maybe_int(v) for v in columns[col]]
+    return Relation(schema, columns, name=name)
+
+
+def _maybe_int(value: str):
+    try:
+        return int(value)
+    except ValueError:
+        return value

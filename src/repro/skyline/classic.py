@@ -1,0 +1,76 @@
+"""Classic (full-dominance) skyline algorithms.
+
+Two standard non-indexed algorithms from the literature the paper builds
+on:
+
+* **BNL** (block-nested-loops, Börzsönyi et al. [3]): maintain a window
+  of incomparable tuples; each incoming tuple evicts dominated window
+  members or is itself discarded.
+* **SFS** (sort-filter-skyline, Chomicki et al. [5]): presort by a
+  monotone score (sum of oriented attributes); then a tuple can only be
+  dominated by tuples already in the window, so no evictions happen and
+  every window insertion is final.
+
+Both return row indices into the input matrix, in ascending order.
+For full dominance the skyline is unique, so the algorithms agree
+(property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .dominance import dominates
+
+__all__ = ["skyline_bnl", "skyline_sfs", "skyline"]
+
+
+def skyline_bnl(matrix: np.ndarray) -> List[int]:
+    """Block-nested-loops skyline over an oriented matrix."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    window: List[int] = []
+    for i in range(matrix.shape[0]):
+        row = matrix[i]
+        dominated = False
+        survivors: List[int] = []
+        for j in window:
+            if dominates(matrix[j], row):
+                dominated = True
+                survivors = window  # no evictions needed; row dies
+                break
+            if not dominates(row, matrix[j]):
+                survivors.append(j)
+        if not dominated:
+            window = survivors + [i]
+    return sorted(window)
+
+
+def skyline_sfs(matrix: np.ndarray) -> List[int]:
+    """Sort-filter-skyline over an oriented matrix.
+
+    Presorting by the attribute sum guarantees that no later tuple can
+    dominate an earlier one (a dominator has strictly smaller sum),
+    hence a single filtering pass suffices.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    n = matrix.shape[0]
+    if n == 0:
+        return []
+    order = np.argsort(matrix.sum(axis=1), kind="stable")
+    window: List[int] = []
+    for idx in order:
+        row = matrix[idx]
+        if not any(dominates(matrix[j], row) for j in window):
+            window.append(int(idx))
+    return sorted(window)
+
+
+def skyline(matrix: np.ndarray, method: str = "sfs") -> List[int]:
+    """Compute the classic skyline; ``method`` is ``"sfs"`` or ``"bnl"``."""
+    if method == "sfs":
+        return skyline_sfs(matrix)
+    if method == "bnl":
+        return skyline_bnl(matrix)
+    raise ValueError(f"unknown skyline method {method!r} (use 'sfs' or 'bnl')")

@@ -1,0 +1,120 @@
+"""Dominance and k-dominance primitives (paper Sec. 2.1-2.2).
+
+All functions operate in *oriented* (minimize) space: lower values are
+preferred in every column. Relations provide such matrices via
+:meth:`repro.relational.Relation.oriented`.
+
+Definitions implemented here:
+
+* ``u`` **dominates** ``v`` iff ``u <= v`` component-wise and ``u < v``
+  in at least one component.
+* ``u`` **k-dominates** ``v`` iff ``#{i : u_i <= v_i} >= k`` and
+  ``#{i : u_i < v_i} >= 1``. For ``k = d`` this reduces to classic
+  dominance. Note the equivalence with Chan et al.'s phrasing ("better
+  or equal in some k attributes and strictly better in one *of those
+  k*"): any strictly-better attribute is also better-or-equal, so it can
+  always be chosen into the k-subset.
+
+k-dominance is *not* transitive and can be cyclic for ``k <= d/2``
+(Sec. 2.2), which is why the two-scan algorithm needs its verification
+pass and why candidate checks must always run against full candidate
+dominator sets, never just against surviving skyline members.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "dominates",
+    "k_dominates",
+    "boe_counts",
+    "strict_any",
+    "k_dominator_mask",
+    "is_k_dominated",
+    "dominator_rows",
+]
+
+
+def dominates(u: np.ndarray, v: np.ndarray) -> bool:
+    """Classic (full) dominance of oriented vectors: ``u ≻ v``."""
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    return bool(np.all(u <= v) and np.any(u < v))
+
+
+def k_dominates(u: np.ndarray, v: np.ndarray, k: int) -> bool:
+    """k-dominance of oriented vectors: ``u ≻_k v``."""
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    return bool(np.count_nonzero(u <= v) >= k and np.any(u < v))
+
+
+def boe_counts(matrix: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Per-row better-or-equal counts of ``matrix`` rows versus ``v``.
+
+    ``result[i] = #{j : matrix[i, j] <= v[j]}``.
+    """
+    return np.count_nonzero(matrix <= v, axis=1)
+
+
+def strict_any(matrix: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Per-row flag: does row ``i`` beat ``v`` strictly somewhere?"""
+    return (matrix < v).any(axis=1)
+
+
+def k_dominator_mask(
+    matrix: np.ndarray,
+    v: np.ndarray,
+    k: int,
+    exclude: Optional[int] = None,
+) -> np.ndarray:
+    """Boolean mask of rows of ``matrix`` that k-dominate ``v``.
+
+    ``exclude`` removes one row index (typically ``v``'s own position)
+    from consideration; a tuple can never k-dominate itself anyway
+    (no strict attribute), so this is an optimization plus guard against
+    accidental duplicates of ``v`` — duplicates legitimately do *not*
+    dominate each other.
+    """
+    mask = (boe_counts(matrix, v) >= k) & strict_any(matrix, v)
+    if exclude is not None:
+        mask[exclude] = False
+    return mask
+
+
+def is_k_dominated(
+    matrix: np.ndarray,
+    v: np.ndarray,
+    k: int,
+    exclude: Optional[int] = None,
+) -> bool:
+    """Is ``v`` k-dominated by any row of ``matrix``?
+
+    Evaluated in blocks with early exit so large matrices do not pay the
+    full comparison cost when a dominator appears early.
+    """
+    n = matrix.shape[0]
+    if n == 0:
+        return False
+    block = 4096
+    for start in range(0, n, block):
+        sub = matrix[start : start + block]
+        mask = (boe_counts(sub, v) >= k) & strict_any(sub, v)
+        if exclude is not None and start <= exclude < start + sub.shape[0]:
+            mask[exclude - start] = False
+        if mask.any():
+            return True
+    return False
+
+
+def dominator_rows(
+    matrix: np.ndarray,
+    v: np.ndarray,
+    k: int,
+    exclude: Optional[int] = None,
+) -> np.ndarray:
+    """Row indices of all k-dominators of ``v`` within ``matrix``."""
+    return np.flatnonzero(k_dominator_mask(matrix, v, k, exclude=exclude))

@@ -1,0 +1,78 @@
+"""Unit tests for repro.core.params."""
+
+import pytest
+
+from repro.core import KSJQParams
+from repro.errors import ParameterError
+from repro.relational import RelationSchema
+
+
+class TestValidation:
+    def test_valid_no_aggregation(self):
+        p = KSJQParams(k=7, d1=4, d2=4, a=0)
+        assert p.l1 == 4 and p.l2 == 4
+        assert p.joined_d == 8
+        assert p.k_min == 5 and p.k_max == 8
+
+    def test_paper_example_thresholds(self):
+        # Sec. 5.4: d1 = d2 = 4, k = 7 -> k'_1 = k'_2 = 3.
+        p = KSJQParams(k=7, d1=4, d2=4, a=0)
+        assert p.k1_prime == 3 and p.k2_prime == 3
+        assert p.k1_min_local == 3 and p.k2_min_local == 3
+
+    def test_paper_aggregate_example_thresholds(self):
+        # Sec. 5.6 example: d = 4, a = 1, k = 6 -> k'' = 2, k' = 3.
+        p = KSJQParams(k=6, d1=4, d2=4, a=1)
+        assert p.k1_min_local == 2 and p.k2_min_local == 2
+        assert p.k1_prime == 3 and p.k2_prime == 3
+        assert p.joined_d == 7
+
+    def test_k_too_small(self):
+        with pytest.raises(ParameterError, match="outside valid range"):
+            KSJQParams(k=4, d1=4, d2=4, a=0)
+
+    def test_k_too_large(self):
+        with pytest.raises(ParameterError, match="outside valid range"):
+            KSJQParams(k=9, d1=4, d2=4, a=0)
+
+    def test_k_max_allowed(self):
+        # k = d (full domination on the join) is the inclusive maximum.
+        p = KSJQParams(k=8, d1=4, d2=4, a=0)
+        assert p.k == p.k_max
+
+    def test_aggregation_shrinks_k_max(self):
+        p = KSJQParams(k=7, d1=4, d2=4, a=1)
+        assert p.k_max == 7  # l1 + l2 + a = 3 + 3 + 1
+
+    def test_invalid_a(self):
+        with pytest.raises(ParameterError, match="a="):
+            KSJQParams(k=5, d1=3, d2=4, a=4)
+        with pytest.raises(ParameterError, match="a="):
+            KSJQParams(k=5, d1=3, d2=4, a=-1)
+
+    def test_empty_relation_dims(self):
+        with pytest.raises(ParameterError, match="at least one skyline"):
+            KSJQParams(k=1, d1=0, d2=1, a=0)
+
+    def test_asymmetric_dims(self):
+        p = KSJQParams(k=6, d1=3, d2=5, a=0)
+        assert p.k_min == 6  # max(3, 5) + 1
+        assert p.k1_prime == 1 and p.k2_prime == 3
+
+    def test_describe(self):
+        text = KSJQParams(k=7, d1=4, d2=4, a=1).describe()
+        assert "k=7" in text and "a=1" in text
+
+
+class TestFromSchemas:
+    def test_derives_from_schemas(self):
+        s1 = RelationSchema.build(skyline=["c", "x", "y"], aggregate=["c"])
+        s2 = RelationSchema.build(skyline=["c", "p", "q"], aggregate=["c"])
+        p = KSJQParams.from_schemas(s1, s2, k=5)
+        assert p.d1 == 3 and p.d2 == 3 and p.a == 1
+
+    def test_incompatible_schemas_rejected(self):
+        s1 = RelationSchema.build(skyline=["c", "x"], aggregate=["c"])
+        s2 = RelationSchema.build(skyline=["d", "x"], aggregate=["d"])
+        with pytest.raises(Exception):
+            KSJQParams.from_schemas(s1, s2, k=3)

@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.progressive."""
+
+import itertools
+import warnings
+
+import pytest
+
+import repro
+from repro.core import Category, JoinPlan, ksjq_progressive, run_grouping, run_naive
+from repro.errors import AggregateError, SoundnessWarning
+
+from ..conftest import make_random_pair
+
+
+class TestProgressiveCorrectness:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_complete_consumption_equals_grouping(self, seed):
+        left, right = make_random_pair(seed=seed, n=12, d=4, g=3, a=0)
+        plan = JoinPlan(left, right)
+        progressive = set(ksjq_progressive(plan, 6))
+        batch = run_grouping(plan, 6).pair_set()
+        assert progressive == batch
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_equals_naive_without_aggregation(self, seed):
+        left, right = make_random_pair(seed=seed + 50, n=12, d=4, g=4, a=0)
+        plan = JoinPlan(left, right)
+        assert set(ksjq_progressive(plan, 6)) == run_naive(plan, 6).pair_set()
+
+    def test_no_duplicates(self):
+        left, right = make_random_pair(seed=61, n=15, d=4, g=3, a=0)
+        plan = JoinPlan(left, right)
+        out = list(ksjq_progressive(plan, 6))
+        assert len(out) == len(set(out))
+
+
+class TestProgressiveOrdering:
+    def test_yes_tuples_come_first(self):
+        left, right = make_random_pair(seed=62, n=20, d=4, g=4, a=0)
+        plan = JoinPlan(left, right)
+        params = plan.params(6)
+        cat1 = plan.categorize_left(params.k1_prime)
+        cat2 = plan.categorize_right(params.k2_prime)
+        out = list(ksjq_progressive(plan, 6))
+        # Once a non-"yes" pair appears, no "yes" pair may follow.
+        seen_non_yes = False
+        for u, v in out:
+            is_yes = (
+                cat1.category(u) is Category.SS and cat2.category(v) is Category.SS
+            )
+            if not is_yes:
+                seen_non_yes = True
+            elif seen_non_yes:
+                pytest.fail("a 'yes' pair was emitted after verified pairs")
+
+    def test_prefix_consumption_is_lazy(self):
+        # Taking just the first result must not fail even though later
+        # stages would need the full join.
+        left, right = make_random_pair(seed=63, n=20, d=4, g=4, a=0)
+        plan = JoinPlan(left, right)
+        gen = ksjq_progressive(plan, 7)
+        first = list(itertools.islice(gen, 1))
+        assert len(first) <= 1  # may be empty if skyline is empty
+
+
+class TestProgressiveGuards:
+    def test_weakly_monotone_aggregate_rejected(self):
+        left, right = make_random_pair(seed=64, n=8, d=3, g=2, a=1)
+        plan = JoinPlan(left, right, aggregate="max")
+        with pytest.raises(AggregateError):
+            list(ksjq_progressive(plan, 5))
+
+    def test_soundness_warning_with_aggregates(self):
+        left, right = make_random_pair(seed=65, n=8, d=4, g=2, a=2)
+        plan = JoinPlan(left, right, aggregate="sum")
+        with pytest.warns(SoundnessWarning):
+            list(ksjq_progressive(plan, 6))
+
+    def test_aggregate_results_match_grouping_faithful(self):
+        left, right = make_random_pair(seed=66, n=10, d=4, g=3, a=1)
+        plan = JoinPlan(left, right, aggregate="sum")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", SoundnessWarning)
+            progressive = set(ksjq_progressive(plan, 6))
+            batch = run_grouping(plan, 6, mode="faithful").pair_set()
+        assert progressive == batch

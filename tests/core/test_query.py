@@ -1,0 +1,86 @@
+"""Unit tests for the repro.core.query facade and result objects."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import make_plan
+from repro.errors import AlgorithmError
+
+from ..conftest import make_random_pair
+
+
+class TestKsjqFacade:
+    def test_auto_selects_grouping(self, tiny_pair):
+        res = repro.ksjq(*tiny_pair, k=4)
+        assert res.algorithm == "grouping"
+
+    def test_auto_selects_cartesian_for_cartesian_join(self, tiny_pair):
+        res = repro.ksjq(*tiny_pair, k=4, join="cartesian")
+        assert res.algorithm == "cartesian"
+
+    def test_explicit_algorithms(self, tiny_pair):
+        for algorithm in ("naive", "grouping", "dominator"):
+            res = repro.ksjq(*tiny_pair, k=4, algorithm=algorithm)
+            assert res.algorithm == algorithm
+
+    def test_unknown_algorithm(self, tiny_pair):
+        with pytest.raises(AlgorithmError, match="unknown algorithm"):
+            repro.ksjq(*tiny_pair, k=4, algorithm="quantum")
+
+    def test_plan_reuse(self, tiny_pair):
+        plan = make_plan(*tiny_pair)
+        a = repro.ksjq(*tiny_pair, k=4, plan=plan)
+        b = repro.ksjq(*tiny_pair, k=4, algorithm="naive", plan=plan)
+        assert a.pair_set() == b.pair_set()
+
+
+class TestFindKFacade:
+    def test_objectives(self, tiny_pair):
+        at_least = repro.find_k(*tiny_pair, delta=3, objective="at_least")
+        at_most = repro.find_k(*tiny_pair, delta=3, objective="at_most")
+        assert at_most.k <= at_least.k
+
+    def test_unknown_objective(self, tiny_pair):
+        with pytest.raises(AlgorithmError, match="objective"):
+            repro.find_k(*tiny_pair, delta=3, objective="exactly")
+
+    def test_methods(self, tiny_pair):
+        ks = {
+            method: repro.find_k(*tiny_pair, delta=3, method=method).k
+            for method in ("naive", "range", "binary")
+        }
+        assert len(set(ks.values())) == 1
+
+
+class TestResultObject:
+    def test_pairs_canonical_order(self, tiny_pair):
+        res = repro.ksjq(*tiny_pair, k=4)
+        pairs = res.pairs.tolist()
+        assert pairs == sorted(pairs)
+
+    def test_count_matches_pairs(self, tiny_pair):
+        res = repro.ksjq(*tiny_pair, k=4)
+        assert res.count == len(res.pairs)
+
+    def test_summary_renders(self, tiny_pair):
+        res = repro.ksjq(*tiny_pair, k=4)
+        text = res.summary()
+        assert "grouping" in text and "timings" in text
+
+    def test_to_relation(self, tiny_pair):
+        left, right = tiny_pair
+        plan = make_plan(left, right)
+        res = repro.ksjq(left, right, k=4, plan=plan)
+        rel = res.to_relation(plan.view())
+        assert len(rel) == res.count
+        if res.count:
+            rec = rel.record(0)
+            assert "_left_row" in rec and "_right_row" in rec
+
+    def test_empty_result_handles_gracefully(self):
+        # k' = 1 on independent data annihilates nearly everything.
+        left, right = make_random_pair(seed=40, n=12, d=4, g=2)
+        res = repro.ksjq(left, right, k=5)
+        assert res.count >= 0
+        assert res.pairs.shape[1] == 2

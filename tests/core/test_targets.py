@@ -1,0 +1,91 @@
+"""Unit tests for repro.core.targets (target-set predicates)."""
+
+import numpy as np
+
+from repro.core import target_rows_exact, target_rows_paper
+from repro.relational import Relation
+
+from ..conftest import make_random_pair
+
+
+def _rel(matrix, aggregate=()):
+    matrix = np.asarray(matrix, dtype=float)
+    names = [f"s{i}" for i in range(matrix.shape[1])]
+    return Relation.from_arrays(matrix, names, aggregate=aggregate)
+
+
+class TestPaperPredicate:
+    def test_self_always_included(self):
+        left, _ = make_random_pair(seed=11, n=15, d=4)
+        for row in range(len(left)):
+            assert row in target_rows_paper(left, row, 4)
+
+    def test_dominators_included(self):
+        rel = _rel([[5.0, 5.0, 5.0], [1.0, 1.0, 9.0], [9.0, 9.0, 9.0]])
+        # Row 1 is better-or-equal to row 0 in 2 attributes.
+        targets = target_rows_paper(rel, 0, 2)
+        assert 1 in targets and 0 in targets and 2 not in targets
+
+    def test_equal_sharers_included(self):
+        rel = _rel([[5.0, 5.0, 5.0], [5.0, 5.0, 9.0]])
+        # Row 1 agrees on 2 attributes and is worse elsewhere: still a
+        # potential joined-dominator component (Obs. 3 augmentation).
+        assert 1 in target_rows_paper(rel, 0, 2)
+
+    def test_threshold_filters(self):
+        rel = _rel([[5.0, 5.0, 5.0], [5.0, 9.0, 9.0]])
+        assert 1 not in target_rows_paper(rel, 0, 2)
+        assert 1 in target_rows_paper(rel, 0, 1)
+
+
+class TestExactPredicate:
+    def test_equals_paper_without_aggregates(self):
+        left, _ = make_random_pair(seed=12, n=20, d=4, a=0)
+        for row in range(len(left)):
+            np.testing.assert_array_equal(
+                target_rows_paper(left, row, 3),
+                target_rows_exact(left, row, 3),
+            )
+
+    def test_counts_local_attributes_only(self):
+        # s0 is the aggregate input; locals are s1, s2.
+        rel = _rel([[5.0, 5.0, 5.0], [9.0, 1.0, 1.0]], aggregate=["s0"])
+        # Row 1: worse in the aggregate input, better in both locals ->
+        # local boe count = 2.
+        assert 1 in target_rows_exact(rel, 0, 2)
+        # Paper predicate over all 3 attrs with k' = 3 would miss it.
+        assert 1 not in target_rows_paper(rel, 0, 3)
+
+    def test_all_rows_when_no_locals(self):
+        rel = _rel([[1.0], [2.0], [3.0]], aggregate=["s0"])
+        np.testing.assert_array_equal(target_rows_exact(rel, 0, 0), [0, 1, 2])
+
+    def test_exact_completeness_against_bruteforce(self):
+        # Every component of a real joined dominator must be in the
+        # exact target set of the dominated tuple's component.
+        import repro
+
+        left, right = make_random_pair(seed=13, n=10, d=3, g=2, a=1)
+        k = 5
+        plan = repro.make_plan(left, right, aggregate="sum")
+        params = plan.params(k)
+        view = plan.view()
+        joined = view.oriented()
+        from repro.skyline import boe_counts, strict_any
+
+        for pos in range(len(view)):
+            vec = joined[pos]
+            dominators = np.flatnonzero(
+                (boe_counts(joined, vec) >= k) & strict_any(joined, vec)
+            )
+            u_prime, v_prime = map(int, view.pairs[pos])
+            left_targets = set(
+                target_rows_exact(left, u_prime, params.k1_min_local).tolist()
+            )
+            right_targets = set(
+                target_rows_exact(right, v_prime, params.k2_min_local).tolist()
+            )
+            for dom_pos in dominators:
+                u, v = map(int, view.pairs[dom_pos])
+                assert u in left_targets
+                assert v in right_targets

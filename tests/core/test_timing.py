@@ -1,0 +1,66 @@
+"""Unit tests for repro.core.timing."""
+
+import time
+
+import pytest
+
+from repro.core import PHASES, PhaseClock, TimingBreakdown
+
+
+class TestTimingBreakdown:
+    def test_total(self):
+        t = TimingBreakdown(grouping=1.0, join=2.0, dominator=3.0, remaining=4.0)
+        assert t.total == 10.0
+
+    def test_as_dict_includes_total(self):
+        d = TimingBreakdown(join=1.5).as_dict()
+        assert d["join"] == 1.5 and d["total"] == 1.5
+        assert set(d) == set(PHASES) | {"total"}
+
+    def test_addition(self):
+        a = TimingBreakdown(grouping=1.0, join=2.0)
+        b = TimingBreakdown(grouping=0.5, remaining=1.0)
+        c = a + b
+        assert c.grouping == 1.5 and c.join == 2.0 and c.remaining == 1.0
+
+    def test_scaled(self):
+        t = TimingBreakdown(grouping=2.0, dominator=4.0).scaled(0.5)
+        assert t.grouping == 1.0 and t.dominator == 2.0
+
+    def test_immutable(self):
+        t = TimingBreakdown()
+        with pytest.raises(AttributeError):
+            t.join = 1.0
+
+
+class TestPhaseClock:
+    def test_accumulates_wall_time(self):
+        clock = PhaseClock()
+        with clock.phase("join"):
+            time.sleep(0.01)
+        with clock.phase("join"):
+            time.sleep(0.01)
+        result = clock.freeze()
+        assert result.join >= 0.02
+        assert result.grouping == 0.0
+
+    def test_add_premeasured(self):
+        clock = PhaseClock()
+        clock.add("remaining", 1.25)
+        assert clock.freeze().remaining == 1.25
+
+    def test_unknown_phase_rejected(self):
+        clock = PhaseClock()
+        with pytest.raises(KeyError):
+            clock.add("warmup", 1.0)
+        with pytest.raises(KeyError):
+            with clock.phase("warmup"):
+                pass
+
+    def test_phase_records_even_on_exception(self):
+        clock = PhaseClock()
+        with pytest.raises(RuntimeError):
+            with clock.phase("grouping"):
+                time.sleep(0.005)
+                raise RuntimeError("boom")
+        assert clock.freeze().grouping >= 0.005

@@ -1,0 +1,85 @@
+"""Unit tests for repro.datagen.flights (the Sec. 7.4 substitute)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.datagen import HUB_CITIES, make_flight_relations
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def flights():
+    return make_flight_relations()
+
+
+class TestShape:
+    def test_paper_table_sizes(self, flights):
+        out, inbound = flights
+        assert len(out) == 192
+        assert len(inbound) == 155
+
+    def test_thirteen_hubs(self, flights):
+        out, inbound = flights
+        assert set(out.column("via")) <= set(HUB_CITIES[:13])
+        assert set(inbound.column("via")) <= set(HUB_CITIES[:13])
+
+    def test_attribute_roles_match_paper(self, flights):
+        out, _ = flights
+        # 5 skyline attributes, 2 aggregated, 3 local (Sec. 7.4).
+        assert out.schema.d == 5
+        assert set(out.schema.aggregate_names) == {"cost", "fly_time"}
+        assert set(out.schema.local_names) == {"fee", "popularity", "amenities"}
+
+    def test_preferences(self, flights):
+        out, _ = flights
+        assert out.schema["cost"].preference.value == "lower"
+        assert out.schema["popularity"].preference.value == "higher"
+        assert out.schema["amenities"].preference.value == "higher"
+
+    def test_joined_size_near_paper(self, flights):
+        # Paper: 2,649 two-leg itineraries. The synthetic network's hub
+        # skew should land in the same ballpark (not the uniform 2,289).
+        out, inbound = flights
+        plan = repro.make_plan(out, inbound, aggregate="sum")
+        joined = len(plan.view())
+        assert 2000 <= joined <= 3400
+
+    def test_deterministic(self):
+        a_out, a_in = make_flight_relations(seed=7)
+        b_out, b_in = make_flight_relations(seed=7)
+        np.testing.assert_array_equal(a_out.matrix, b_out.matrix)
+        np.testing.assert_array_equal(a_in.matrix, b_in.matrix)
+
+    def test_invalid_hub_count(self):
+        with pytest.raises(ParameterError):
+            make_flight_relations(n_hubs=0)
+        with pytest.raises(ParameterError):
+            make_flight_relations(n_hubs=99)
+
+
+class TestMarketplaceRealism:
+    def test_quality_price_anticorrelation(self, flights):
+        # Popular flights must cost more on average (anti-correlated
+        # marketplace, the premise of skyline queries on such data).
+        out, _ = flights
+        cost = np.asarray(out.column("cost"))
+        popularity = np.asarray(out.column("popularity"))
+        corr = np.corrcoef(cost, popularity)[0, 1]
+        assert corr > 0.2
+
+    def test_fig11_queries_run(self, flights):
+        out, inbound = flights
+        import warnings
+
+        from repro.errors import SoundnessWarning
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", SoundnessWarning)
+            counts = [
+                repro.ksjq(out, inbound, k=k, aggregate="sum").count
+                for k in (6, 7, 8)
+            ]
+        # Lemma 1: skyline grows with k; and the queries return something.
+        assert counts == sorted(counts)
+        assert counts[-1] > 0

@@ -1,0 +1,77 @@
+"""Smoke tests: every shipped example runs end-to-end and prints results.
+
+The examples are part of the public deliverable; these tests keep them
+working as the library evolves.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    # The paper's Table 3 answer.
+    assert "k-dominant skyline paths (k=7): 4" in out
+    for pair in ("11 -> 23", "13 -> 21", "15 -> 25", "16 -> 26"):
+        assert pair in out
+
+
+def test_flight_stopovers():
+    out = _run("flight_stopovers.py")
+    assert "192 Delhi->hub" in out
+    assert "grouping" in out and "naive" in out
+    assert "skyline itineraries at k=6" in out
+
+
+def test_product_shipping():
+    out = _run("product_shipping.py")
+    assert "find-k: smallest k" in out
+    assert "cheapest bundles" in out
+
+
+def test_tune_k():
+    out = _run("tune_k.py")
+    assert "skyline sizes by k" in out
+    assert "binary-search trace" in out
+    assert "methods disagree" not in out
+
+
+def test_nonequality_layover():
+    out = _run("nonequality_layover.py")
+    assert "time-feasible itineraries" in out
+    assert "skyline size by k" in out
+
+
+def test_two_stop_cascade():
+    out = _run("two_stop_cascade.py")
+    assert "valid itineraries" in out
+    assert "progressive results" in out
+
+
+def test_examples_inventory():
+    """At least the five deliverable examples exist and are runnable files."""
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "flight_stopovers.py",
+        "product_shipping.py",
+        "tune_k.py",
+        "nonequality_layover.py",
+        "two_stop_cascade.py",
+    } <= names

@@ -1,0 +1,176 @@
+"""Integration tests for the experiment harness, figures registry and CLI."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments import (
+    FIGURES,
+    PaperDefaults,
+    Scale,
+    SweepPoint,
+    figure_ids,
+    get_figure,
+    render_shape_summary,
+    render_spec_result,
+    render_table,
+    run_figure,
+    run_spec,
+    write_csv,
+)
+from repro.experiments.cli import main
+from repro.experiments.spec import ExperimentSpec
+
+
+class TestConfig:
+    def test_paper_defaults_match_table7(self):
+        defaults = PaperDefaults()
+        assert defaults.n == 3300
+        assert defaults.d == 7
+        assert defaults.k == 11
+        assert defaults.a == 2
+        assert defaults.g == 10
+        assert defaults.distribution == "independent"
+        assert defaults.delta == 10_000
+        assert defaults.joined_size == 1_089_000
+
+    def test_scale_mapping(self):
+        scale = Scale(factor=0.1)
+        assert scale.n(3300) == 330
+        assert scale.delta(10_000) == 100
+        assert scale.n(50) == 20  # floor at min_n
+
+    def test_scale_fits(self):
+        scale = Scale(factor=1.0, max_joined=1000)
+        assert scale.fits(100, 10)
+        assert not scale.fits(1000, 10)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ParameterError):
+            Scale(factor=0.0)
+        with pytest.raises(ParameterError):
+            Scale(factor=0.5, repeats=0)
+
+
+class TestRegistry:
+    def test_all_paper_figures_present(self):
+        expected = {
+            "fig1a", "fig1b", "fig2a", "fig2b", "fig3a", "fig3b", "fig4",
+            "fig5a", "fig5b", "fig6a", "fig6b", "fig7",
+            "fig8a", "fig8b", "fig9a", "fig9b", "fig10", "fig11",
+        }
+        assert set(figure_ids()) == expected
+
+    def test_get_figure_unknown(self):
+        with pytest.raises(KeyError, match="unknown figure"):
+            get_figure("fig99")
+
+    def test_series_letters(self):
+        assert FIGURES["fig1a"].series == ("G", "D", "N")
+        assert FIGURES["fig8a"].series == ("B", "R", "N")
+
+    def test_every_ksjq_point_has_k(self):
+        for spec in FIGURES.values():
+            if spec.kind == "ksjq":
+                assert all(p.k is not None for p in spec.points), spec.figure
+            else:
+                assert all(p.delta is not None for p in spec.points), spec.figure
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="unknown experiment kind"):
+            ExperimentSpec(figure="x", title="t", kind="magic", points=())
+        with pytest.raises(ValueError, match="unknown series"):
+            ExperimentSpec(
+                figure="x", title="t", kind="ksjq", points=(), series=("Z",)
+            )
+
+
+SMALL = Scale(factor=0.02, max_joined=5000)
+
+
+class TestHarness:
+    def test_run_ksjq_figure(self):
+        result = run_figure("fig5a", SMALL)
+        # 4 sweep points x 3 algorithms
+        assert len(result.records) == 12
+        by_point = {}
+        for rec in result.records:
+            by_point.setdefault(rec.point, {})[rec.series] = rec
+        for point, series in by_point.items():
+            # All algorithms agree on the answer (a=0 -> exact).
+            counts = {rec.result for rec in series.values()}
+            assert len(counts) == 1, point
+
+    def test_run_findk_figure(self):
+        spec = ExperimentSpec(
+            figure="mini",
+            title="mini find-k",
+            kind="findk",
+            series=("B", "R", "N"),
+            points=(SweepPoint(label="delta=1000", d=5, a=0, delta=1000),),
+        )
+        result = run_spec(spec, SMALL)
+        assert len(result.records) == 3
+        assert len({rec.result for rec in result.records}) == 1  # same k
+
+    def test_oversized_points_skipped(self):
+        scale = Scale(factor=1.0, max_joined=10)
+        result = run_figure("fig5a", scale)
+        assert result.records == []
+        assert len(result.skipped) == 4
+
+    def test_flights_figure_runs(self):
+        result = run_figure("fig11", Scale(factor=1.0))
+        assert len(result.records) == 9  # 3 k values x 3 algorithms
+        for rec in result.records:
+            assert rec.joined_size > 2000
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure("fig5a", SMALL)
+
+    def test_render_table(self, result):
+        text = render_table(result.records)
+        assert "grouping" in text and "total" in text
+        assert "k=6" in text
+
+    def test_render_shape_summary(self, result):
+        text = render_shape_summary(result)
+        assert "faster than N" in text
+
+    def test_render_spec_result(self, result):
+        text = render_spec_result(result)
+        assert "fig5a" in text and "paper shape" in text
+
+    def test_write_csv(self, result, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(result.records, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(result.records) + 1
+        assert lines[0].startswith("figure,point,series")
+
+    def test_write_csv_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv([], path)
+        assert path.read_text() == ""
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1a" in out and "fig11" in out
+
+    def test_run_with_csv(self, capsys, tmp_path):
+        code = main(
+            ["run", "fig5a", "--scale", "0.02", "--max-joined", "5000",
+             "--csv", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "fig5a.csv").exists()
+        assert "fig5a" in capsys.readouterr().out
+
+    def test_run_unknown_figure(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown figures" in capsys.readouterr().err

@@ -1,0 +1,108 @@
+"""Property-based tests for dominance primitives (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skyline import (
+    boe_counts,
+    dominates,
+    k_dominates,
+    k_dominator_mask,
+    strict_any,
+)
+
+# Small discrete values force plenty of ties, the interesting case.
+scalars = st.integers(min_value=0, max_value=4)
+
+
+def vectors(d):
+    return st.lists(scalars, min_size=d, max_size=d).map(
+        lambda xs: np.asarray(xs, dtype=float)
+    )
+
+
+vector_pairs = st.integers(min_value=1, max_value=6).flatmap(
+    lambda d: st.tuples(vectors(d), vectors(d))
+)
+
+
+@given(vector_pairs)
+def test_irreflexive(pair):
+    u, _ = pair
+    for k in range(1, len(u) + 1):
+        assert not k_dominates(u, u, k)
+
+
+@given(vector_pairs)
+def test_full_k_equals_classic_dominance(pair):
+    u, v = pair
+    assert k_dominates(u, v, len(u)) == dominates(u, v)
+
+
+@given(vector_pairs)
+def test_monotone_in_k(pair):
+    """If u k-dominates v then u j-dominates v for every j <= k."""
+    u, v = pair
+    d = len(u)
+    flags = [k_dominates(u, v, k) for k in range(1, d + 1)]
+    # Once False, stays False for larger k.
+    for earlier, later in zip(flags, flags[1:]):
+        assert earlier or not later
+
+
+@given(vector_pairs)
+def test_antisymmetric_above_half_without_ties(pair):
+    """For k > d/2 and tie-free pairs, mutual k-domination is impossible.
+
+    The tie-free condition is necessary: with ties the better-or-equal
+    counts of the two directions can sum above d (e.g. (0,0,1) vs
+    (0,1,0) mutually 2-dominate with d=3), so the paper's Sec. 2.2
+    remark that mutual domination needs k <= d/2 implicitly assumes
+    distinct attribute values.
+    """
+    u, v = pair
+    d = len(u)
+    if np.any(u == v):
+        return
+    for k in range(d // 2 + 1, d + 1):
+        assert not (k_dominates(u, v, k) and k_dominates(v, u, k))
+
+
+def test_mutual_domination_with_ties_above_half():
+    """The documented counterexample for the tie case."""
+    u = np.array([0.0, 0.0, 1.0])
+    v = np.array([0.0, 1.0, 0.0])
+    assert k_dominates(u, v, 2) and k_dominates(v, u, 2)
+
+
+@given(vector_pairs)
+def test_definition_expansion(pair):
+    """k-dominance is exactly: boe count >= k and one strict attribute."""
+    u, v = pair
+    boe = int(np.count_nonzero(u <= v))
+    strict = bool(np.any(u < v))
+    for k in range(1, len(u) + 1):
+        assert k_dominates(u, v, k) == (boe >= k and strict)
+
+
+matrices = st.integers(min_value=1, max_value=4).flatmap(
+    lambda d: st.lists(
+        st.lists(scalars, min_size=d, max_size=d), min_size=1, max_size=20
+    ).map(lambda rows: np.asarray(rows, dtype=float))
+)
+
+
+@given(matrices)
+@settings(max_examples=60)
+def test_vectorized_matches_scalar(matrix):
+    d = matrix.shape[1]
+    probe = matrix[0]
+    counts = boe_counts(matrix, probe)
+    stricts = strict_any(matrix, probe)
+    for k in range(1, d + 1):
+        mask = k_dominator_mask(matrix, probe, k)
+        for i in range(matrix.shape[0]):
+            assert mask[i] == k_dominates(matrix[i], probe, k)
+            assert counts[i] == int(np.count_nonzero(matrix[i] <= probe))
+            assert stricts[i] == bool(np.any(matrix[i] < probe))

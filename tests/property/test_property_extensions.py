@@ -1,0 +1,122 @@
+"""Property-based tests for the progressive and cascade extensions."""
+
+import warnings
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Hop, JoinPlan, cascade_ksjq, ksjq_progressive, run_grouping
+from repro.core.cascade import cascade_chains, cascade_oriented
+from repro.errors import SoundnessWarning
+from repro.relational import Relation, RelationSchema
+
+
+@st.composite
+def two_relation_instances(draw):
+    d = draw(st.integers(min_value=2, max_value=4))
+    a = draw(st.integers(min_value=0, max_value=min(1, d - 1)))
+    g = draw(st.integers(min_value=1, max_value=3))
+    k = draw(st.integers(min_value=d + 1, max_value=2 * d - a))
+    names = [f"s{i}" for i in range(d)]
+
+    def rel(name):
+        n = draw(st.integers(min_value=1, max_value=8))
+        rows = draw(
+            st.lists(
+                st.lists(st.integers(0, 3), min_size=d, max_size=d),
+                min_size=n, max_size=n,
+            )
+        )
+        groups = [draw(st.integers(0, g - 1)) for _ in range(n)]
+        return Relation.from_arrays(
+            np.asarray(rows, dtype=float), names, join_key=groups,
+            aggregate=names[:a], name=name,
+        )
+
+    return rel("R1"), rel("R2"), k, a
+
+
+@given(two_relation_instances())
+@settings(max_examples=50, deadline=None)
+def test_progressive_equals_batch_grouping(instance):
+    left, right, k, a = instance
+    agg = "sum" if a else None
+    plan = JoinPlan(left, right, aggregate=agg)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", SoundnessWarning)
+        progressive = set(ksjq_progressive(plan, k))
+        batch = run_grouping(plan, k, mode="faithful").pair_set()
+    assert progressive == batch
+
+
+@st.composite
+def cascade_instances(draw):
+    """Three relations chained by payload hop columns."""
+    d = 3
+    a = draw(st.integers(min_value=0, max_value=1))
+    names = [f"s{i}" for i in range(d)]
+    schema = RelationSchema.build(
+        skyline=names, aggregate=names[:a], payload=["src", "dst"]
+    )
+    cities = ["X", "Y"]
+
+    def rel(name, ins, outs):
+        n = draw(st.integers(min_value=1, max_value=6))
+        rows = draw(
+            st.lists(
+                st.lists(st.integers(0, 3), min_size=d, max_size=d),
+                min_size=n, max_size=n,
+            )
+        )
+        columns = {names[i]: [float(r[i]) for r in rows] for i in range(d)}
+        columns["src"] = [draw(st.sampled_from(ins)) for _ in range(n)]
+        columns["dst"] = [draw(st.sampled_from(outs)) for _ in range(n)]
+        return Relation(schema, columns, name=name)
+
+    relations = [
+        rel("L1", ["A"], cities),
+        rel("L2", cities, cities),
+        rel("L3", cities, ["B"]),
+    ]
+    joined_d = sum(r.schema.l for r in relations) + a
+    k = draw(st.integers(min_value=d + 1, max_value=joined_d))
+    return relations, k, a
+
+
+@given(cascade_instances())
+@settings(max_examples=40, deadline=None)
+def test_cascade_pruned_equals_naive(instance):
+    relations, k, a = instance
+    hops = [Hop("dst", "src"), Hop("dst", "src")]
+    agg = "sum" if a else None
+    naive = cascade_ksjq(relations, k, hops=hops, aggregate=agg, algorithm="naive")
+    pruned = cascade_ksjq(relations, k, hops=hops, aggregate=agg, algorithm="pruned")
+    assert pruned.chain_set() == naive.chain_set()
+
+
+@given(cascade_instances())
+@settings(max_examples=30, deadline=None)
+def test_cascade_chains_are_join_compatible(instance):
+    relations, _, _ = instance
+    hops = [Hop("dst", "src"), Hop("dst", "src")]
+    chains = cascade_chains(relations, hops)
+    for chain in chains.tolist():
+        for i in range(len(relations) - 1):
+            dst = relations[i].column("dst")[chain[i]]
+            src = relations[i + 1].column("src")[chain[i + 1]]
+            assert dst == src
+
+
+@given(cascade_instances())
+@settings(max_examples=30, deadline=None)
+def test_cascade_oriented_width(instance):
+    relations, _, a = instance
+    from repro.relational.aggregates import get_aggregate
+
+    hops = [Hop("dst", "src"), Hop("dst", "src")]
+    chains = cascade_chains(relations, hops)
+    agg = get_aggregate("sum") if a else None
+    matrix = cascade_oriented(relations, chains, agg)
+    expected_width = sum(r.schema.l for r in relations) + a
+    assert matrix.shape == (chains.shape[0], expected_width)

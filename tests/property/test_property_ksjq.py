@@ -1,0 +1,150 @@
+"""Property-based tests for the KSJQ algorithms (hypothesis).
+
+The central invariants:
+
+* exact-mode grouping/dominator == naïve, for any join shape, any
+  number of aggregates, any valid k;
+* faithful mode == naïve without aggregation, and never *under*-reports
+  with aggregation;
+* the categorization is a partition consistent with its definitions;
+* the cartesian fast path agrees with the general machinery.
+"""
+
+import warnings
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core import Category, JoinPlan, run_cartesian, run_dominator, run_grouping, run_naive
+from repro.errors import SoundnessWarning
+from repro.relational import Relation
+
+
+@st.composite
+def ksjq_instances(draw, max_a=2):
+    d = draw(st.integers(min_value=2, max_value=4))
+    a = draw(st.integers(min_value=0, max_value=min(max_a, d - 1)))
+    n1 = draw(st.integers(min_value=1, max_value=10))
+    n2 = draw(st.integers(min_value=1, max_value=10))
+    g = draw(st.integers(min_value=1, max_value=3))
+    k_min = d + 1
+    k_max = 2 * d - a
+    k = draw(st.integers(min_value=k_min, max_value=k_max))
+
+    names = [f"s{i}" for i in range(d)]
+
+    def rel(n, name):
+        rows = draw(
+            st.lists(
+                st.lists(st.integers(0, 3), min_size=d, max_size=d),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        groups = [draw(st.integers(0, g - 1)) for _ in range(n)]
+        return Relation.from_arrays(
+            np.asarray(rows, dtype=float),
+            names,
+            join_key=groups,
+            aggregate=names[:a],
+            name=name,
+        )
+
+    return rel(n1, "R1"), rel(n2, "R2"), k, a
+
+
+@given(ksjq_instances())
+@settings(max_examples=60, deadline=None)
+def test_exact_mode_equals_naive(instance):
+    left, right, k, a = instance
+    agg = "sum" if a else None
+    plan = JoinPlan(left, right, aggregate=agg)
+    base = run_naive(plan, k).pair_set()
+    assert run_grouping(plan, k, mode="exact").pair_set() == base
+    assert run_dominator(plan, k, mode="exact").pair_set() == base
+
+
+@given(ksjq_instances(max_a=0))
+@settings(max_examples=60, deadline=None)
+def test_faithful_equals_naive_without_aggregation(instance):
+    left, right, k, _ = instance
+    plan = JoinPlan(left, right)
+    base = run_naive(plan, k).pair_set()
+    assert run_grouping(plan, k, mode="faithful").pair_set() == base
+    assert run_dominator(plan, k, mode="faithful").pair_set() == base
+
+
+@given(ksjq_instances())
+@settings(max_examples=60, deadline=None)
+def test_faithful_never_underreports(instance):
+    left, right, k, a = instance
+    agg = "sum" if a else None
+    plan = JoinPlan(left, right, aggregate=agg)
+    base = run_naive(plan, k).pair_set()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", SoundnessWarning)
+        for runner in (run_grouping, run_dominator):
+            assert base <= runner(plan, k, mode="faithful").pair_set()
+
+
+@given(ksjq_instances())
+@settings(max_examples=40, deadline=None)
+def test_categorization_is_consistent_partition(instance):
+    from repro.relational.groups import GroupIndex
+    from repro.skyline import is_k_dominated
+
+    left, right, k, a = instance
+    agg = "sum" if a else None
+    plan = JoinPlan(left, right, aggregate=agg)
+    params = plan.params(k)
+    for rel, cat in (
+        (left, plan.categorize_left(params.k1_prime)),
+        (right, plan.categorize_right(params.k2_prime)),
+    ):
+        matrix = rel.oriented()
+        groups = GroupIndex(rel)
+        seen = 0
+        for row in range(len(rel)):
+            label = cat.category(row)
+            seen += 1
+            mates = groups.groupmates(row)
+            group_dominated = is_k_dominated(
+                matrix[mates], matrix[row], cat.k_prime
+            )
+            overall_dominated = is_k_dominated(matrix, matrix[row], cat.k_prime)
+            if label is Category.NN:
+                assert group_dominated
+            elif label is Category.SN:
+                assert not group_dominated and overall_dominated
+            else:
+                assert not overall_dominated
+        assert seen == len(rel)
+
+
+@given(ksjq_instances())
+@settings(max_examples=40, deadline=None)
+def test_cartesian_fast_path_equals_naive(instance):
+    left, right, k, a = instance
+    agg = "sum" if a else None
+    plan = JoinPlan(left, right, kind="cartesian", aggregate=agg)
+    base = run_naive(plan, k).pair_set()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", SoundnessWarning)
+        exact = run_cartesian(plan, k, mode="exact").pair_set()
+    assert exact == base
+
+
+@given(ksjq_instances(max_a=0), st.integers(min_value=1, max_value=200))
+@settings(max_examples=40, deadline=None)
+def test_find_k_binary_matches_linear(instance, delta):
+    left, right, k, _ = instance
+    plan = JoinPlan(left, right)
+    from repro.core.find_k import find_k_at_least_delta
+
+    answers = {
+        method: find_k_at_least_delta(plan, delta, method=method).k
+        for method in ("naive", "range", "binary")
+    }
+    assert len(set(answers.values())) == 1, answers

@@ -1,0 +1,76 @@
+"""Unit tests for repro.relational.aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AggregateError
+from repro.relational import (
+    MAX,
+    MEAN,
+    MIN,
+    PRODUCT,
+    SUM,
+    AggregateFunction,
+    get_aggregate,
+    register_aggregate,
+)
+
+
+class TestBuiltins:
+    def test_sum(self):
+        np.testing.assert_allclose(SUM(np.array([1.0, 2.0]), np.array([3.0, 4.0])), [4, 6])
+
+    def test_mean(self):
+        np.testing.assert_allclose(MEAN(np.array([2.0]), np.array([4.0])), [3.0])
+
+    def test_product(self):
+        np.testing.assert_allclose(PRODUCT(np.array([2.0]), np.array([4.0])), [8.0])
+
+    def test_max_min(self):
+        np.testing.assert_allclose(MAX(np.array([1.0]), np.array([5.0])), [5.0])
+        np.testing.assert_allclose(MIN(np.array([1.0]), np.array([5.0])), [1.0])
+
+    def test_strict_monotonicity_flags(self):
+        assert SUM.strictly_monotone and MEAN.strictly_monotone
+        assert PRODUCT.strictly_monotone
+        assert not MAX.strictly_monotone and not MIN.strictly_monotone
+
+    def test_shape_mismatch(self):
+        with pytest.raises(AggregateError, match="shape"):
+            SUM(np.zeros(2), np.zeros(3))
+
+    def test_matrix_inputs(self):
+        out = SUM(np.ones((2, 2)), np.full((2, 2), 2.0))
+        np.testing.assert_allclose(out, np.full((2, 2), 3.0))
+
+
+class TestRegistry:
+    def test_get_by_name(self):
+        assert get_aggregate("sum") is SUM
+
+    def test_get_passthrough(self):
+        assert get_aggregate(SUM) is SUM
+
+    def test_unknown_name(self):
+        with pytest.raises(AggregateError, match="unknown aggregate"):
+            get_aggregate("nope")
+
+    def test_wrong_type(self):
+        with pytest.raises(AggregateError, match="name or AggregateFunction"):
+            get_aggregate(42)
+
+    def test_register_custom(self):
+        custom = AggregateFunction(
+            "test_weighted", lambda x, y: 0.7 * x + 0.3 * y, strictly_monotone=True
+        )
+        register_aggregate(custom)
+        try:
+            assert get_aggregate("test_weighted") is custom
+            with pytest.raises(AggregateError, match="already registered"):
+                register_aggregate(custom)
+            register_aggregate(custom, overwrite=True)  # no raise
+        finally:
+            # Clean the registry to keep tests independent.
+            from repro.relational.aggregates import _REGISTRY
+
+            _REGISTRY.pop("test_weighted", None)

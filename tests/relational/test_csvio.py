@@ -1,0 +1,70 @@
+"""Unit tests for repro.relational.csvio."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Relation, RelationSchema, read_csv, write_csv
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema.build(join=["city"], skyline=["cost"], payload=["fno"])
+
+
+@pytest.fixture
+def relation(schema):
+    return Relation(
+        schema,
+        {"city": ["C", "D"], "cost": [10.5, 20.0], "fno": [11, 12]},
+    )
+
+
+def test_roundtrip(tmp_path, schema, relation):
+    path = tmp_path / "rel.csv"
+    write_csv(relation, path)
+    back = read_csv(schema, path)
+    assert back.records() == relation.records()
+
+
+def test_int_join_keys_roundtrip(tmp_path):
+    schema = RelationSchema.build(join=["g"], skyline=["x"])
+    rel = Relation(schema, {"g": [1, 2], "x": [0.5, 1.5]})
+    path = tmp_path / "rel.csv"
+    write_csv(rel, path)
+    back = read_csv(schema, path)
+    assert back.join_keys() == [(1,), (2,)]
+
+
+def test_extra_columns_ignored(tmp_path, schema):
+    path = tmp_path / "extra.csv"
+    path.write_text("city,cost,fno,unused\nC,1.0,11,zzz\n")
+    rel = read_csv(schema, path)
+    assert len(rel) == 1
+    assert "unused" not in rel.schema
+
+
+def test_missing_column_rejected(tmp_path, schema):
+    path = tmp_path / "bad.csv"
+    path.write_text("city,cost\nC,1.0\n")
+    with pytest.raises(SchemaError, match="missing columns"):
+        read_csv(schema, path)
+
+
+def test_empty_file_rejected(tmp_path, schema):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(SchemaError, match="empty"):
+        read_csv(schema, path)
+
+
+def test_short_row_rejected(tmp_path, schema):
+    path = tmp_path / "short.csv"
+    path.write_text("city,cost,fno\nC,1.0\n")
+    with pytest.raises(SchemaError, match="expected 3 fields"):
+        read_csv(schema, path)
+
+
+def test_blank_lines_skipped(tmp_path, schema):
+    path = tmp_path / "blank.csv"
+    path.write_text("city,cost,fno\nC,1.0,11\n\nD,2.0,12\n")
+    assert len(read_csv(schema, path)) == 2

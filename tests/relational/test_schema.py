@@ -1,0 +1,117 @@
+"""Unit tests for repro.relational.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import AttributeSpec, Preference, RelationSchema, Role
+
+
+class TestAttributeSpec:
+    def test_join_constructor(self):
+        spec = AttributeSpec.join("city")
+        assert spec.role is Role.JOIN
+        assert spec.name == "city"
+
+    def test_skyline_constructor_defaults_lower(self):
+        spec = AttributeSpec.skyline("cost")
+        assert spec.role is Role.SKYLINE
+        assert spec.preference is Preference.LOWER
+        assert not spec.aggregate
+
+    def test_skyline_higher_preference(self):
+        spec = AttributeSpec.skyline("rating", Preference.HIGHER)
+        assert spec.preference is Preference.HIGHER
+
+    def test_payload_constructor(self):
+        assert AttributeSpec.payload("id").role is Role.PAYLOAD
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec(name="")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec(name=3)
+
+    def test_aggregate_requires_skyline_role(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec(name="x", role=Role.JOIN, aggregate=True)
+
+    def test_preference_signs(self):
+        assert Preference.LOWER.sign == 1.0
+        assert Preference.HIGHER.sign == -1.0
+
+
+class TestRelationSchema:
+    def test_build_roundtrip(self):
+        schema = RelationSchema.build(
+            join=["city"],
+            skyline=["cost", "dur", "rtg"],
+            aggregate=["cost"],
+            payload=["fno"],
+            higher_is_better=["rtg"],
+        )
+        assert schema.join_names == ("city",)
+        assert schema.skyline_names == ("cost", "dur", "rtg")
+        assert schema.aggregate_names == ("cost",)
+        assert schema.local_names == ("dur", "rtg")
+        assert schema.payload_names == ("fno",)
+        assert schema.d == 3 and schema.a == 1 and schema.l == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            RelationSchema.build(skyline=["x", "x"])
+
+    def test_aggregate_must_be_skyline(self):
+        with pytest.raises(SchemaError, match="aggregate"):
+            RelationSchema.build(skyline=["x"], aggregate=["y"])
+
+    def test_higher_is_better_must_be_skyline(self):
+        with pytest.raises(SchemaError, match="higher_is_better"):
+            RelationSchema.build(skyline=["x"], higher_is_better=["y"])
+
+    def test_getitem_and_contains(self):
+        schema = RelationSchema.build(skyline=["a", "b"])
+        assert "a" in schema
+        assert "z" not in schema
+        assert schema["b"].name == "b"
+        with pytest.raises(SchemaError, match="no attribute"):
+            schema["z"]
+
+    def test_preference_signs_order(self):
+        schema = RelationSchema.build(
+            skyline=["a", "b", "c"], higher_is_better=["b"]
+        )
+        assert schema.preference_signs() == [1.0, -1.0, 1.0]
+
+    def test_compatible_aggregates_ok(self):
+        s1 = RelationSchema.build(skyline=["x", "y"], aggregate=["x"])
+        s2 = RelationSchema.build(skyline=["x", "z"], aggregate=["x"])
+        s1.validate_compatible_aggregates(s2)  # no raise
+
+    def test_compatible_aggregates_name_mismatch(self):
+        s1 = RelationSchema.build(skyline=["x", "y"], aggregate=["x"])
+        s2 = RelationSchema.build(skyline=["w", "z"], aggregate=["w"])
+        with pytest.raises(SchemaError, match="match by name"):
+            s1.validate_compatible_aggregates(s2)
+
+    def test_compatible_aggregates_preference_mismatch(self):
+        s1 = RelationSchema.build(skyline=["x"], aggregate=["x"])
+        s2 = RelationSchema.build(
+            skyline=["x"], aggregate=["x"], higher_is_better=["x"]
+        )
+        with pytest.raises(SchemaError, match="preference"):
+            s1.validate_compatible_aggregates(s2)
+
+    def test_describe_mentions_roles(self):
+        schema = RelationSchema.build(join=["g"], skyline=["x"], payload=["p"])
+        text = schema.describe()
+        assert "join" in text and "skyline" in text and "payload" in text
+
+    def test_non_attributespec_rejected(self):
+        with pytest.raises(SchemaError, match="AttributeSpec"):
+            RelationSchema(("not-a-spec",))
+
+    def test_empty_schema(self):
+        schema = RelationSchema()
+        assert schema.d == 0 and schema.names == ()

@@ -1,0 +1,67 @@
+"""Unit tests for repro.skyline.classic (BNL / SFS)."""
+
+import numpy as np
+import pytest
+
+from repro.skyline import dominates, skyline, skyline_bnl, skyline_sfs
+
+
+def brute_force_skyline(matrix):
+    out = []
+    for i in range(matrix.shape[0]):
+        if not any(
+            dominates(matrix[j], matrix[i]) for j in range(matrix.shape[0]) if j != i
+        ):
+            out.append(i)
+    return out
+
+
+class TestKnownCases:
+    def test_single_point(self):
+        assert skyline_bnl(np.array([[1.0, 2.0]])) == [0]
+
+    def test_empty(self):
+        assert skyline_bnl(np.empty((0, 2))) == []
+        assert skyline_sfs(np.empty((0, 2))) == []
+
+    def test_chain(self):
+        matrix = np.array([[3.0, 3.0], [2.0, 2.0], [1.0, 1.0]])
+        assert skyline_bnl(matrix) == [2]
+        assert skyline_sfs(matrix) == [2]
+
+    def test_anti_diagonal_all_skyline(self):
+        matrix = np.array([[1.0, 4.0], [2.0, 3.0], [3.0, 2.0], [4.0, 1.0]])
+        assert skyline_bnl(matrix) == [0, 1, 2, 3]
+        assert skyline_sfs(matrix) == [0, 1, 2, 3]
+
+    def test_duplicates_both_survive(self):
+        matrix = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert skyline_bnl(matrix) == [0, 1]
+        assert skyline_sfs(matrix) == [0, 1]
+
+    def test_late_eviction_bnl(self):
+        # A later strong point evicts earlier window members.
+        matrix = np.array([[2.0, 3.0], [3.0, 2.0], [1.0, 1.0]])
+        assert skyline_bnl(matrix) == [2]
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("d", [1, 2, 4])
+    def test_bnl_sfs_bruteforce_agree(self, seed, d):
+        rng = np.random.default_rng(seed)
+        matrix = np.floor(rng.uniform(0, 5, size=(40, d)))
+        expected = brute_force_skyline(matrix)
+        assert skyline_bnl(matrix) == expected
+        assert skyline_sfs(matrix) == expected
+
+
+class TestFacade:
+    def test_method_dispatch(self):
+        matrix = np.array([[1.0, 1.0], [2.0, 2.0]])
+        assert skyline(matrix, "bnl") == [0]
+        assert skyline(matrix, "sfs") == [0]
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown skyline method"):
+            skyline(np.zeros((1, 1)), "magic")

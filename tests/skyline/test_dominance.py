@@ -1,0 +1,120 @@
+"""Unit tests for repro.skyline.dominance."""
+
+import numpy as np
+import pytest
+
+from repro.skyline import (
+    boe_counts,
+    dominates,
+    dominator_rows,
+    is_k_dominated,
+    k_dominates,
+    k_dominator_mask,
+    strict_any,
+)
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates([1, 1], [2, 2])
+
+    def test_partial_improvement(self):
+        assert dominates([1, 2], [2, 2])
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates([1, 2], [1, 2])
+
+    def test_incomparable(self):
+        assert not dominates([1, 3], [2, 2])
+        assert not dominates([2, 2], [1, 3])
+
+
+class TestKDominates:
+    def test_full_k_equals_classic(self):
+        u, v = [1, 2, 3], [2, 2, 4]
+        assert k_dominates(u, v, 3) == dominates(u, v)
+
+    def test_k_dominance_relaxation(self):
+        # u is better in 2 of 3 attributes, worse in one.
+        u, v = [1, 1, 9], [2, 2, 2]
+        assert not dominates(u, v)
+        assert k_dominates(u, v, 2)
+        assert not k_dominates(u, v, 3)
+
+    def test_requires_strict_attribute(self):
+        assert not k_dominates([1, 1], [1, 1], 1)
+        assert not k_dominates([1, 1], [1, 1], 2)
+
+    def test_ties_count_toward_k(self):
+        # better-or-equal in 3 (one strict), so 3-dominates.
+        assert k_dominates([1, 5, 5], [2, 5, 5], 3)
+
+    def test_mutual_k_domination_possible(self):
+        # For k <= d/2 two objects can dominate each other (Sec. 2.2).
+        u, v = [1, 9], [9, 1]
+        assert k_dominates(u, v, 1)
+        assert k_dominates(v, u, 1)
+
+    def test_paper_example_25_dominates_28(self):
+        # Flights 25 and 28 (k' = 3): better-or-equal in cost, dur, rtg.
+        f25 = [350, 2.4, 30, 38]
+        f28 = [350, 2.4, 35, 39]
+        assert k_dominates(f25, f28, 3)
+        assert not k_dominates(f28, f25, 3)
+
+    def test_paper_example_16_dominates_18(self):
+        # The Table 1 erratum: 16 does 3-dominate 18 under the paper's
+        # own definition (dur and amn strictly, rtg tied).
+        f16 = [452, 3.6, 20, 36]
+        f18 = [451, 3.7, 20, 37]
+        assert k_dominates(f16, f18, 3)
+
+
+class TestVectorized:
+    @pytest.fixture
+    def matrix(self):
+        return np.array([[1.0, 1.0], [2.0, 0.0], [3.0, 3.0], [1.0, 1.0]])
+
+    def test_boe_counts(self, matrix):
+        # [1,1]: 2 boe; [2,0]: 2<=2 and 0<=1 -> 2; [3,3]: 0; [1,1]: 2.
+        np.testing.assert_array_equal(boe_counts(matrix, np.array([2.0, 1.0])), [2, 2, 0, 2])
+
+    def test_strict_any(self, matrix):
+        np.testing.assert_array_equal(
+            strict_any(matrix, np.array([2.0, 1.0])), [True, True, False, True]
+        )
+
+    def test_k_dominator_mask(self, matrix):
+        mask = k_dominator_mask(matrix, np.array([2.0, 1.0]), k=2)
+        np.testing.assert_array_equal(mask, [True, True, False, True])
+
+    def test_k_dominator_mask_exclude(self, matrix):
+        mask = k_dominator_mask(matrix, np.array([2.0, 1.0]), k=2, exclude=0)
+        np.testing.assert_array_equal(mask, [False, True, False, True])
+
+    def test_dominator_rows(self, matrix):
+        rows = dominator_rows(matrix, np.array([2.0, 1.0]), k=2)
+        assert rows.tolist() == [0, 1, 3]
+
+    def test_is_k_dominated(self, matrix):
+        assert is_k_dominated(matrix, np.array([2.0, 1.0]), 2)
+        assert not is_k_dominated(matrix, np.array([0.0, 0.0]), 2)
+
+    def test_is_k_dominated_empty_matrix(self):
+        assert not is_k_dominated(np.empty((0, 2)), np.array([1.0, 1.0]), 1)
+
+    def test_is_k_dominated_excludes_row(self):
+        matrix = np.array([[1.0, 1.0], [5.0, 5.0]])
+        # Row 0 dominates the probe, but excluding it leaves nothing.
+        assert not is_k_dominated(matrix, np.array([1.0, 2.0]), 2, exclude=0)
+
+    def test_is_k_dominated_blocked_scan(self):
+        # Dominator far beyond the first block still found.
+        n = 10_000
+        matrix = np.full((n, 2), 5.0)
+        matrix[-1] = [0.0, 0.0]
+        assert is_k_dominated(matrix, np.array([1.0, 1.0]), 2)
+
+    def test_self_never_dominates_itself(self):
+        matrix = np.array([[1.0, 2.0]])
+        assert not is_k_dominated(matrix, np.array([1.0, 2.0]), 1)

@@ -1,0 +1,65 @@
+"""Contract tests for the public API surface.
+
+Guards the deliverable: everything exported in ``__all__`` exists, is
+importable, and carries documentation.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.relational",
+    "repro.skyline",
+    "repro.core",
+    "repro.datagen",
+    "repro.experiments",
+    "repro.errors",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), f"{module_name} lacks __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), f"{module_name} undocumented"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_callables_documented(module_name):
+    """Every public function/class exported by the package has a docstring."""
+    module = importlib.import_module(module_name)
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            assert obj.__doc__ and obj.__doc__.strip(), (
+                f"{module_name}.{name} lacks a docstring"
+            )
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_primary_entry_points_signature():
+    """The facade keeps its documented signature stable."""
+    import repro
+
+    ksjq_params = inspect.signature(repro.ksjq).parameters
+    assert list(ksjq_params)[:3] == ["left", "right", "k"]
+    assert "algorithm" in ksjq_params and "mode" in ksjq_params
+
+    find_k_params = inspect.signature(repro.find_k).parameters
+    assert list(find_k_params)[:3] == ["left", "right", "delta"]
+    assert "method" in find_k_params and "objective" in find_k_params
