@@ -24,13 +24,16 @@ from typing import Dict, Optional, Tuple
 
 import pytest
 
-from repro.core import JoinPlan, run_dominator, run_grouping, run_naive
-from repro.core.find_k import find_k_at_least_delta
+from repro.api import Engine
 from repro.datagen import generate_relation_pair, make_flight_relations
 from repro.errors import SoundnessWarning
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
 MAX_JOINED = int(os.environ.get("REPRO_BENCH_MAX_JOINED", "60000"))
+
+# Caching disabled: each benchmark cell must pay full join preparation,
+# matching the paper's per-algorithm component breakdowns.
+ENGINE = Engine(max_plans=0)
 
 _ALGOS = {"G": "grouping", "D": "dominator", "N": "naive"}
 _METHODS = {"B": "binary", "R": "range", "N": "naive"}
@@ -80,17 +83,22 @@ def flights():
 
 def run_ksjq(letter: str, left, right, k: int, aggregate: Optional[str]):
     """One full algorithm execution, including plan construction."""
-    plan = JoinPlan(left, right, aggregate=aggregate)
-    if letter == "N":
-        return run_naive(plan, k)
-    if letter == "G":
-        return run_grouping(plan, k, mode="faithful")
-    return run_dominator(plan, k, mode="faithful")
+    return (
+        ENGINE.query(left, right)
+        .aggregate(aggregate)
+        .algorithm(_ALGOS[letter])
+        .mode("faithful")
+        .run(k=k)
+    )
 
 
 def run_findk(letter: str, left, right, delta: int, aggregate: Optional[str] = None):
-    plan = JoinPlan(left, right, aggregate=aggregate)
-    return find_k_at_least_delta(plan, delta, method=_METHODS[letter])
+    return (
+        ENGINE.query(left, right)
+        .aggregate(aggregate)
+        .method(_METHODS[letter])
+        .find_k(delta=delta)
+    )
 
 
 def bench_ksjq(benchmark, letter, left, right, k, aggregate):

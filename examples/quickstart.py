@@ -1,10 +1,14 @@
 #!/usr/bin/env python
-"""Quickstart: the paper's worked example in ~40 lines.
+"""Quickstart: the paper's worked example through the query engine.
 
-Builds the two flight tables of the paper (Tables 1-2), runs a
-k-dominant skyline join query with k = 7 over the 8 combined skyline
-attributes, and prints the surviving flight combinations — exactly the
-"yes" rows of the paper's Table 3.
+Builds the two flight tables of the paper (Tables 1-2), then issues
+queries through a :class:`repro.Engine`: the k-dominant skyline join at
+k = 7 over the 8 combined skyline attributes (exactly the "yes" rows of
+the paper's Table 3), an explain plan showing the cost-based algorithm
+choice, and a find-k query — all sharing one cached join plan.
+
+The legacy one-shot facade (``repro.ksjq(r1, r2, k=7)``) still works
+and now runs on a shared default engine.
 
 Run:  python examples/quickstart.py
 """
@@ -46,10 +50,17 @@ flights_to_b = Relation.from_records(schema, [
 
 
 def main() -> None:
+    engine = repro.Engine()
+
+    # What will run, before running it: the engine picks the cheapest
+    # algorithm from the plan's cardinality statistics.
+    print(engine.query(flights_from_a, flights_to_b).k(7).explain().summary())
+    print()
+
     # A flight path must be better-or-equal in at least k = 7 of the
     # 4 + 4 joined attributes (and strictly better somewhere) to
     # dominate another path.
-    result = repro.ksjq(flights_from_a, flights_to_b, k=7)
+    result = engine.query(flights_from_a, flights_to_b).k(7).run()
 
     print(f"k-dominant skyline paths (k=7): {result.count}")
     fnos1 = list(flights_from_a.column("fno"))
@@ -69,6 +80,13 @@ def main() -> None:
           {k: round(v, 6) for k, v in result.timings.as_dict().items()})
     print("R1 categorization (SS/SN/NN):", result.left_counts)
     print("R2 categorization (SS/SN/NN):", result.right_counts)
+
+    # A second query over the same relations reuses the cached plan —
+    # the join is prepared exactly once per (relations, join config).
+    tuned = engine.query(flights_from_a, flights_to_b).find_k(delta=result.count)
+    print()
+    print(f"smallest k giving >= {result.count} paths: k={tuned.k}")
+    print("plan cache:", engine.cache_info())
 
 
 if __name__ == "__main__":

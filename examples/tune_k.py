@@ -8,6 +8,10 @@ compares the three find-k strategies — naive linear scan, range-based
 (bound-assisted) scan, and binary search — on answer and probe counts,
 mirroring the paper's Fig. 8a.
 
+All queries go through one :class:`repro.Engine`, so the join is
+prepared once and every subsequent query (skyline staircase, fifteen
+find-k runs) reuses the cached plan.
+
 Run:  python examples/tune_k.py
 """
 
@@ -19,14 +23,14 @@ def main() -> None:
     left, right = generate_relation_pair(
         n=300, d=5, g=10, distribution="independent", a=0, seed=42
     )
-    plan = repro.make_plan(left, right)
-    joined = len(plan.view())
+    engine = repro.Engine()
+    joined = len(engine.plan(left, right).view())
     print(f"base relations: n={len(left)}, d=5, g=10 -> joined size {joined}")
 
     # The skyline-size staircase the search strategies navigate.
     print("\nskyline sizes by k (Lemma 1: monotone non-decreasing):")
     for k in range(6, 11):
-        count = repro.ksjq(left, right, k=k, plan=plan).count
+        count = engine.query(left, right).k(k).run().count
         print(f"  k={k:>2}: {count}")
 
     print(f"\n{'delta':>8} {'k':>3} | {'naive':>14} {'range':>14} {'binary':>14}"
@@ -34,9 +38,7 @@ def main() -> None:
     for delta in (1, 10, 100, 1000, 10_000):
         row = {}
         for method in ("naive", "range", "binary"):
-            result = repro.find_k(left, right, delta=delta, method=method,
-                                  plan=plan)
-            row[method] = result
+            row[method] = engine.query(left, right).find_k(delta=delta, method=method)
         ks = {r.k for r in row.values()}
         assert len(ks) == 1, "methods disagree!"
         print(f"{delta:>8} {row['binary'].k:>3} | "
@@ -46,8 +48,11 @@ def main() -> None:
               ))
 
     print("\nbinary-search trace for delta=100:")
-    print(repro.find_k(left, right, delta=100, method="binary", plan=plan)
-          .summary())
+    print(engine.query(left, right).find_k(delta=100, method="binary").summary())
+
+    info = engine.cache_info()
+    print(f"\nplan cache: {info['requests']} requests, {info['hits']} hits "
+          f"-> join prepared {info['misses']} time(s)")
 
 
 if __name__ == "__main__":

@@ -9,21 +9,42 @@ K-Dominant Skylines" (ICDE 2017), as a reusable Python library:
 * :mod:`repro.core` — SS/SN/NN categorization, the naïve / grouping /
   dominator-based KSJQ algorithms, the cartesian and theta-join
   variants, and the find-k algorithms;
+* :mod:`repro.api` — the query engine: cached join plans, cost-based
+  algorithm choice, fluent query building, explain plans;
 * :mod:`repro.datagen` — synthetic generators and the flight dataset;
 * :mod:`repro.experiments` — the harness regenerating every figure of
   the paper's evaluation.
 
-Quickstart::
+Quickstart — hold an :class:`Engine` and issue queries through it; join
+preparation is cached across queries over the same relations::
 
     import repro
 
     r1 = repro.Relation.from_records(schema1, rows1)
     r2 = repro.Relation.from_records(schema2, rows2)
-    result = repro.ksjq(r1, r2, k=7, aggregate="sum")
-    for left_row, right_row in result.pairs:
+
+    engine = repro.Engine()
+    result = engine.query(r1, r2).aggregate("sum").k(7).run()
+    for record in result.to_records():          # r1.* / r2.* columns
         ...
+    tuned = engine.query(r1, r2).aggregate("sum").find_k(delta=100)
+    print(tuned.k)
+
+    # What would run, and why (cost-based algorithm choice):
+    print(engine.query(r1, r2).aggregate("sum").k(7).explain().summary())
+
+    # Progressive results: guaranteed skyline pairs stream out first.
+    for left_row, right_row in engine.query(r1, r2).aggregate("sum").k(7).stream():
+        ...
+
+The original one-shot facade remains fully supported (it now runs on a
+shared default engine, so it benefits from plan caching too)::
+
+    result = repro.ksjq(r1, r2, k=7, aggregate="sum")
+    tuned = repro.find_k(r1, r2, delta=100, aggregate="sum")
 """
 
+from .api import Engine, ExplainReport, QueryBuilder, QuerySpec
 from .core import (
     CascadeResult,
     FATE_TABLE,
@@ -35,9 +56,12 @@ from .core import (
     JoinPlan,
     KSJQParams,
     KSJQResult,
+    PlanStats,
+    QueryResult,
     TimingBreakdown,
     cascade_ksjq,
     categorize,
+    default_engine,
     find_k,
     ksjq,
     ksjq_progressive,
@@ -68,7 +92,7 @@ from .relational import (
     ThetaOp,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AggregateError",
@@ -76,6 +100,8 @@ __all__ = [
     "AttributeSpec",
     "Categorization",
     "Category",
+    "Engine",
+    "ExplainReport",
     "FATE_TABLE",
     "Fate",
     "FindKResult",
@@ -85,7 +111,11 @@ __all__ = [
     "KSJQParams",
     "KSJQResult",
     "ParameterError",
+    "PlanStats",
     "Preference",
+    "QueryBuilder",
+    "QueryResult",
+    "QuerySpec",
     "Relation",
     "RelationSchema",
     "ReproError",
@@ -100,6 +130,7 @@ __all__ = [
     "Hop",
     "cascade_ksjq",
     "categorize",
+    "default_engine",
     "find_k",
     "ksjq",
     "ksjq_progressive",

@@ -1,0 +1,32 @@
+"""repro.api — the database-style engine boundary over the KSJQ core.
+
+This package turns the paper's four query problems into a prepare-once
+/ execute-many system:
+
+* :class:`QuerySpec` — a frozen, hashable value object describing one
+  query (join kind, aggregate, theta, k or delta, algorithm, mode,
+  objective);
+* :class:`Engine` — holds an LRU cache of join plans keyed by relation
+  content fingerprints, resolves ``algorithm="auto"`` with a cost model
+  over plan cardinality statistics, and attaches spec/plan provenance
+  to every result;
+* :class:`QueryBuilder` — the fluent front end:
+  ``engine.query(r1, r2).aggregate("sum").k(7).run()``;
+* :class:`ExplainReport` — what would run and why, without running it.
+
+The legacy ``repro.ksjq`` / ``repro.find_k`` functions remain supported
+as thin wrappers over a module-default engine.
+"""
+
+from .builder import QueryBuilder
+from .engine import Engine, ExplainReport, PlanCacheStats, choose_algorithm
+from .spec import QuerySpec
+
+__all__ = [
+    "Engine",
+    "ExplainReport",
+    "PlanCacheStats",
+    "QueryBuilder",
+    "QuerySpec",
+    "choose_algorithm",
+]

@@ -1,0 +1,180 @@
+"""Fluent query construction over an :class:`~repro.api.engine.Engine`.
+
+A builder accumulates the join configuration and query parameters,
+then freezes them into a :class:`~repro.api.spec.QuerySpec` on any of
+its terminal calls::
+
+    engine.query(r1, r2).aggregate("sum").k(7).run()
+    engine.query(r1, r2).join("theta", conds).k(5).stream()
+    engine.query(r1, r2).find_k(delta=100, objective="at_most")
+    engine.query(r1, r2).k(7).explain().summary()
+
+Builders are cheap, single-use-or-reuse objects: every terminal call
+re-derives the spec, so one configured builder can run, stream, and
+explain the same query.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple, TYPE_CHECKING
+
+from ..core.result import FindKResult, KSJQResult
+from ..errors import ParameterError
+from ..relational.relation import Relation
+from .spec import QuerySpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Engine, ExplainReport
+
+__all__ = ["QueryBuilder"]
+
+
+class QueryBuilder:
+    """Chainable description of one query over a fixed relation pair."""
+
+    def __init__(self, engine: "Engine", left: Relation, right: Relation) -> None:
+        self._engine = engine
+        self._left = left
+        self._right = right
+        self._join = "equality"
+        self._theta = None
+        self._aggregate = None
+        self._k: Optional[int] = None
+        self._delta: Optional[int] = None
+        self._algorithm = "auto"
+        self._mode = "faithful"
+        self._method = "binary"
+        self._objective = "at_least"
+
+    # ------------------------------------------------------------------
+    # Configuration (each returns self)
+    # ------------------------------------------------------------------
+    def join(self, kind: str, theta=None) -> "QueryBuilder":
+        """Join kind: ``"equality"`` (default), ``"cartesian"``, or
+        ``"theta"`` with one condition or a conjunction list."""
+        self._join = kind
+        self._theta = theta
+        return self
+
+    def aggregate(self, aggregate) -> "QueryBuilder":
+        """Aggregate function (registry name or object) for schemas
+        with aggregate attributes."""
+        self._aggregate = aggregate
+        return self
+
+    def k(self, k: int) -> "QueryBuilder":
+        """Fix the dominance threshold (Problems 1-2)."""
+        self._k = k
+        return self
+
+    def delta(self, delta: int) -> "QueryBuilder":
+        """Target skyline cardinality (Problems 3-4)."""
+        self._delta = delta
+        return self
+
+    def algorithm(self, algorithm: str) -> "QueryBuilder":
+        """Force an algorithm; default ``"auto"`` picks by cost."""
+        self._algorithm = algorithm
+        return self
+
+    def mode(self, mode: str) -> "QueryBuilder":
+        """``"faithful"`` (paper) or ``"exact"`` (errata-closing)."""
+        self._mode = mode
+        return self
+
+    def method(self, method: str) -> "QueryBuilder":
+        """find-k search method: ``"binary"``, ``"range"`` or ``"naive"``."""
+        self._method = method
+        return self
+
+    def objective(self, objective: str) -> "QueryBuilder":
+        """find-k objective: ``"at_least"`` (default) or ``"at_most"``."""
+        self._objective = objective
+        return self
+
+    # ------------------------------------------------------------------
+    # Spec derivation
+    # ------------------------------------------------------------------
+    def spec(self) -> QuerySpec:
+        """Freeze the current configuration into a validated spec.
+
+        A set ``k`` selects the ksjq problem; otherwise a set ``delta``
+        selects find_k.
+        """
+        if self._k is not None:
+            return QuerySpec.for_ksjq(
+                k=self._k,
+                algorithm=self._algorithm,
+                mode=self._mode,
+                join=self._join,
+                aggregate=self._aggregate,
+                theta=self._theta,
+            )
+        if self._delta is not None:
+            return QuerySpec.for_find_k(
+                delta=self._delta,
+                method=self._method,
+                objective=self._objective,
+                mode=self._mode,
+                join=self._join,
+                aggregate=self._aggregate,
+                theta=self._theta,
+            )
+        raise ParameterError("set .k(...) or .delta(...) before executing a query")
+
+    # ------------------------------------------------------------------
+    # Terminals
+    # ------------------------------------------------------------------
+    def run(self, k: Optional[int] = None) -> KSJQResult:
+        """Execute the skyline join (Problems 1-2)."""
+        if k is not None:
+            self._k = k
+        if self._k is None:
+            raise ParameterError("run() needs k; call .k(...) or run(k=...)")
+        return self._engine.execute(self._left, self._right, self.spec())
+
+    def find_k(
+        self,
+        delta: Optional[int] = None,
+        method: Optional[str] = None,
+        objective: Optional[str] = None,
+    ) -> FindKResult:
+        """Tune k from a cardinality target (Problems 3-4)."""
+        if delta is not None:
+            self._delta = delta
+        if method is not None:
+            self._method = method
+        if objective is not None:
+            self._objective = objective
+        if self._delta is None:
+            raise ParameterError("find_k() needs delta; call .delta(...) or find_k(delta=...)")
+        k_backup, self._k = self._k, None  # delta terminal overrides a set k
+        try:
+            return self._engine.execute(self._left, self._right, self.spec())
+        finally:
+            self._k = k_backup
+
+    def stream(self, k: Optional[int] = None) -> Iterator[Tuple[int, int]]:
+        """Progressive skyline pairs (guaranteed "yes" tuples first)."""
+        if k is not None:
+            self._k = k
+        if self._k is None:
+            raise ParameterError("stream() needs k; call .k(...) or stream(k=...)")
+        return self._engine.stream(self._left, self._right, self.spec())
+
+    def explain(self) -> "ExplainReport":
+        """Algorithm choice + cost estimates, without executing."""
+        return self._engine.explain(self._left, self._right, self.spec())
+
+    def to_records(self, k: Optional[int] = None) -> List[dict]:
+        """Convenience: run and materialize the answer as dicts."""
+        return self.run(k=k).to_records()
+
+    def __repr__(self) -> str:
+        try:
+            described = self.spec().describe()
+        except ParameterError:
+            described = f"{self._join} join (no k/delta yet)"
+        return (
+            f"<QueryBuilder {self._left.name!r} x {self._right.name!r}: {described}>"
+        )

@@ -1,0 +1,412 @@
+"""The query engine: cached join plans + cost-based algorithm choice.
+
+The paper's four problems all run over the *same* prepared join
+structures (joined view, group indexes, categorizations). The seed
+library rebuilt those on every call; :class:`Engine` instead keeps an
+LRU cache of :class:`~repro.core.plan.JoinPlan` objects keyed by the
+relations' content fingerprints plus the join configuration, so a
+``ksjq`` followed by a ``find_k`` over the same relations — or the same
+dashboard query issued a thousand times — pays join preparation once.
+
+``algorithm="auto"`` is resolved here by :func:`choose_algorithm`, a
+cost model over the plan's exact cardinality statistics (group sizes,
+join size) instead of the seed's hard-wired "always grouping".
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..core.cartesian import run_cartesian
+from ..core.dominator import run_dominator
+from ..core.find_k import find_k_at_least_delta, find_k_at_most_delta
+from ..core.grouping import run_grouping
+from ..core.naive import run_naive
+from ..core.plan import JoinPlan, PlanStats
+from ..core.progressive import ksjq_progressive
+from ..core.result import FindKResult, KSJQResult, QueryResult
+from ..errors import AlgorithmError
+from ..relational.aggregates import AggregateFunction, get_aggregate
+from ..relational.relation import Relation
+from .spec import QuerySpec
+
+__all__ = ["Engine", "ExplainReport", "PlanCacheStats", "choose_algorithm"]
+
+
+# ----------------------------------------------------------------------
+# Cost-based algorithm choice
+# ----------------------------------------------------------------------
+def choose_algorithm(
+    plan: JoinPlan, mode: str = "faithful"
+) -> Tuple[str, Dict[str, float], str]:
+    """Pick the cheapest applicable algorithm for a plan.
+
+    Returns ``(algorithm, costs, reason)`` where ``costs`` maps every
+    candidate algorithm to its estimated cost in abstract dominance-
+    comparison units, derived from :meth:`JoinPlan.stats`:
+
+    * ``naive`` — every joined tuple against the full joined view:
+      ``J^2`` for join size ``J``;
+    * ``grouping`` — categorization (sum of squared group sizes, both
+      sides) plus sub-quadratic verification, modeled as ``C + J*sqrt(J)``;
+    * ``dominator`` — categorization plus a second group-local pass to
+      generate dominators, with verification against per-cell dominators
+      only: ``2C + J * mean_cell``;
+    * ``cartesian`` — fate-table only, no verification: ``C + J``
+      (cartesian join kind only, where it is always chosen).
+
+    Feasibility trumps cost: a non-strictly-monotone aggregate forces
+    ``naive`` (the pruning proofs need strict monotonicity), and in
+    faithful mode with ``a >= 2`` the always-exact ``naive`` is excluded
+    so auto stays within the paper-faithful answer family.
+    """
+    stats = plan.stats()
+    J = float(stats.join_size)
+    C = float(stats.categorization_cost)
+
+    if plan.aggregate is not None and not plan.aggregate.strictly_monotone:
+        return (
+            "naive",
+            {"naive": J * J},
+            f"aggregate {plan.aggregate.name!r} is not strictly monotone; "
+            "only the naive algorithm is exact",
+        )
+
+    if plan.kind == "cartesian":
+        costs = {"cartesian": C + J, "naive": J * J}
+        return (
+            "cartesian",
+            costs,
+            "cartesian join: the fate table decides every pair with no "
+            "verification",
+        )
+
+    costs: Dict[str, float] = {
+        "grouping": C + J * math.sqrt(J),
+        "dominator": 2.0 * C + J * stats.mean_cell_size,
+    }
+    a = plan.left.schema.a
+    if mode == "exact" or a < 2:
+        costs["naive"] = J * J
+    chosen = min(costs, key=lambda name: (costs[name], name))
+    reason = (
+        f"cheapest estimated cost over join size {stats.join_size} "
+        f"({stats.shared_group_count} shared groups, categorization cost "
+        f"{stats.categorization_cost})"
+    )
+    if "naive" not in costs:
+        reason += "; naive excluded: faithful mode with a >= 2 aggregates"
+    return chosen, costs, reason
+
+
+@dataclass(frozen=True)
+class ExplainReport:
+    """What the engine would do for a spec, without doing it.
+
+    Attributes
+    ----------
+    spec:
+        The explained :class:`QuerySpec`.
+    algorithm:
+        The algorithm (or find-k method) that would run.
+    reason:
+        Human-readable justification of the choice.
+    costs:
+        Candidate -> estimated cost (dominance-comparison units for
+        ksjq; expected full-evaluation probes for find_k).
+    stats:
+        Cardinality statistics of the (cached or newly built) plan.
+    cache_hit:
+        Whether the plan came from the engine's cache.
+    """
+
+    spec: QuerySpec
+    algorithm: str
+    reason: str
+    costs: Dict[str, float] = field(default_factory=dict)
+    stats: Optional[PlanStats] = None
+    cache_hit: bool = False
+
+    def summary(self) -> str:
+        lines = [
+            f"query: {self.spec.describe()}",
+            f"plan: {'cache hit' if self.cache_hit else 'prepared'}"
+            + (
+                f", join size {self.stats.join_size} "
+                f"({self.stats.n_left} x {self.stats.n_right} base tuples, "
+                f"{self.stats.shared_group_count} shared groups)"
+                if self.stats
+                else ""
+            ),
+            f"chosen: {self.algorithm} — {self.reason}",
+        ]
+        if self.costs:
+            ranked = sorted(self.costs.items(), key=lambda kv: kv[1])
+            lines.append(
+                "estimated costs: "
+                + ", ".join(f"{name}={cost:,.0f}" for name, cost in ranked)
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class PlanCacheStats:
+    """Counters of the engine's plan cache activity."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "requests": self.requests,
+        }
+
+
+class Engine:
+    """Prepare-once / execute-many entry point for every KSJQ problem.
+
+    Parameters
+    ----------
+    max_plans:
+        Capacity of the LRU plan cache. ``0`` disables caching (every
+        query prepares a fresh plan — useful for benchmarking the full
+        pipeline).
+
+    Usage::
+
+        engine = repro.Engine()
+        result = engine.query(r1, r2).aggregate("sum").k(7).run()
+        tuned = engine.query(r1, r2).aggregate("sum").find_k(delta=100)
+        print(engine.query(r1, r2).aggregate("sum").k(7).explain().summary())
+    """
+
+    def __init__(self, max_plans: int = 32) -> None:
+        if max_plans < 0:
+            raise AlgorithmError(f"max_plans must be >= 0, got {max_plans}")
+        self.max_plans = max_plans
+        self._plans: "OrderedDict[Tuple, JoinPlan]" = OrderedDict()
+        self.cache_stats = PlanCacheStats()
+
+    # ------------------------------------------------------------------
+    # Plan cache
+    # ------------------------------------------------------------------
+    def _cache_key(
+        self, left: Relation, right: Relation, join: str, aggregate, theta
+    ) -> Tuple:
+        # Custom AggregateFunction objects key by value (frozen
+        # dataclass) — collapsing them to their name would let a custom
+        # function collide with the registry entry of the same name.
+        if aggregate is None or isinstance(aggregate, AggregateFunction):
+            agg_key = aggregate
+        else:
+            agg_key = get_aggregate(aggregate).name
+        if theta is not None and not isinstance(theta, tuple):
+            from ..relational.join import normalize_theta
+
+            theta = normalize_theta(theta)
+        return (left.fingerprint(), right.fingerprint(), join, agg_key, theta or ())
+
+    def plan(
+        self,
+        left: Relation,
+        right: Relation,
+        join: str = "equality",
+        aggregate=None,
+        theta=None,
+    ) -> JoinPlan:
+        """A (cached) :class:`JoinPlan` for one relation pair + join config.
+
+        Plans are keyed by the relations' content fingerprints, so two
+        equal-content relation objects share a cache entry, and any
+        memoized structure computed by one query (the joined view, the
+        group indexes) is reused by the next.
+        """
+        key = self._cache_key(left, right, join, aggregate, theta)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self.cache_stats.hits += 1
+            self._plans.move_to_end(key)
+            return cached
+        self.cache_stats.misses += 1
+        plan = JoinPlan(
+            left,
+            right,
+            kind=join,
+            aggregate=aggregate,
+            theta=theta if theta else None,
+        )
+        if self.max_plans > 0:
+            self._plans[key] = plan
+            while len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+                self.cache_stats.evictions += 1
+        return plan
+
+    def cache_info(self) -> Dict[str, int]:
+        """Cache counters plus current size/capacity."""
+        info = self.cache_stats.as_dict()
+        info["size"] = len(self._plans)
+        info["capacity"] = self.max_plans
+        return info
+
+    def clear_cache(self) -> None:
+        """Drop every cached plan (counters are kept)."""
+        self._plans.clear()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def query(self, left: Relation, right: Relation) -> "QueryBuilder":
+        """Start a fluent query over one relation pair."""
+        from .builder import QueryBuilder
+
+        return QueryBuilder(self, left, right)
+
+    def execute(
+        self,
+        left: Relation,
+        right: Relation,
+        spec: QuerySpec,
+        plan: Optional[JoinPlan] = None,
+    ) -> QueryResult:
+        """Run a spec, reusing a cached plan when one matches.
+
+        ``plan`` overrides the cache (used by the legacy facade's
+        ``plan=`` argument); the result carries the spec and plan as
+        provenance.
+        """
+        if plan is None:
+            plan = self.plan(left, right, *_plan_args(spec))
+        if spec.problem == "ksjq":
+            result = self._run_ksjq(plan, spec)
+        else:
+            result = self._run_find_k(plan, spec)
+        return result.with_provenance(spec, plan)
+
+    def _run_ksjq(self, plan: JoinPlan, spec: QuerySpec) -> KSJQResult:
+        algorithm = spec.algorithm
+        if algorithm == "auto":
+            algorithm, _, _ = choose_algorithm(plan, spec.mode)
+        if algorithm == "naive":
+            return run_naive(plan, spec.k)
+        if algorithm == "grouping":
+            return run_grouping(plan, spec.k, mode=spec.mode)
+        if algorithm == "dominator":
+            return run_dominator(plan, spec.k, mode=spec.mode)
+        return run_cartesian(plan, spec.k, mode=spec.mode)
+
+    def _run_find_k(self, plan: JoinPlan, spec: QuerySpec) -> FindKResult:
+        if spec.objective == "at_least":
+            return find_k_at_least_delta(
+                plan, spec.delta, method=spec.method, mode=spec.mode
+            )
+        return find_k_at_most_delta(
+            plan, spec.delta, method=spec.method, mode=spec.mode
+        )
+
+    def stream(
+        self,
+        left: Relation,
+        right: Relation,
+        spec: QuerySpec,
+        plan: Optional[JoinPlan] = None,
+    ) -> Iterator[Tuple[int, int]]:
+        """Progressive results: yield skyline pairs as they are decided.
+
+        Wraps :func:`~repro.core.progressive.ksjq_progressive` (grouping
+        order: guaranteed "yes" pairs first). Faithful mode only.
+        """
+        if spec.problem != "ksjq":
+            raise AlgorithmError("only ksjq queries stream progressively")
+        if spec.mode != "faithful":
+            raise AlgorithmError(
+                "progressive streaming emits Theorem-1/3 'yes' tuples unverified; "
+                "it is only defined for mode='faithful'"
+            )
+        if plan is None:
+            plan = self.plan(left, right, *_plan_args(spec))
+        return ksjq_progressive(plan, spec.k)
+
+    # ------------------------------------------------------------------
+    # Explanation
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        left: Relation,
+        right: Relation,
+        spec: QuerySpec,
+        plan: Optional[JoinPlan] = None,
+    ) -> ExplainReport:
+        """Report the algorithm choice and cost estimates for a spec."""
+        cache_hit = False
+        if plan is None:
+            hits_before = self.cache_stats.hits
+            plan = self.plan(left, right, *_plan_args(spec))
+            cache_hit = self.cache_stats.hits > hits_before
+        stats = plan.stats()
+        if spec.problem == "ksjq":
+            if spec.algorithm == "auto":
+                algorithm, costs, reason = choose_algorithm(plan, spec.mode)
+            else:
+                algorithm = spec.algorithm
+                _, costs, _ = choose_algorithm(plan, spec.mode)
+                reason = "explicitly requested"
+            return ExplainReport(
+                spec=spec,
+                algorithm=algorithm,
+                reason=reason,
+                costs=costs,
+                stats=stats,
+                cache_hit=cache_hit,
+            )
+        # find_k: cost = expected number of probe points per method.
+        d1, d2 = plan.left.schema.d, plan.right.schema.d
+        a = plan.left.schema.a
+        k_min = max(d1, d2) + 1
+        k_max = (d1 - a) + (d2 - a) + a
+        span = max(1, k_max - k_min + 1)
+        costs = {
+            "naive": float(span),
+            "range": float(span),
+            "binary": float(math.ceil(math.log2(span)) + 1),
+        }
+        reason = (
+            f"{spec.method} search over k in [{k_min}, {k_max}]"
+            + (
+                "; range/binary short-circuit full evaluations via "
+                "categorization bounds"
+                if spec.method != "naive"
+                else "; every probe is a full evaluation"
+            )
+        )
+        return ExplainReport(
+            spec=spec,
+            algorithm=spec.method,
+            reason=reason,
+            costs=costs,
+            stats=stats,
+            cache_hit=cache_hit,
+        )
+
+    def __repr__(self) -> str:
+        info = self.cache_info()
+        return (
+            f"<Engine plans={info['size']}/{info['capacity']} "
+            f"hits={info['hits']} misses={info['misses']}>"
+        )
+
+
+def _plan_args(spec: QuerySpec) -> Tuple[str, Optional[str], Tuple]:
+    """(join, aggregate, theta) positional args for :meth:`Engine.plan`."""
+    return spec.join, spec.aggregate, spec.theta

@@ -1,0 +1,223 @@
+"""Frozen query specifications.
+
+A :class:`QuerySpec` is a hashable value object that fully describes
+any of the paper's four query problems over a prepared join:
+
+* Problems 1-2 (``problem="ksjq"``): the k-dominant skyline join at a
+  fixed ``k``, with or without aggregates, under a chosen algorithm
+  and soundness mode;
+* Problems 3-4 (``problem="find_k"``): tuning ``k`` from a desired
+  cardinality ``delta``, with the search ``method`` and ``objective``
+  selecting between "at least delta" and "at most delta".
+
+Specs validate eagerly on construction — *before* any join structure
+is built — so malformed queries fail fast, and they hash/compare by
+value so engines can key caches and logs on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from ..errors import AggregateError, AlgorithmError, JoinError, ParameterError
+from ..relational.aggregates import AggregateFunction, get_aggregate
+from ..relational.join import ThetaCondition, normalize_theta
+
+__all__ = [
+    "QuerySpec",
+    "ALGORITHMS",
+    "JOIN_KINDS",
+    "MODES",
+    "FIND_K_METHODS",
+    "OBJECTIVES",
+]
+
+ALGORITHMS = ("auto", "grouping", "dominator", "naive", "cartesian")
+JOIN_KINDS = ("equality", "cartesian", "theta")
+MODES = ("faithful", "exact")
+FIND_K_METHODS = ("binary", "range", "naive")
+OBJECTIVES = ("at_least", "at_most")
+PROBLEMS = ("ksjq", "find_k")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """Immutable, hashable description of one KSJQ query.
+
+    Use the :meth:`for_ksjq` / :meth:`for_find_k` constructors (or the
+    fluent :class:`repro.api.QueryBuilder`) rather than filling fields
+    by hand; they normalize aggregates and theta conditions so equal
+    queries compare equal.
+    """
+
+    problem: str
+    join: str = "equality"
+    aggregate: Optional[object] = None  # registry name, or a custom AggregateFunction
+    theta: Tuple[ThetaCondition, ...] = ()
+    k: Optional[int] = None
+    delta: Optional[int] = None
+    algorithm: str = "auto"
+    method: str = "binary"
+    objective: str = "at_least"
+    mode: str = "faithful"
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.problem not in PROBLEMS:
+            raise ParameterError(
+                f"unknown problem {self.problem!r}; choose from {PROBLEMS}"
+            )
+        if self.join not in JOIN_KINDS:
+            raise JoinError(f"unknown join kind {self.join!r}")
+        if self.mode not in MODES:
+            raise AlgorithmError(f"unknown mode {self.mode!r} (use 'faithful' or 'exact')")
+
+        # Normalize theta to a hashable tuple of conditions.
+        theta = self.theta
+        if theta is None:
+            theta = ()
+        elif not isinstance(theta, tuple) or not all(
+            isinstance(c, ThetaCondition) for c in theta
+        ):
+            theta = normalize_theta(theta)
+        object.__setattr__(self, "theta", theta)
+        if self.join == "theta" and not theta:
+            raise JoinError("join='theta' requires a ThetaCondition")
+        if self.join != "theta" and theta:
+            raise JoinError(f"theta condition given but join={self.join!r}")
+
+        # Normalize *registry* aggregate objects to their name, so
+        # QuerySpec.for_ksjq(aggregate="sum") == ...(aggregate=SUM).
+        # Custom (unregistered, or name-colliding) AggregateFunction
+        # objects are kept as-is — they are frozen and hashable, and
+        # collapsing them to a name would silently substitute the
+        # registry function.
+        if isinstance(self.aggregate, AggregateFunction):
+            try:
+                registered = get_aggregate(self.aggregate.name)
+            except AggregateError:
+                registered = None
+            if registered is self.aggregate:
+                object.__setattr__(self, "aggregate", self.aggregate.name)
+        elif self.aggregate is not None and not isinstance(self.aggregate, str):
+            raise ParameterError(
+                f"aggregate must be a name or AggregateFunction, got {self.aggregate!r}"
+            )
+
+        if self.problem == "ksjq":
+            self._validate_ksjq()
+        else:
+            self._validate_find_k()
+
+    def _validate_ksjq(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise AlgorithmError(
+                f"unknown algorithm {self.algorithm!r}; choose from {ALGORITHMS}"
+            )
+        if self.algorithm == "cartesian" and self.join != "cartesian":
+            raise JoinError(
+                f"algorithm='cartesian' requires a cartesian join, got join={self.join!r}"
+            )
+        if self.k is None:
+            raise ParameterError("a ksjq spec requires k")
+        if not isinstance(self.k, int) or isinstance(self.k, bool):
+            raise ParameterError(f"k must be an integer, got {self.k!r}")
+        if self.delta is not None:
+            raise ParameterError("delta is a find_k parameter; a ksjq spec takes k")
+
+    def _validate_find_k(self) -> None:
+        if self.method not in FIND_K_METHODS:
+            raise ParameterError(
+                f"unknown find-k method {self.method!r}; choose from {FIND_K_METHODS}"
+            )
+        if self.objective not in OBJECTIVES:
+            raise AlgorithmError(
+                f"unknown objective {self.objective!r} (use 'at_least' or 'at_most')"
+            )
+        if self.delta is None:
+            raise ParameterError("a find_k spec requires delta")
+        if not isinstance(self.delta, int) or isinstance(self.delta, bool):
+            raise ParameterError(f"delta must be an integer, got {self.delta!r}")
+        if self.delta < 1:
+            raise ParameterError(f"delta must be positive, got {self.delta}")
+        if self.k is not None:
+            raise ParameterError("k is tuned by find_k; pass delta instead")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_ksjq(
+        cls,
+        k: int,
+        algorithm: str = "auto",
+        mode: str = "faithful",
+        join: str = "equality",
+        aggregate=None,
+        theta=None,
+    ) -> "QuerySpec":
+        """Spec for Problems 1-2 (skyline join at a fixed k)."""
+        return cls(
+            problem="ksjq",
+            join=join,
+            aggregate=aggregate,
+            theta=theta if theta is not None else (),
+            k=k,
+            algorithm=algorithm,
+            mode=mode,
+        )
+
+    @classmethod
+    def for_find_k(
+        cls,
+        delta: int,
+        method: str = "binary",
+        objective: str = "at_least",
+        mode: str = "faithful",
+        join: str = "equality",
+        aggregate=None,
+        theta=None,
+    ) -> "QuerySpec":
+        """Spec for Problems 3-4 (tune k from a cardinality target)."""
+        return cls(
+            problem="find_k",
+            join=join,
+            aggregate=aggregate,
+            theta=theta if theta is not None else (),
+            delta=delta,
+            method=method,
+            objective=objective,
+            mode=mode,
+        )
+
+    # ------------------------------------------------------------------
+    def replace(self, **changes) -> "QuerySpec":
+        """A copy with fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+    def plan_key(self) -> Tuple:
+        """The part of the spec that determines join preparation.
+
+        Two specs with equal plan keys over the same relations can share
+        one :class:`~repro.core.plan.JoinPlan`, regardless of k, delta,
+        algorithm, method, objective or mode.
+        """
+        return (self.join, self.aggregate, self.theta)
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        parts = [f"{self.problem} over {self.join} join"]
+        if self.aggregate:
+            parts.append(f"aggregate={self.aggregate}")
+        if self.theta:
+            parts.append("theta=" + " AND ".join(str(c) for c in self.theta))
+        if self.problem == "ksjq":
+            parts.append(f"k={self.k}")
+            parts.append(f"algorithm={self.algorithm}")
+        else:
+            parts.append(f"delta={self.delta}")
+            parts.append(f"method={self.method}")
+            parts.append(f"objective={self.objective}")
+        parts.append(f"mode={self.mode}")
+        return ", ".join(parts)

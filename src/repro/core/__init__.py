@@ -21,10 +21,10 @@ from .find_k import find_k_at_least_delta, find_k_at_most_delta
 from .grouping import run_grouping
 from .naive import run_naive
 from .params import KSJQParams
-from .plan import JoinPlan
+from .plan import JoinPlan, PlanStats
 from .progressive import ksjq_progressive
-from .query import find_k, ksjq, make_plan
-from .result import FindKResult, FindKStep, KSJQResult
+from .query import default_engine, find_k, ksjq, make_plan
+from .result import FindKResult, FindKStep, KSJQResult, QueryResult
 from .targets import target_rows_exact, target_rows_paper
 from .timing import PHASES, PhaseClock, TimingBreakdown
 
@@ -42,10 +42,13 @@ __all__ = [
     "KSJQResult",
     "PHASES",
     "PhaseClock",
+    "PlanStats",
+    "QueryResult",
     "TimingBreakdown",
     "cascade_ksjq",
     "categorize",
     "categorize_theta",
+    "default_engine",
     "find_k",
     "find_k_at_least_delta",
     "find_k_at_most_delta",

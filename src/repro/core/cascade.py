@@ -30,8 +30,8 @@ The valid k range generalizes to ``max_i d_i < k <= Σ_i l_i + a``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,6 +40,8 @@ from ..relational.aggregates import AggregateFunction, get_aggregate
 from ..relational.relation import Relation
 from ..skyline.dominance import is_k_dominated
 from ..skyline.kdominant import k_dominant_skyline
+from .result import QueryResult
+from .timing import PhaseClock, TimingBreakdown
 from .verify import sort_rows_for_early_exit
 
 __all__ = ["Hop", "CascadeResult", "cascade_chains", "cascade_oriented", "cascade_ksjq"]
@@ -70,7 +72,7 @@ def _hop_values(relation: Relation, column: Optional[str]) -> List:
 
 
 @dataclass(frozen=True)
-class CascadeResult:
+class CascadeResult(QueryResult):
     """Answer of an m-way cascade KSJQ."""
 
     k: int
@@ -78,6 +80,9 @@ class CascadeResult:
     total_chains: int
     pruned_rows: int
     algorithm: str
+    timings: TimingBreakdown = field(default_factory=TimingBreakdown)
+    spec: Optional[Any] = field(default=None, compare=False, repr=False)
+    source: Optional[Any] = field(default=None, compare=False, repr=False)
 
     @property
     def count(self) -> int:
@@ -85,6 +90,25 @@ class CascadeResult:
 
     def chain_set(self) -> frozenset:
         return frozenset(tuple(int(x) for x in row) for row in self.chains)
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """Skyline chains as dicts: per-relation columns prefixed ``r{i}.``.
+
+        Prefixes are one-based (``r1.``, ``r2.``, ...), matching the
+        two-way :meth:`KSJQResult.to_records` layout. Needs the source
+        relations (attached when the cascade runs through the public
+        entry point).
+        """
+        relations: Sequence[Relation] = self._require_source()
+        records: List[Dict[str, object]] = []
+        for chain in self.chains:
+            rec: Dict[str, object] = {}
+            for i, (rel, row) in enumerate(zip(relations, chain), start=1):
+                rec[f"r{i}._row"] = int(row)
+                for name, value in rel.record(int(row)).items():
+                    rec[f"r{i}.{name}"] = value
+            records.append(rec)
+        return records
 
 
 def _normalize_hops(relations: Sequence[Relation], hops) -> List[Hop]:
@@ -196,35 +220,45 @@ def cascade_ksjq(
             "pruned cascade requires a strictly monotone aggregate; use naive"
         )
 
-    all_chains = cascade_chains(relations, hops)
-    matrix = cascade_oriented(relations, all_chains, agg)
+    clock = PhaseClock()
+    with clock.phase("join"):
+        all_chains = cascade_chains(relations, hops)
+        matrix = cascade_oriented(relations, all_chains, agg)
 
     if algorithm == "naive":
-        skyline_idx = k_dominant_skyline(matrix, k)
+        with clock.phase("remaining"):
+            skyline_idx = k_dominant_skyline(matrix, k)
         return CascadeResult(
             k=k,
             chains=all_chains[skyline_idx],
             total_chains=int(all_chains.shape[0]),
             pruned_rows=0,
             algorithm="naive",
+            timings=clock.freeze(),
+            source=tuple(relations),
         )
 
-    keep = _prune_rows(relations, hops, k)
-    pruned_rows = sum(len(rel) - len(rows) for rel, rows in zip(relations, keep))
-    candidates = cascade_chains(relations, hops, keep=keep)
-    cand_matrix = cascade_oriented(relations, candidates, agg)
-    full_sorted = sort_rows_for_early_exit(matrix)
-    keep_idx = [
-        pos
-        for pos in range(candidates.shape[0])
-        if not is_k_dominated(full_sorted, cand_matrix[pos], k)
-    ]
+    with clock.phase("grouping"):
+        keep = _prune_rows(relations, hops, k)
+        pruned_rows = sum(len(rel) - len(rows) for rel, rows in zip(relations, keep))
+    with clock.phase("join"):
+        candidates = cascade_chains(relations, hops, keep=keep)
+        cand_matrix = cascade_oriented(relations, candidates, agg)
+    with clock.phase("remaining"):
+        full_sorted = sort_rows_for_early_exit(matrix)
+        keep_idx = [
+            pos
+            for pos in range(candidates.shape[0])
+            if not is_k_dominated(full_sorted, cand_matrix[pos], k)
+        ]
     return CascadeResult(
         k=k,
         chains=candidates[keep_idx],
         total_chains=int(all_chains.shape[0]),
         pruned_rows=pruned_rows,
         algorithm="pruned",
+        timings=clock.freeze(),
+        source=tuple(relations),
     )
 
 

@@ -10,6 +10,7 @@ dominator-based runs are guaranteed to answer the same query.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -28,7 +29,47 @@ from ..relational.relation import Relation
 from .categorize import Categorization, categorize, categorize_theta
 from .params import KSJQParams
 
-__all__ = ["JoinPlan"]
+__all__ = ["JoinPlan", "PlanStats"]
+
+
+@dataclass(frozen=True)
+class PlanStats:
+    """Cardinality statistics of a prepared join, for cost-based choices.
+
+    All counts are exact (derived from the group indexes), not sampled;
+    nothing here materializes the joined view. ``categorization_cost``
+    is an abstract cost in units of pairwise dominance comparisons: the
+    SS/SN/NN categorization compares every tuple against its group, so
+    it scales with the sum of squared group sizes on both sides.
+    """
+
+    kind: str
+    n_left: int
+    n_right: int
+    left_group_count: int
+    right_group_count: int
+    shared_group_count: int
+    join_size: int
+    categorization_cost: int
+
+    @property
+    def mean_cell_size(self) -> float:
+        """Average joined-cell cardinality |L_g| * |R_g| over shared groups."""
+        if self.shared_group_count == 0:
+            return 0.0
+        return self.join_size / self.shared_group_count
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "kind": self.kind,
+            "n_left": self.n_left,
+            "n_right": self.n_right,
+            "left_group_count": self.left_group_count,
+            "right_group_count": self.right_group_count,
+            "shared_group_count": self.shared_group_count,
+            "join_size": self.join_size,
+            "categorization_cost": self.categorization_cost,
+        }
 
 
 class JoinPlan:
@@ -85,6 +126,7 @@ class JoinPlan:
         self._right_groups: Optional[GroupIndex] = None
         self._left_theta = None
         self._right_theta = None
+        self._stats: Optional[PlanStats] = None
 
     # ------------------------------------------------------------------
     def params(self, k: int) -> KSJQParams:
@@ -116,6 +158,51 @@ class JoinPlan:
                 pairs = theta_pairs(self.left, self.right, self.theta_conditions)
             self._view = JoinedView(self.left, self.right, pairs, aggregate=self.aggregate)
         return self._view
+
+    def stats(self) -> PlanStats:
+        """Exact cardinality statistics without materializing the view.
+
+        For equality joins the join size is ``sum_g |L_g| * |R_g|`` over
+        shared group keys (group-index arithmetic only); for cartesian
+        joins it is ``n1 * n2``; theta joins count partners via the
+        sorted-column binary search of :meth:`compatible_pair_count`.
+        """
+        if self._stats is None:
+            n1, n2 = len(self.left), len(self.right)
+            if self.kind == "equality":
+                left_sizes = self.left_groups().sizes()
+                right_sizes = self.right_groups().sizes()
+                shared = set(left_sizes) & set(right_sizes)
+                join_size = sum(left_sizes[key] * right_sizes[key] for key in shared)
+                cat_cost = sum(s * s for s in left_sizes.values()) + sum(
+                    s * s for s in right_sizes.values()
+                )
+                left_g, right_g, shared_g = (
+                    len(left_sizes),
+                    len(right_sizes),
+                    len(shared),
+                )
+            elif self.kind == "cartesian":
+                join_size = n1 * n2
+                cat_cost = n1 * n1 + n2 * n2
+                left_g = right_g = shared_g = 1 if (n1 and n2) else 0
+            else:
+                join_size = self.compatible_pair_count(range(n1), range(n2))
+                # Theta categorization probes each tuple's partner target
+                # set; the quadratic bound is the honest proxy.
+                cat_cost = n1 * n1 + n2 * n2
+                left_g, right_g, shared_g = n1, n2, min(n1, n2)
+            self._stats = PlanStats(
+                kind=self.kind,
+                n_left=n1,
+                n_right=n2,
+                left_group_count=left_g,
+                right_group_count=right_g,
+                shared_group_count=shared_g,
+                join_size=int(join_size),
+                categorization_cost=int(cat_cost),
+            )
+        return self._stats
 
     def left_groups(self) -> GroupIndex:
         if self._left_groups is None:

@@ -1,4 +1,10 @@
-"""High-level query facade: the primary public entry points.
+"""High-level query facade: the legacy one-shot entry points.
+
+These remain fully supported, but are now thin wrappers over a shared
+module-default :class:`repro.api.Engine`: arguments are validated
+*before* any join structure is built (bad parameters never pay the
+join-preparation cost), and repeated queries over equal-content
+relations reuse the engine's cached :class:`JoinPlan`.
 
 Typical use::
 
@@ -9,26 +15,44 @@ Typical use::
 
     tuned = find_k(flights_out, flights_in, delta=100, aggregate="sum")
     print(tuned.k)
+
+For many queries over the same relations — or control over caching —
+hold an :class:`repro.api.Engine` yourself::
+
+    engine = repro.Engine()
+    result = engine.query(flights_out, flights_in).aggregate("sum").k(7).run()
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from ..errors import AlgorithmError
-from ..relational.join import ThetaCondition
 from ..relational.relation import Relation
-from .cartesian import run_cartesian
-from .dominator import run_dominator
-from .find_k import find_k_at_least_delta, find_k_at_most_delta
-from .grouping import run_grouping
-from .naive import run_naive
 from .plan import JoinPlan
 from .result import FindKResult, KSJQResult
 
-__all__ = ["make_plan", "ksjq", "find_k"]
+__all__ = ["make_plan", "ksjq", "find_k", "default_engine"]
 
-_ALGORITHMS = ("auto", "grouping", "dominator", "naive", "cartesian")
+_DEFAULT_ENGINE = None
+
+
+def default_engine():
+    """The process-wide engine backing :func:`ksjq` and :func:`find_k`.
+
+    Created lazily on first use; shared so that repeated facade calls
+    over the same relations hit one plan cache. Cached plans keep their
+    source relations (and any memoized joined view) alive, so the
+    capacity is deliberately small; long-running processes that stream
+    many distinct large relation pairs through the facade should call
+    ``default_engine().clear_cache()`` periodically, or pass their own
+    ``engine=Engine(max_plans=0)``.
+    """
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        from ..api.engine import Engine
+
+        _DEFAULT_ENGINE = Engine(max_plans=8)
+    return _DEFAULT_ENGINE
 
 
 def make_plan(
@@ -41,7 +65,8 @@ def make_plan(
     """Build a reusable :class:`JoinPlan` (cheaper when issuing many queries).
 
     ``theta`` may be a single :class:`ThetaCondition` or a sequence of
-    them (conjunction).
+    them (conjunction). Unlike :meth:`repro.api.Engine.plan`, this always
+    builds a fresh plan and never consults a cache.
     """
     return JoinPlan(left, right, kind=join, aggregate=aggregate, theta=theta)
 
@@ -56,6 +81,7 @@ def ksjq(
     aggregate=None,
     theta=None,
     plan: Optional[JoinPlan] = None,
+    engine=None,
 ) -> KSJQResult:
     """Answer a k-dominant skyline join query (Problems 1-2).
 
@@ -68,8 +94,8 @@ def ksjq(
         Number of joined skyline attributes in which a dominator must be
         better-or-equal; must satisfy ``max(d1, d2) < k <= l1 + l2 + a``.
     algorithm:
-        ``"auto"`` (grouping, or the cartesian fast path for cartesian
-        joins), ``"grouping"`` (Algo 2), ``"dominator"`` (Algo 3),
+        ``"auto"`` (cost-based choice over the plan's cardinality
+        statistics), ``"grouping"`` (Algo 2), ``"dominator"`` (Algo 3),
         ``"naive"`` (Algo 1) or ``"cartesian"`` (Sec. 6.5).
     mode:
         ``"faithful"`` reproduces the paper exactly; ``"exact"`` adds
@@ -86,21 +112,22 @@ def ksjq(
         conjunction) for ``join="theta"``.
     plan:
         Pre-built plan; when given, ``join``/``aggregate``/``theta`` are
-        ignored.
+        ignored and the engine's plan cache is bypassed.
+    engine:
+        The :class:`repro.api.Engine` to run on; defaults to the shared
+        module engine (so repeated calls reuse cached plans).
     """
-    if plan is None:
-        plan = make_plan(left, right, join=join, aggregate=aggregate, theta=theta)
-    if algorithm not in _ALGORITHMS:
-        raise AlgorithmError(f"unknown algorithm {algorithm!r}; choose from {_ALGORITHMS}")
-    if algorithm == "auto":
-        algorithm = "cartesian" if plan.kind == "cartesian" else "grouping"
-    if algorithm == "naive":
-        return run_naive(plan, k)
-    if algorithm == "grouping":
-        return run_grouping(plan, k, mode=mode)
-    if algorithm == "dominator":
-        return run_dominator(plan, k, mode=mode)
-    return run_cartesian(plan, k, mode=mode)
+    from ..api.spec import QuerySpec
+
+    if plan is not None:
+        join, aggregate, theta = plan.kind, plan.aggregate, plan.theta_conditions
+    # Spec construction validates algorithm/mode/join/k up front, before
+    # any join preparation happens.
+    spec = QuerySpec.for_ksjq(
+        k=k, algorithm=algorithm, mode=mode, join=join, aggregate=aggregate, theta=theta
+    )
+    eng = engine if engine is not None else default_engine()
+    return eng.execute(left, right, spec, plan=plan)
 
 
 def find_k(
@@ -114,18 +141,28 @@ def find_k(
     aggregate=None,
     theta=None,
     plan: Optional[JoinPlan] = None,
+    engine=None,
 ) -> FindKResult:
     """Tune ``k`` from a desired skyline cardinality δ (Problems 3-4).
 
     ``objective="at_least"`` finds the smallest k returning >= δ skyline
     tuples (Problem 3); ``"at_most"`` the largest k returning <= δ
     (Problem 4, via the paper's reduction). ``method`` is ``"binary"``
-    (Algo 6), ``"range"`` (Algo 5) or ``"naive"`` (Algo 4).
+    (Algo 6), ``"range"`` (Algo 5) or ``"naive"`` (Algo 4). ``plan`` and
+    ``engine`` behave as in :func:`ksjq`.
     """
-    if plan is None:
-        plan = make_plan(left, right, join=join, aggregate=aggregate, theta=theta)
-    if objective == "at_least":
-        return find_k_at_least_delta(plan, delta, method=method, mode=mode)
-    if objective == "at_most":
-        return find_k_at_most_delta(plan, delta, method=method, mode=mode)
-    raise AlgorithmError(f"unknown objective {objective!r} (use 'at_least' or 'at_most')")
+    from ..api.spec import QuerySpec
+
+    if plan is not None:
+        join, aggregate, theta = plan.kind, plan.aggregate, plan.theta_conditions
+    spec = QuerySpec.for_find_k(
+        delta=delta,
+        method=method,
+        objective=objective,
+        mode=mode,
+        join=join,
+        aggregate=aggregate,
+        theta=theta,
+    )
+    eng = engine if engine is not None else default_engine()
+    return eng.execute(left, right, spec, plan=plan)

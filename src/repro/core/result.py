@@ -1,18 +1,27 @@
-"""Result objects returned by the KSJQ algorithms."""
+"""Result objects returned by the KSJQ algorithms.
+
+All results implement one protocol (:class:`QueryResult`): a ``count``,
+component-wise ``timings`` with an ``elapsed`` total, ``to_records()``
+for materializing the answer as plain dicts, and — when produced
+through an :class:`repro.api.Engine` — provenance: the ``spec`` that
+was executed and the ``source`` plan it ran against.
+"""
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
+from ..errors import AlgorithmError
 from ..relational.join import JoinedView
 from ..relational.relation import Relation
 from .params import KSJQParams
 from .timing import TimingBreakdown
 
-__all__ = ["KSJQResult", "FindKResult", "FindKStep"]
+__all__ = ["QueryResult", "KSJQResult", "FindKResult", "FindKStep"]
 
 
 def _canonical_pairs(pairs: np.ndarray) -> np.ndarray:
@@ -24,8 +33,50 @@ def _canonical_pairs(pairs: np.ndarray) -> np.ndarray:
     return pairs[order]
 
 
+class QueryResult:
+    """Mixin protocol shared by every result object.
+
+    Subclasses are frozen dataclasses carrying at least ``timings``
+    (a :class:`TimingBreakdown`) plus two provenance fields, ``spec``
+    (the :class:`repro.api.QuerySpec` executed) and ``source`` (the
+    plan or relations the query ran against). Provenance is attached by
+    the engine via :meth:`with_provenance`; results built directly by
+    the algorithm runners carry ``None``.
+    """
+
+    timings: TimingBreakdown
+    spec: Optional[Any]
+    source: Optional[Any]
+
+    @property
+    def elapsed(self) -> float:
+        """Total wall-clock seconds across all timing components."""
+        return self.timings.total
+
+    @property
+    def count(self) -> int:
+        raise NotImplementedError
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """The answer as a list of plain dicts (one per result row)."""
+        raise NotImplementedError
+
+    def with_provenance(self, spec: Any, source: Any) -> "QueryResult":
+        """Copy of this result carrying the spec and source it came from."""
+        return dataclasses.replace(self, spec=spec, source=source)
+
+    def _require_source(self) -> Any:
+        if self.source is None:
+            raise AlgorithmError(
+                f"{type(self).__name__}.to_records() needs the source plan; "
+                "run the query through an Engine (or attach it with "
+                "with_provenance) to materialize records"
+            )
+        return self.source
+
+
 @dataclass(frozen=True)
-class KSJQResult:
+class KSJQResult(QueryResult):
     """Answer of one k-dominant skyline join query.
 
     Attributes
@@ -49,6 +100,9 @@ class KSJQResult:
         naïve).
     checked:
         Number of candidate joined tuples that required verification.
+    spec / source:
+        Provenance (the executed QuerySpec and the JoinPlan), attached
+        when the query runs through an :class:`repro.api.Engine`.
     """
 
     algorithm: str
@@ -60,6 +114,8 @@ class KSJQResult:
     right_counts: Dict[str, int] = field(default_factory=dict)
     cell_pair_counts: Dict[str, int] = field(default_factory=dict)
     checked: int = 0
+    spec: Optional[Any] = field(default=None, compare=False, repr=False)
+    source: Optional[Any] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "pairs", _canonical_pairs(self.pairs))
@@ -73,10 +129,22 @@ class KSJQResult:
         """Skyline pairs as a hashable set (for comparisons in tests)."""
         return frozenset((int(a), int(b)) for a, b in self.pairs)
 
-    def to_relation(self, view: JoinedView, name: str = "skyline") -> Relation:
-        """Materialize the skyline pairs as a relation using ``view``'s layout."""
-        sub = JoinedView(view.left, view.right, self.pairs, aggregate=view.aggregate)
+    def to_relation(self, view: Optional[JoinedView] = None, name: str = "skyline") -> Relation:
+        """Materialize the skyline pairs as a relation.
+
+        ``view`` supplies the joined layout; it defaults to the source
+        plan's view when the result carries provenance.
+        """
+        if view is None:
+            plan = self._require_source()
+            sub = JoinedView(plan.left, plan.right, self.pairs, aggregate=plan.aggregate)
+        else:
+            sub = JoinedView(view.left, view.right, self.pairs, aggregate=view.aggregate)
         return sub.to_relation(name=name)
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """Skyline rows as dicts (``r1.*`` / ``r2.*`` columns + row ids)."""
+        return self.to_relation().records()
 
     def summary(self) -> str:
         """One-paragraph human-readable report."""
@@ -109,19 +177,39 @@ class FindKStep:
 
 
 @dataclass(frozen=True)
-class FindKResult:
-    """Answer of a find-k search (Problem 3)."""
+class FindKResult(QueryResult):
+    """Answer of a find-k search (Problems 3-4)."""
 
     method: str
     delta: int
     k: int
     steps: Tuple[FindKStep, ...]
     timings: TimingBreakdown
+    spec: Optional[Any] = field(default=None, compare=False, repr=False)
+    source: Optional[Any] = field(default=None, compare=False, repr=False)
+
+    @property
+    def count(self) -> int:
+        """Number of search probes performed."""
+        return len(self.steps)
 
     @property
     def full_evaluations(self) -> int:
         """How many k values required a full skyline computation."""
         return sum(1 for s in self.steps if s.exact_count is not None)
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """The probe trace as dicts (k, bounds, exact count, decision)."""
+        return [
+            {
+                "k": step.k,
+                "lower_bound": step.lower_bound,
+                "upper_bound": step.upper_bound,
+                "exact_count": step.exact_count,
+                "decision": step.decision,
+            }
+            for step in self.steps
+        ]
 
     def summary(self) -> str:
         lines = [

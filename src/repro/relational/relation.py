@@ -14,6 +14,7 @@ all dominance code can assume "lower is preferred" (paper Sec. 2.1,
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -85,6 +86,7 @@ class Relation:
         signs = np.asarray(schema.preference_signs(), dtype=np.float64)
         self._oriented = matrix * signs if sky_names else matrix
         self._oriented.setflags(write=False)
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -198,6 +200,30 @@ class Relation:
         if spec.role is Role.JOIN:
             return self._join_cols[name]
         return self._payload_cols[name]
+
+    def fingerprint(self) -> str:
+        """Stable content hash identifying this relation's data and schema.
+
+        Relations are immutable, so the digest is computed once and
+        memoized. Two relations with equal schemas and equal column
+        contents share a fingerprint even when they are distinct
+        objects, which is what plan caches key on.
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha1()
+            for name in self.schema.names:
+                spec = self.schema[name]
+                h.update(
+                    f"{name}|{spec.role.name}|{spec.preference.name}|"
+                    f"{spec.aggregate}\n".encode()
+                )
+            h.update(np.ascontiguousarray(self._matrix).tobytes())
+            for col_map in (self._join_cols, self._payload_cols):
+                for name in sorted(col_map):
+                    h.update(name.encode())
+                    h.update(repr(col_map[name]).encode())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def join_key(self, row: int) -> tuple:
         """Composite equality-join key of one row."""

@@ -1,0 +1,143 @@
+"""Engine results are pair-identical to the legacy facade and raw runners."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.api import Engine
+from repro.core import run_cartesian, run_dominator, run_grouping, run_naive
+from repro.core.find_k import find_k_at_least_delta, find_k_at_most_delta
+from repro.core.plan import JoinPlan
+from repro.datagen.paper_example import flight_example_relations
+from repro.errors import SoundnessWarning
+
+from ..helpers import make_random_pair
+
+RUNNERS = {
+    "naive": run_naive,
+    "grouping": run_grouping,
+    "dominator": run_dominator,
+    "cartesian": run_cartesian,
+}
+
+
+def _run_reference(algorithm, plan, k, mode):
+    if algorithm == "naive":
+        return run_naive(plan, k)
+    return RUNNERS[algorithm](plan, k, mode=mode)
+
+
+def _pairs_for(name):
+    if name == "paper":
+        return flight_example_relations()
+    seed = {"random-a": 31, "random-b": 32}[name]
+    return make_random_pair(seed=seed, n=12, d=4, g=3)
+
+
+@pytest.mark.parametrize("dataset", ["paper", "random-a", "random-b"])
+@pytest.mark.parametrize("algorithm", ["naive", "grouping", "dominator"])
+@pytest.mark.parametrize("mode", ["faithful", "exact"])
+class TestKsjqParity:
+    def test_equality_join(self, dataset, algorithm, mode):
+        left, right = _pairs_for(dataset)
+        k = left.schema.d + 1
+        expected = _run_reference(algorithm, JoinPlan(left, right), k, mode)
+        eng = Engine()
+        via_engine = (
+            eng.query(left, right).algorithm(algorithm).mode(mode).k(k).run()
+        )
+        via_facade = repro.ksjq(
+            left, right, k=k, algorithm=algorithm, mode=mode, engine=eng
+        )
+        assert via_engine.pair_set() == expected.pair_set()
+        assert via_facade.pair_set() == expected.pair_set()
+        assert via_engine.algorithm == expected.algorithm
+
+
+@pytest.mark.parametrize("algorithm", ["naive", "grouping", "dominator", "cartesian"])
+@pytest.mark.parametrize("mode", ["faithful", "exact"])
+def test_cartesian_join_parity_all_four_algorithms(algorithm, mode):
+    left, right = make_random_pair(seed=33, n=9, d=4, g=3)
+    k = left.schema.d + 1
+    plan = JoinPlan(left, right, kind="cartesian")
+    expected = _run_reference(algorithm, plan, k, mode)
+    via_engine = (
+        Engine()
+        .query(left, right)
+        .join("cartesian")
+        .algorithm(algorithm)
+        .mode(mode)
+        .k(k)
+        .run()
+    )
+    assert via_engine.pair_set() == expected.pair_set()
+
+
+@pytest.mark.parametrize("mode", ["faithful", "exact"])
+def test_aggregate_parity(mode):
+    left, right = make_random_pair(seed=34, n=10, d=4, g=3, a=1)
+    k = left.schema.d + 1
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", SoundnessWarning)
+        expected = run_grouping(JoinPlan(left, right, aggregate="sum"), k, mode=mode)
+        via_engine = (
+            Engine()
+            .query(left, right)
+            .aggregate("sum")
+            .algorithm("grouping")
+            .mode(mode)
+            .k(k)
+            .run()
+        )
+    assert via_engine.pair_set() == expected.pair_set()
+
+
+def test_auto_matches_explicit_choice():
+    """auto runs whatever the cost model picks; the answer is unchanged."""
+    left, right = make_random_pair(seed=35, n=12, d=4, g=3)
+    eng = Engine()
+    auto = eng.query(left, right).k(5).run()
+    explicit = eng.query(left, right).algorithm(auto.algorithm).k(5).run()
+    assert auto.pair_set() == explicit.pair_set()
+    # and agrees with the exact ground truth (a=0: all algorithms exact)
+    truth = run_naive(JoinPlan(left, right), 5)
+    assert auto.pair_set() == truth.pair_set()
+
+
+@pytest.mark.parametrize("method", ["naive", "range", "binary"])
+@pytest.mark.parametrize("objective", ["at_least", "at_most"])
+def test_find_k_parity(method, objective):
+    left, right = make_random_pair(seed=36, n=12, d=4, g=3)
+    finder = find_k_at_least_delta if objective == "at_least" else find_k_at_most_delta
+    expected = finder(JoinPlan(left, right), 3, method=method)
+    eng = Engine()
+    via_engine = eng.query(left, right).find_k(
+        delta=3, method=method, objective=objective
+    )
+    via_facade = repro.find_k(
+        left, right, delta=3, method=method, objective=objective, engine=eng
+    )
+    assert via_engine.k == expected.k
+    assert via_facade.k == expected.k
+    assert [s.k for s in via_engine.steps] == [s.k for s in expected.steps]
+
+
+def test_facade_fails_fast_before_plan_construction(monkeypatch):
+    """Bad arguments must not pay the join-preparation cost."""
+    left, right = make_random_pair(seed=37, n=10, d=4, g=3)
+
+    def exploding_init(self, *args, **kwargs):
+        raise AssertionError("JoinPlan was constructed for an invalid query")
+
+    monkeypatch.setattr(JoinPlan, "__init__", exploding_init)
+    with pytest.raises(repro.AlgorithmError, match="unknown algorithm"):
+        repro.ksjq(left, right, k=4, algorithm="quantum")
+    with pytest.raises(repro.AlgorithmError, match="unknown mode"):
+        repro.ksjq(left, right, k=4, mode="sloppy")
+    with pytest.raises(repro.ParameterError, match="method"):
+        repro.find_k(left, right, delta=3, method="ternary")
+    with pytest.raises(repro.AlgorithmError, match="objective"):
+        repro.find_k(left, right, delta=3, objective="exactly")
+    with pytest.raises(repro.ParameterError, match="delta"):
+        repro.find_k(left, right, delta=0)

@@ -1,0 +1,77 @@
+"""Unified result protocol: to_records, elapsed, provenance."""
+
+import pytest
+
+import repro
+from repro.api import Engine
+from repro.core import cascade_ksjq
+from repro.core.result import QueryResult
+from repro.errors import AlgorithmError
+
+from ..helpers import make_random_pair
+
+
+@pytest.fixture
+def pair():
+    return make_random_pair(seed=50, n=10, d=4, g=3)
+
+
+class TestProtocol:
+    def test_all_results_implement_the_protocol(self, pair):
+        eng = Engine()
+        ksjq_res = eng.query(*pair).k(5).run()
+        findk_res = eng.query(*pair).find_k(delta=2)
+        cascade_res = cascade_ksjq([*pair], k=5)
+        for res in (ksjq_res, findk_res, cascade_res):
+            assert isinstance(res, QueryResult)
+            assert res.elapsed >= 0.0
+            assert res.count >= 0
+            assert isinstance(res.to_records(), list)
+
+    def test_ksjq_records_have_joined_columns(self, pair):
+        res = Engine().query(*pair).k(5).run()
+        records = res.to_records()
+        assert len(records) == res.count
+        for record in records:
+            assert {"r1.s0", "r2.s0", "_left_row", "_right_row"} <= set(record)
+
+    def test_ksjq_records_need_a_source(self, pair):
+        from repro.core import run_naive
+        from repro.core.plan import JoinPlan
+
+        bare = run_naive(JoinPlan(*pair), 5)
+        assert bare.source is None
+        if bare.count:
+            with pytest.raises(AlgorithmError, match="Engine"):
+                bare.to_records()
+
+    def test_find_k_records_trace_the_search(self, pair):
+        res = Engine().query(*pair).find_k(delta=2)
+        records = res.to_records()
+        assert len(records) == len(res.steps)
+        assert {"k", "lower_bound", "upper_bound", "exact_count", "decision"} <= set(
+            records[0]
+        )
+
+    def test_cascade_records_prefix_per_relation(self, pair):
+        res = cascade_ksjq([*pair], k=5)
+        records = res.to_records()
+        assert len(records) == res.count
+        if records:
+            assert "r1.s0" in records[0] and "r2.s0" in records[0]
+            assert records[0]["r1._row"] >= 0
+        assert res.timings.total >= 0.0
+
+    def test_with_provenance_round_trip(self, pair):
+        from repro.core import run_naive
+        from repro.core.plan import JoinPlan
+
+        plan = JoinPlan(*pair)
+        spec = repro.QuerySpec.for_ksjq(k=5)
+        res = run_naive(plan, 5).with_provenance(spec, plan)
+        assert res.spec is spec and res.source is plan
+        assert res.pair_set() == run_naive(plan, 5).pair_set()
+
+    def test_legacy_facade_results_carry_provenance(self, pair):
+        res = repro.ksjq(*pair, k=5, engine=Engine())
+        assert res.spec is not None and res.source is not None

@@ -1,0 +1,122 @@
+"""QuerySpec: validation, normalization, hashing."""
+
+import pytest
+
+from repro.api import QuerySpec
+from repro.errors import AlgorithmError, JoinError, ParameterError
+from repro.relational import ThetaCondition, ThetaOp
+from repro.relational.aggregates import get_aggregate
+
+
+class TestValidation:
+    def test_requires_k_for_ksjq(self):
+        with pytest.raises(ParameterError, match="requires k"):
+            QuerySpec(problem="ksjq")
+
+    def test_requires_delta_for_find_k(self):
+        with pytest.raises(ParameterError, match="requires delta"):
+            QuerySpec(problem="find_k")
+
+    def test_unknown_problem(self):
+        with pytest.raises(ParameterError, match="unknown problem"):
+            QuerySpec(problem="skyline")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(AlgorithmError, match="unknown algorithm"):
+            QuerySpec.for_ksjq(k=5, algorithm="quantum")
+
+    def test_unknown_mode(self):
+        with pytest.raises(AlgorithmError, match="unknown mode"):
+            QuerySpec.for_ksjq(k=5, mode="sloppy")
+
+    def test_unknown_join_kind(self):
+        with pytest.raises(JoinError, match="unknown join kind"):
+            QuerySpec.for_ksjq(k=5, join="outer")
+
+    def test_unknown_method(self):
+        with pytest.raises(ParameterError, match="method"):
+            QuerySpec.for_find_k(delta=3, method="ternary")
+
+    def test_unknown_objective(self):
+        with pytest.raises(AlgorithmError, match="objective"):
+            QuerySpec.for_find_k(delta=3, objective="exactly")
+
+    def test_nonpositive_delta(self):
+        with pytest.raises(ParameterError, match="delta"):
+            QuerySpec.for_find_k(delta=0)
+
+    def test_cartesian_algorithm_needs_cartesian_join(self):
+        with pytest.raises(JoinError, match="cartesian"):
+            QuerySpec.for_ksjq(k=5, algorithm="cartesian", join="equality")
+        QuerySpec.for_ksjq(k=5, algorithm="cartesian", join="cartesian")
+
+    def test_theta_requires_theta_join(self):
+        cond = ThetaCondition("x", ThetaOp.LT, "y")
+        with pytest.raises(JoinError, match="theta"):
+            QuerySpec.for_ksjq(k=5, join="equality", theta=cond)
+        with pytest.raises(JoinError, match="theta"):
+            QuerySpec.for_ksjq(k=5, join="theta")
+
+    def test_k_and_delta_are_mutually_exclusive(self):
+        with pytest.raises(ParameterError, match="delta"):
+            QuerySpec(problem="ksjq", k=5, delta=3)
+        with pytest.raises(ParameterError, match="k is tuned"):
+            QuerySpec(problem="find_k", delta=3, k=5)
+
+    def test_k_must_be_int(self):
+        with pytest.raises(ParameterError, match="integer"):
+            QuerySpec.for_ksjq(k="seven")
+
+
+class TestNormalization:
+    def test_registry_aggregate_object_normalized_to_name(self):
+        spec = QuerySpec.for_ksjq(k=5, aggregate=get_aggregate("sum"))
+        assert spec.aggregate == "sum"
+        assert spec == QuerySpec.for_ksjq(k=5, aggregate="sum")
+
+    def test_custom_aggregate_object_kept_intact(self):
+        """Unregistered (even name-colliding) functions must not be
+        silently replaced by the registry entry of the same name."""
+        from repro.relational.aggregates import AggregateFunction
+
+        custom = AggregateFunction("sum", lambda x, y: x - y, strictly_monotone=True)
+        spec = QuerySpec.for_ksjq(k=5, aggregate=custom)
+        assert spec.aggregate is custom
+        assert spec != QuerySpec.for_ksjq(k=5, aggregate="sum")
+        unregistered = AggregateFunction("mycustom", lambda x, y: x + y, strictly_monotone=True)
+        assert QuerySpec.for_ksjq(k=5, aggregate=unregistered).aggregate is unregistered
+
+    def test_single_theta_condition_becomes_tuple(self):
+        cond = ThetaCondition("x", ThetaOp.LT, "y")
+        spec = QuerySpec.for_ksjq(k=5, join="theta", theta=cond)
+        assert spec.theta == (cond,)
+        as_list = QuerySpec.for_ksjq(k=5, join="theta", theta=[cond])
+        assert spec == as_list
+
+    def test_replace_revalidates(self):
+        spec = QuerySpec.for_ksjq(k=5)
+        assert spec.replace(k=6).k == 6
+        with pytest.raises(AlgorithmError):
+            spec.replace(algorithm="quantum")
+
+
+class TestHashing:
+    def test_equal_specs_hash_equal(self):
+        a = QuerySpec.for_ksjq(k=7, aggregate="sum")
+        b = QuerySpec.for_ksjq(k=7, aggregate="sum")
+        assert a == b and hash(a) == hash(b)
+        assert {a: "cached"}[b] == "cached"
+
+    def test_distinct_specs_differ(self):
+        assert QuerySpec.for_ksjq(k=7) != QuerySpec.for_ksjq(k=8)
+        assert QuerySpec.for_ksjq(k=7) != QuerySpec.for_ksjq(k=7, mode="exact")
+
+    def test_plan_key_ignores_execution_parameters(self):
+        a = QuerySpec.for_ksjq(k=7, algorithm="naive", mode="exact", aggregate="sum")
+        b = QuerySpec.for_find_k(delta=10, method="range", aggregate="sum")
+        assert a.plan_key() == b.plan_key()
+        assert a.plan_key() != QuerySpec.for_ksjq(k=7).plan_key()
+
+    def test_describe_mentions_problem(self):
+        assert "ksjq" in QuerySpec.for_ksjq(k=7).describe()
+        assert "delta=3" in QuerySpec.for_find_k(delta=3).describe()

@@ -9,7 +9,7 @@ import repro
 from repro.core import JoinPlan, run_cartesian, run_dominator, run_grouping, run_naive
 from repro.errors import AggregateError, AlgorithmError, JoinError, SoundnessWarning
 
-from ..conftest import make_random_pair
+from ..helpers import make_random_pair
 
 
 def _pairs(result):

@@ -8,7 +8,7 @@ from repro.core.cascade import cascade_chains, cascade_oriented
 from repro.errors import JoinError, ParameterError
 from repro.relational import Relation, RelationSchema
 
-from ..conftest import make_random_pair
+from ..helpers import make_random_pair
 
 
 def _leg(n, seed, name, a=0, cities_in=None, cities_out=None):

@@ -13,7 +13,7 @@ from repro.datagen import (
 from repro.relational import Relation, RelationSchema, ThetaOp
 from repro.relational.groups import ThetaGroupIndex
 
-from ..conftest import make_random_pair
+from ..helpers import make_random_pair
 
 
 class TestFateTable:

@@ -15,7 +15,7 @@ from repro.core import Category, JoinPlan, run_dominator, run_grouping, run_naiv
 from repro.errors import SoundnessWarning
 from repro.relational import Relation
 
-from ..conftest import make_random_pair
+from ..helpers import make_random_pair
 
 
 def _rel(matrix, aggregate, name):

@@ -7,7 +7,7 @@ from repro.core import JoinPlan
 from repro.core.find_k import find_k_at_least_delta, find_k_at_most_delta
 from repro.errors import ParameterError
 
-from ..conftest import make_random_pair
+from ..helpers import make_random_pair
 
 
 def brute_force_find_k(plan, delta):

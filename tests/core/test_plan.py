@@ -8,7 +8,7 @@ from repro.core import Category, JoinPlan
 from repro.errors import AggregateError, JoinError
 from repro.relational import Relation, RelationSchema, ThetaCondition, ThetaOp
 
-from ..conftest import make_random_pair
+from ..helpers import make_random_pair
 
 
 class TestConstruction:

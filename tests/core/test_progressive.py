@@ -9,7 +9,7 @@ import repro
 from repro.core import Category, JoinPlan, ksjq_progressive, run_grouping, run_naive
 from repro.errors import AggregateError, SoundnessWarning
 
-from ..conftest import make_random_pair
+from ..helpers import make_random_pair
 
 
 class TestProgressiveCorrectness:

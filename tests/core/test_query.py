@@ -7,7 +7,7 @@ import repro
 from repro.core import make_plan
 from repro.errors import AlgorithmError
 
-from ..conftest import make_random_pair
+from ..helpers import make_random_pair
 
 
 class TestKsjqFacade:

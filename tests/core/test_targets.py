@@ -5,7 +5,7 @@ import numpy as np
 from repro.core import target_rows_exact, target_rows_paper
 from repro.relational import Relation
 
-from ..conftest import make_random_pair
+from ..helpers import make_random_pair
 
 
 def _rel(matrix, aggregate=()):

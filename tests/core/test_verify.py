@@ -10,7 +10,7 @@ from repro.core.verify import (
 )
 from repro.relational.join import JoinedView
 
-from ..conftest import make_random_pair
+from ..helpers import make_random_pair
 
 
 class TestSortRowsForEarlyExit:

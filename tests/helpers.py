@@ -1,0 +1,46 @@
+"""Plain-function test helpers, importable from any test module.
+
+Kept separate from ``conftest.py`` (which pytest reserves for fixtures
+and hooks) so test modules can do ``from ..helpers import
+make_random_pair`` without relying on conftest import mechanics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.synthetic import generate_matrix
+from repro.relational import Relation
+
+__all__ = ["make_random_pair"]
+
+
+def make_random_pair(
+    seed: int,
+    n: int = 10,
+    d: int = 4,
+    g: int = 3,
+    a: int = 0,
+    levels: int = 4,
+    distribution: str = "independent",
+):
+    """Small random relation pair with discretized values (forces ties).
+
+    Discretization matters: ties exercise the equal-sharer logic in the
+    target sets, which continuous data would almost never hit.
+    """
+    rng = np.random.default_rng(seed)
+    names = [f"s{i}" for i in range(d)]
+    rels = []
+    for name in ("R1", "R2"):
+        matrix = np.floor(generate_matrix(n, d, distribution, rng) * levels)
+        rels.append(
+            Relation.from_arrays(
+                matrix,
+                names,
+                join_key=[int(i % g) for i in range(n)],
+                aggregate=names[:a],
+                name=name,
+            )
+        )
+    return rels[0], rels[1]

@@ -14,6 +14,7 @@ MODULES = [
     "repro.relational",
     "repro.skyline",
     "repro.core",
+    "repro.api",
     "repro.datagen",
     "repro.experiments",
     "repro.errors",
