@@ -78,7 +78,7 @@ def test_progressive_time_to_first_result(benchmark, consumption):
         plan = JoinPlan(left, right)
         return run_grouping(plan, 9).count
 
-    result = benchmark.pedantic(
+    benchmark.pedantic(
         first if consumption == "first-result" else full, rounds=1, iterations=1
     )
     benchmark.extra_info["consumption"] = consumption

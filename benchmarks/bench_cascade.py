@@ -1,0 +1,29 @@
+"""m-way cascade KSJQ: pruned (Theorem-4 m-way analogue) vs naive.
+
+Not a paper figure — the paper only notes that "the case for more than
+two base relations can be handled by cascading the joins" (Sec. 2.3) —
+but the engine's cascade path deserves the same per-cell record as the
+two-way algorithms: three flight legs chained on ``dst``/``src``, k
+swept over the upper half of its valid range, both algorithms through
+``Engine.query(...)``.
+"""
+
+import pytest
+
+from .conftest import bench_cascade, make_cascade_legs, scaled_n
+
+
+@pytest.mark.parametrize("algorithm", ["pruned", "naive"])
+@pytest.mark.parametrize("k", [6, 7])
+@pytest.mark.benchmark(group="cascade-3way")
+def test_cascade_three_way(benchmark, algorithm, k):
+    legs = make_cascade_legs(n_per_leg=max(20, scaled_n(1000)), m=3, a=1)
+    bench_cascade(benchmark, algorithm, legs, k, "sum")
+
+
+@pytest.mark.parametrize("algorithm", ["pruned", "naive"])
+@pytest.mark.benchmark(group="cascade-4way")
+def test_cascade_four_way(benchmark, algorithm):
+    legs = make_cascade_legs(n_per_leg=max(12, scaled_n(400)), m=4, a=1)
+    # joined d = 2 locals x 4 legs + 1 aggregate = 9.
+    bench_cascade(benchmark, algorithm, legs, 8, "sum")

@@ -14,13 +14,19 @@ baseline stays feasible.
 
 Skyline sizes / chosen k are recorded in ``benchmark.extra_info`` so the
 benchmark JSON doubles as a correctness record.
+
+Setting ``REPRO_BENCH_ARTIFACTS=<dir>`` additionally writes one
+``BENCH_<figure>.json`` per benchmark module at session end (figure id,
+scale, elapsed seconds per algorithm cell) — CI uploads these as build
+artifacts so runs are comparable across commits.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import warnings
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional
 
 import pytest
 
@@ -30,6 +36,7 @@ from repro.errors import SoundnessWarning
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
 MAX_JOINED = int(os.environ.get("REPRO_BENCH_MAX_JOINED", "60000"))
+ARTIFACT_DIR = os.environ.get("REPRO_BENCH_ARTIFACTS", "")
 
 # Caching disabled: each benchmark cell must pay full join preparation,
 # matching the paper's per-algorithm component breakdowns.
@@ -39,6 +46,44 @@ _ALGOS = {"G": "grouping", "D": "dominator", "N": "naive"}
 _METHODS = {"B": "binary", "R": "range", "N": "naive"}
 
 _pair_cache: Dict[tuple, tuple] = {}
+_artifact_records: Dict[str, List[dict]] = {}
+
+
+def _figure_id(fullname: str) -> str:
+    """``benchmarks/bench_fig01_x.py::test_a[G-8]`` -> ``fig01_x``."""
+    stem = os.path.splitext(os.path.basename(fullname.split("::", 1)[0]))[0]
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
+def record_artifact(benchmark, algorithm: str, elapsed: float) -> None:
+    """Queue one benchmark cell for the session's BENCH_*.json artifact."""
+    if not ARTIFACT_DIR:
+        return
+    _artifact_records.setdefault(_figure_id(benchmark.fullname), []).append(
+        {
+            "name": benchmark.name,
+            "algorithm": algorithm,
+            "elapsed": round(float(elapsed), 6),
+            "extra_info": dict(benchmark.extra_info),
+        }
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one BENCH_<figure>.json per benchmark module that ran."""
+    if not ARTIFACT_DIR or not _artifact_records:
+        return
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    for figure, results in sorted(_artifact_records.items()):
+        payload = {
+            "figure": figure,
+            "scale": BENCH_SCALE,
+            "max_joined": MAX_JOINED,
+            "results": results,
+        }
+        path = os.path.join(ARTIFACT_DIR, f"BENCH_{figure}.json")
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
 
 
 def scaled_n(paper_n: int = 3300) -> int:
@@ -112,6 +157,7 @@ def bench_ksjq(benchmark, letter, left, right, k, aggregate):
     benchmark.extra_info["timings"] = {
         key: round(val, 6) for key, val in result.timings.as_dict().items()
     }
+    record_artifact(benchmark, _ALGOS[letter], result.timings.total)
     return result
 
 
@@ -123,6 +169,63 @@ def bench_findk(benchmark, letter, left, right, delta, aggregate=None):
     benchmark.extra_info["k"] = result.k
     benchmark.extra_info["method"] = _METHODS[letter]
     benchmark.extra_info["full_evaluations"] = result.full_evaluations
+    record_artifact(benchmark, _METHODS[letter], result.timings.total)
+    return result
+
+
+def make_cascade_legs(n_per_leg: int, m: int = 3, a: int = 1, seed: int = 7):
+    """A chain of ``m`` flight-leg relations joined on ``dst``/``src``."""
+    import numpy as np
+
+    from repro.relational import Relation, RelationSchema
+
+    key = ("cascade", n_per_leg, m, a, seed)
+    if key not in _pair_cache:
+        rng = np.random.default_rng(seed)
+        names = ["cost", "dur", "rtg"]
+        schema = RelationSchema.build(
+            skyline=names,
+            aggregate=names[:a],
+            higher_is_better=["rtg"],
+            payload=["src", "dst"],
+        )
+        cities = [["A"], ["P", "Q"], ["R", "S"], ["T", "U"], ["B"]]
+        legs = []
+        for i in range(m):
+            ins, outs = cities[i], cities[i + 1]
+            quality = rng.beta(2, 2, n_per_leg)
+            legs.append(
+                Relation(
+                    schema,
+                    {
+                        "cost": np.round(60 + 250 * quality + rng.normal(0, 20, n_per_leg)),
+                        "dur": np.round(1 + 3 * rng.uniform(size=n_per_leg), 1),
+                        "rtg": np.round(1 + 9 * np.clip(quality + rng.normal(0, 0.2, n_per_leg), 0, 1)),
+                        "src": [ins[j % len(ins)] for j in range(n_per_leg)],
+                        "dst": [outs[j % len(outs)] for j in range(n_per_leg)],
+                    },
+                    name=f"leg{i + 1}",
+                )
+            )
+        _pair_cache[key] = tuple(legs)
+    return _pair_cache[key]
+
+
+def bench_cascade(benchmark, algorithm: str, legs, k: int, aggregate: Optional[str]):
+    """Benchmark one m-way cascade cell through the engine."""
+
+    def run():
+        query = ENGINE.query(*legs).aggregate(aggregate).algorithm(algorithm)
+        for _ in range(len(legs) - 1):
+            query = query.hop("dst", "src")
+        return query.run(k=k)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["skyline"] = result.count
+    benchmark.extra_info["total_chains"] = result.total_chains
+    benchmark.extra_info["pruned_rows"] = result.pruned_rows
+    benchmark.extra_info["algorithm"] = algorithm
+    record_artifact(benchmark, algorithm, result.timings.total)
     return result
 
 

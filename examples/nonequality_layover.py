@@ -4,8 +4,11 @@
 "In a flight combination, the arrival time of the first leg needs to be
 earlier than the departure time of the second" — a theta join
 ``leg1.arrival < leg2.departure`` instead of an equality join. This
-example builds timetabled legs and runs KSJQ over the theta join,
-verifying the optimized algorithms against the naïve one.
+example builds timetabled legs and runs KSJQ over the theta join
+through the engine API: ``engine.query(...).theta(condition)`` keeps
+the full two-way algorithm family (naïve / grouping / dominator)
+available, ``explain()`` shows the cost-based choice, and every
+algorithm reuses one cached plan.
 
 Run:  python examples/nonequality_layover.py
 """
@@ -47,25 +50,32 @@ def main() -> None:
 
     # Valid itinerary: first leg arrives before the second departs.
     condition = ThetaCondition("arrival", ThetaOp.LT, "departure")
-    plan = repro.make_plan(first_legs, second_legs, join="theta", theta=condition)
+    engine = repro.Engine()
+    itinerary = engine.query(first_legs, second_legs).theta(condition)
+
+    report = itinerary.k(6).explain()
     print(f"{len(first_legs)} x {len(second_legs)} legs -> "
-          f"{len(plan.view())} time-feasible itineraries")
+          f"{report.stats.join_size} time-feasible itineraries")
+    print("\n" + report.summary())
 
     # Sweep k over its valid range. Low k annihilates (cyclic mutual
     # domination, Sec. 2.2); the full k = 6 is the classic skyline join.
     print("\nskyline size by k:")
     for k in (4, 5, 6):
-        count = repro.ksjq(first_legs, second_legs, k=k, plan=plan).count
-        print(f"  k={k}: {count}")
+        print(f"  k={k}: {itinerary.k(k).run().count}")
 
     k = 6
     results = {
-        algorithm: repro.ksjq(first_legs, second_legs, k=k,
-                              algorithm=algorithm, plan=plan)
+        algorithm: itinerary.algorithm(algorithm).k(k).run()
         for algorithm in ("naive", "grouping", "dominator")
     }
     answers = {r.pair_set() for r in results.values()}
     assert len(answers) == 1, "algorithms disagree on the theta join!"
+
+    # Every sweep point and algorithm above reused one cached theta plan.
+    info = engine.cache_info()
+    print(f"\nplan cache: {info['hits']} hits / {info['misses']} miss "
+          f"across {info['requests']} queries")
 
     print(f"\n{k}-dominant skyline itineraries: "
           f"{results['grouping'].count}")

@@ -3,11 +3,14 @@
 
 The paper notes that "the case for more than two base relations can be
 handled by cascading the joins" (Sec. 2.3) and motivates progressive
-result generation (Sec. 6.1). This example shows both:
+result generation (Sec. 6.1). This example shows both through the
+engine API:
 
-1. a three-relation cascade (A -> hub1 -> hub2 -> B) with per-hop join
-   conditions ``leg.dst == next_leg.src`` and total cost aggregated
-   across all three legs;
+1. a three-relation cascade (A -> hub1 -> hub2 -> B) built with
+   ``engine.query(leg1, leg2, leg3).hop("dst", "src").hop("dst", "src")``
+   — per-hop join conditions, total cost aggregated across all three
+   legs, cost-based algorithm choice, an ``explain()`` plan, and a
+   plan-cache hit on the second execution;
 2. the progressive generator on a two-relation join, printing results
    as they are decided (guaranteed "yes" tuples stream out before any
    verification work happens).
@@ -16,10 +19,12 @@ Run:  python examples/two_stop_cascade.py
 """
 
 import itertools
+import warnings
 
 import numpy as np
 
 import repro
+from repro.errors import SoundnessWarning
 from repro.relational import Relation, RelationSchema
 
 RNG = np.random.default_rng(17)
@@ -52,20 +57,39 @@ def main() -> None:
     leg1 = make_leg(40, ["A"], ["P", "Q"], "X")
     leg2 = make_leg(40, ["P", "Q"], ["R", "S"], "Y")
     leg3 = make_leg(40, ["R", "S"], ["B"], "Z")
-    hops = [repro.Hop("dst", "src"), repro.Hop("dst", "src")]
+
+    engine = repro.Engine()
+    itinerary = (
+        engine.query(leg1, leg2, leg3)
+        .hop("dst", "src")
+        .hop("dst", "src")
+        .aggregate("sum")
+    )
+
+    # What would run, and why (exact chain count, cost-based choice):
+    print(itinerary.k(7).explain().summary())
 
     # Joined attributes: 2 locals x 3 legs + 1 aggregate (total cost) = 7.
+    print()
     for k in (6, 7):
-        result = repro.cascade_ksjq([leg1, leg2, leg3], k=k, hops=hops,
-                                    aggregate="sum", algorithm="pruned")
+        result = itinerary.k(k).run()
         print(f"k={k}: {result.total_chains} valid itineraries, "
               f"{result.pruned_rows} base tuples pruned before joining, "
-              f"{result.count} in the {k}-dominant skyline")
+              f"{result.count} in the {k}-dominant skyline "
+              f"[{result.algorithm}]")
+
+    # The second k reused the cached CascadePlan — join preparation and
+    # chain enumeration were paid once.
+    info = engine.cache_info()
+    print(f"plan cache: {info['hits']} hits / {info['misses']} miss "
+          f"across {info['requests']} queries")
 
     print("\nbest two-stop itineraries (first 5):")
-    for chain in itertools.islice(result.chains, 5):
-        legs = [leg1.record(int(chain[0])), leg2.record(int(chain[1])),
-                leg3.record(int(chain[2]))]
+    for record in itertools.islice(result.to_records(), 5):
+        legs = [
+            {key.split(".", 1)[1]: record[key] for key in record if key.startswith(prefix)}
+            for prefix in ("r1.", "r2.", "r3.")
+        ]
         total = sum(leg["cost"] for leg in legs)
         route = " -> ".join([legs[0]["src"]] + [leg["dst"] for leg in legs])
         print(f"  {route}: total cost {total:.0f}, "
@@ -73,17 +97,11 @@ def main() -> None:
 
     # Progressive generation on a single hop (leg1 x leg2): consume the
     # first few skyline itineraries without paying for the full query.
-    schema_note = "progressive results on leg1 x leg2 (k=5 of 5):"
-    print(f"\n{schema_note}")
-    plan = repro.make_plan(leg1, leg2, aggregate="sum")
-    import warnings
-
-    from repro.errors import SoundnessWarning
-
+    print("\nprogressive results on leg1 x leg2 (k=5 of 5):")
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", SoundnessWarning)
-        for i, (u, v) in enumerate(itertools.islice(
-                repro.ksjq_progressive(plan, 5), 5)):
+        stream = engine.query(leg1, leg2).aggregate("sum").stream(k=5)
+        for i, (u, v) in enumerate(itertools.islice(stream, 5)):
             a, b = leg1.record(u), leg2.record(v)
             print(f"  #{i + 1}: {a['fno']}+{b['fno']} via {a['dst']}, "
                   f"cost {a['cost'] + b['cost']:.0f}")

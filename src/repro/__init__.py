@@ -37,6 +37,11 @@ preparation is cached across queries over the same relations::
     for left_row, right_row in engine.query(r1, r2).aggregate("sum").k(7).stream():
         ...
 
+    # m-way cascades (Sec. 2.3) run through the same engine: one hop
+    # condition per adjacent pair, same caching/auto/explain/stream.
+    chain = engine.query(leg1, leg2, leg3).hop("dst", "src").hop("dst", "src")
+    chains = chain.aggregate("sum").k(7).run()
+
 The original one-shot facade remains fully supported (it now runs on a
 shared default engine, so it benefits from plan caching too)::
 
@@ -46,7 +51,10 @@ shared default engine, so it benefits from plan caching too)::
 
 from .api import Engine, ExplainReport, QueryBuilder, QuerySpec
 from .core import (
+    CascadeParams,
+    CascadePlan,
     CascadeResult,
+    CascadeStats,
     FATE_TABLE,
     Categorization,
     Category,
@@ -60,6 +68,7 @@ from .core import (
     QueryResult,
     TimingBreakdown,
     cascade_ksjq,
+    cascade_progressive,
     categorize,
     default_engine,
     find_k,
@@ -83,6 +92,7 @@ from .errors import (
 )
 from .relational import (
     AttributeSpec,
+    HopSpec,
     JoinedView,
     Preference,
     Relation,
@@ -105,6 +115,7 @@ __all__ = [
     "FATE_TABLE",
     "Fate",
     "FindKResult",
+    "HopSpec",
     "JoinError",
     "JoinPlan",
     "JoinedView",
@@ -126,9 +137,13 @@ __all__ = [
     "ThetaCondition",
     "ThetaOp",
     "TimingBreakdown",
+    "CascadeParams",
+    "CascadePlan",
     "CascadeResult",
+    "CascadeStats",
     "Hop",
     "cascade_ksjq",
+    "cascade_progressive",
     "categorize",
     "default_engine",
     "find_k",

@@ -19,7 +19,13 @@ as thin wrappers over a module-default engine.
 """
 
 from .builder import QueryBuilder
-from .engine import Engine, ExplainReport, PlanCacheStats, choose_algorithm
+from .engine import (
+    Engine,
+    ExplainReport,
+    PlanCacheStats,
+    choose_algorithm,
+    choose_cascade_algorithm,
+)
 from .spec import QuerySpec
 
 __all__ = [
@@ -29,4 +35,5 @@ __all__ = [
     "QueryBuilder",
     "QuerySpec",
     "choose_algorithm",
+    "choose_cascade_algorithm",
 ]

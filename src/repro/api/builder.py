@@ -1,13 +1,17 @@
 """Fluent query construction over an :class:`~repro.api.engine.Engine`.
 
-A builder accumulates the join configuration and query parameters,
-then freezes them into a :class:`~repro.api.spec.QuerySpec` on any of
-its terminal calls::
+A builder accumulates the join-graph configuration and query
+parameters, then freezes them into a :class:`~repro.api.spec.QuerySpec`
+on any of its terminal calls::
 
     engine.query(r1, r2).aggregate("sum").k(7).run()
     engine.query(r1, r2).join("theta", conds).k(5).stream()
     engine.query(r1, r2).find_k(delta=100, objective="at_most")
     engine.query(r1, r2).k(7).explain().summary()
+
+    # m-way cascades (paper Sec. 2.3): one hop per adjacent pair.
+    engine.query(r1, r2, r3).hop("dest", "source").hop("dest", "source").k(7).run()
+    engine.query(r1, r2, r3).hop("dest", "source").theta(layover).k(7).run()
 
 Builders are cheap, single-use-or-reuse objects: every terminal call
 re-derives the spec, so one configured builder can run, stream, and
@@ -19,7 +23,8 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 from ..core.result import FindKResult, KSJQResult
-from ..errors import ParameterError
+from ..errors import JoinError, ParameterError
+from ..relational.join import HopSpec
 from ..relational.relation import Relation
 from .spec import QuerySpec
 
@@ -30,14 +35,18 @@ __all__ = ["QueryBuilder"]
 
 
 class QueryBuilder:
-    """Chainable description of one query over a fixed relation pair."""
+    """Chainable description of one query over a fixed relation chain."""
 
-    def __init__(self, engine: "Engine", left: Relation, right: Relation) -> None:
+    def __init__(self, engine: "Engine", *relations: Relation) -> None:
+        if len(relations) < 2:
+            raise ParameterError(
+                f"query() needs at least two relations, got {len(relations)}"
+            )
         self._engine = engine
-        self._left = left
-        self._right = right
+        self._relations: Tuple[Relation, ...] = tuple(relations)
         self._join = "equality"
         self._theta = None
+        self._hops: List[HopSpec] = []
         self._aggregate = None
         self._k: Optional[int] = None
         self._delta: Optional[int] = None
@@ -50,10 +59,41 @@ class QueryBuilder:
     # Configuration (each returns self)
     # ------------------------------------------------------------------
     def join(self, kind: str, theta=None) -> "QueryBuilder":
-        """Join kind: ``"equality"`` (default), ``"cartesian"``, or
-        ``"theta"`` with one condition or a conjunction list."""
+        """Two-way join kind: ``"equality"`` (default), ``"cartesian"``,
+        or ``"theta"`` with one condition or a conjunction list. For
+        chains of three or more relations use :meth:`hop` /
+        :meth:`theta` per adjacent pair instead."""
         self._join = kind
         self._theta = theta
+        return self
+
+    def hop(
+        self,
+        left_column: Optional[str] = None,
+        right_column: Optional[str] = None,
+    ) -> "QueryBuilder":
+        """Append one equality hop of the join graph.
+
+        ``hop("dest", "source")`` joins the current chain end's ``dest``
+        column to the next relation's ``source`` column; a ``None``
+        column falls back to that side's composite join key, so a bare
+        ``hop()`` is the two-way default equality join.
+        """
+        self._hops.append(HopSpec.on_columns(left_column, right_column))
+        return self
+
+    def theta(self, conditions) -> "QueryBuilder":
+        """Theta condition(s) for the next hop of the join graph.
+
+        On a two-relation query with no explicit hops this is shorthand
+        for ``join("theta", conditions)`` (keeping the full two-way
+        algorithm family available); otherwise it appends a theta hop,
+        so ``query(r1, r2, r3).hop("dst", "src").theta(cond)`` chains an
+        equality hop and a theta hop.
+        """
+        if len(self._relations) == 2 and not self._hops:
+            return self.join("theta", conditions)
+        self._hops.append(HopSpec.on_theta(conditions))
         return self
 
     def aggregate(self, aggregate) -> "QueryBuilder":
@@ -95,30 +135,82 @@ class QueryBuilder:
     # ------------------------------------------------------------------
     # Spec derivation
     # ------------------------------------------------------------------
+    def _is_cascade(self) -> bool:
+        if len(self._relations) > 2:
+            return True
+        if not self._hops:
+            return False
+        # A single two-way hop reduces to the richer two-way spec when it
+        # matches a classic join kind; named-column equality does not.
+        if len(self._hops) == 1:
+            hop = self._hops[0]
+            return hop.kind == "equality" and (
+                hop.left_column is not None or hop.right_column is not None
+            )
+        return True
+
+    def _hop_tuple(self) -> Tuple[HopSpec, ...]:
+        m = len(self._relations)
+        if self._hops and len(self._hops) != m - 1:
+            raise JoinError(
+                f"need {m - 1} hops for {m} relations, got {len(self._hops)}"
+            )
+        return tuple(self._hops)
+
     def spec(self) -> QuerySpec:
         """Freeze the current configuration into a validated spec.
 
         A set ``k`` selects the ksjq problem; otherwise a set ``delta``
-        selects find_k.
+        selects find_k. Chains of three or more relations (or two-way
+        named-column hops) produce a cascade spec.
         """
+        cascade = self._is_cascade()
+        if (cascade or self._hops) and self._join != "equality":
+            raise ParameterError(
+                f"join({self._join!r}) applies to two-way queries; describe an "
+                "m-way chain with one hop()/theta() per adjacent pair"
+            )
+        join, theta = self._join, self._theta
+        if not cascade and len(self._hops) == 1:
+            hop = self._hops[0]
+            if hop.kind == "theta":
+                join, theta = "theta", hop.theta
+            elif hop.kind == "cartesian":
+                join, theta = "cartesian", None
+            else:
+                join, theta = "equality", None
         if self._k is not None:
+            if cascade:
+                return QuerySpec.for_cascade(
+                    k=self._k,
+                    hops=self._hop_tuple(),
+                    algorithm=self._algorithm,
+                    aggregate=self._aggregate,
+                    mode=self._mode,
+                )
             return QuerySpec.for_ksjq(
                 k=self._k,
                 algorithm=self._algorithm,
                 mode=self._mode,
-                join=self._join,
+                join=join,
                 aggregate=self._aggregate,
-                theta=self._theta,
+                theta=theta,
             )
         if self._delta is not None:
+            if cascade:
+                raise ParameterError(
+                    "find_k is only defined over two-way joins (the paper's "
+                    "cardinality bounds are pairwise); run ksjq at fixed k "
+                    "over a cascade instead"
+                )
             return QuerySpec.for_find_k(
                 delta=self._delta,
                 method=self._method,
                 objective=self._objective,
                 mode=self._mode,
-                join=self._join,
+                join=join,
                 aggregate=self._aggregate,
-                theta=self._theta,
+                theta=theta,
             )
         raise ParameterError("set .k(...) or .delta(...) before executing a query")
 
@@ -126,12 +218,12 @@ class QueryBuilder:
     # Terminals
     # ------------------------------------------------------------------
     def run(self, k: Optional[int] = None) -> KSJQResult:
-        """Execute the skyline join (Problems 1-2)."""
+        """Execute the skyline join (Problems 1-2, or an m-way cascade)."""
         if k is not None:
             self._k = k
         if self._k is None:
             raise ParameterError("run() needs k; call .k(...) or run(k=...)")
-        return self._engine.execute(self._left, self._right, self.spec())
+        return self._engine.execute(*self._relations, spec=self.spec())
 
     def find_k(
         self,
@@ -150,31 +242,30 @@ class QueryBuilder:
             raise ParameterError("find_k() needs delta; call .delta(...) or find_k(delta=...)")
         k_backup, self._k = self._k, None  # delta terminal overrides a set k
         try:
-            return self._engine.execute(self._left, self._right, self.spec())
+            return self._engine.execute(*self._relations, spec=self.spec())
         finally:
             self._k = k_backup
 
-    def stream(self, k: Optional[int] = None) -> Iterator[Tuple[int, int]]:
-        """Progressive skyline pairs (guaranteed "yes" tuples first)."""
+    def stream(self, k: Optional[int] = None) -> Iterator[Tuple[int, ...]]:
+        """Progressive skyline tuples (guaranteed "yes" tuples first)."""
         if k is not None:
             self._k = k
         if self._k is None:
             raise ParameterError("stream() needs k; call .k(...) or stream(k=...)")
-        return self._engine.stream(self._left, self._right, self.spec())
+        return self._engine.stream(*self._relations, spec=self.spec())
 
     def explain(self) -> "ExplainReport":
         """Algorithm choice + cost estimates, without executing."""
-        return self._engine.explain(self._left, self._right, self.spec())
+        return self._engine.explain(*self._relations, spec=self.spec())
 
     def to_records(self, k: Optional[int] = None) -> List[dict]:
         """Convenience: run and materialize the answer as dicts."""
         return self.run(k=k).to_records()
 
     def __repr__(self) -> str:
+        names = " x ".join(repr(rel.name) for rel in self._relations)
         try:
             described = self.spec().describe()
-        except ParameterError:
+        except (ParameterError, JoinError):
             described = f"{self._join} join (no k/delta yet)"
-        return (
-            f"<QueryBuilder {self._left.name!r} x {self._right.name!r}: {described}>"
-        )
+        return f"<QueryBuilder {names}: {described}>"

@@ -1,16 +1,22 @@
 """The query engine: cached join plans + cost-based algorithm choice.
 
-The paper's four problems all run over the *same* prepared join
-structures (joined view, group indexes, categorizations). The seed
+The paper's query problems all run over *prepared* join structures
+(joined views, group indexes, categorizations, chain sets). The seed
 library rebuilt those on every call; :class:`Engine` instead keeps an
-LRU cache of :class:`~repro.core.plan.JoinPlan` objects keyed by the
-relations' content fingerprints plus the join configuration, so a
-``ksjq`` followed by a ``find_k`` over the same relations — or the same
+LRU cache of :class:`~repro.core.plan.JoinPlan` /
+:class:`~repro.core.plan.CascadePlan` objects keyed by the relations'
+content fingerprints plus the join-graph configuration, so a ``ksjq``
+followed by a ``find_k`` over the same relations — or the same
 dashboard query issued a thousand times — pays join preparation once.
 
-``algorithm="auto"`` is resolved here by :func:`choose_algorithm`, a
-cost model over the plan's exact cardinality statistics (group sizes,
-join size) instead of the seed's hard-wired "always grouping".
+One engine surface serves every join shape the paper describes: the
+two-way equality/cartesian/theta joins *and* the m-way cascades of
+Sec. 2.3 (``engine.query(r1, r2, r3).hop("dest", "source")...``).
+
+``algorithm="auto"`` is resolved here by :func:`choose_algorithm` (two
+way) or :func:`choose_cascade_algorithm` (m-way), cost models over the
+plans' exact cardinality statistics instead of the seed's hard-wired
+defaults.
 """
 
 from __future__ import annotations
@@ -18,22 +24,34 @@ from __future__ import annotations
 import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple, Union
 
 from ..core.cartesian import run_cartesian
+from ..core.cascade import (
+    CascadeResult,
+    cascade_progressive,
+    run_cascade_naive,
+    run_cascade_pruned,
+)
 from ..core.dominator import run_dominator
 from ..core.find_k import find_k_at_least_delta, find_k_at_most_delta
 from ..core.grouping import run_grouping
 from ..core.naive import run_naive
-from ..core.plan import JoinPlan, PlanStats
+from ..core.plan import CascadePlan, CascadeStats, JoinPlan, PlanStats
 from ..core.progressive import ksjq_progressive
 from ..core.result import FindKResult, KSJQResult, QueryResult
-from ..errors import AlgorithmError
+from ..errors import AlgorithmError, ParameterError
 from ..relational.aggregates import AggregateFunction, get_aggregate
 from ..relational.relation import Relation
 from .spec import QuerySpec
 
-__all__ = ["Engine", "ExplainReport", "PlanCacheStats", "choose_algorithm"]
+__all__ = [
+    "Engine",
+    "ExplainReport",
+    "PlanCacheStats",
+    "choose_algorithm",
+    "choose_cascade_algorithm",
+]
 
 
 # ----------------------------------------------------------------------
@@ -42,7 +60,7 @@ __all__ = ["Engine", "ExplainReport", "PlanCacheStats", "choose_algorithm"]
 def choose_algorithm(
     plan: JoinPlan, mode: str = "faithful"
 ) -> Tuple[str, Dict[str, float], str]:
-    """Pick the cheapest applicable algorithm for a plan.
+    """Pick the cheapest applicable algorithm for a two-way plan.
 
     Returns ``(algorithm, costs, reason)`` where ``costs`` maps every
     candidate algorithm to its estimated cost in abstract dominance-
@@ -102,6 +120,44 @@ def choose_algorithm(
     return chosen, costs, reason
 
 
+def choose_cascade_algorithm(
+    plan: CascadePlan, mode: str = "faithful"
+) -> Tuple[str, Dict[str, float], str]:
+    """Pick the cheapest applicable algorithm for an m-way cascade plan.
+
+    The m-way analogue of :func:`choose_algorithm` over
+    :meth:`CascadePlan.stats` (exact chain count ``S``, Theorem-4
+    grouping cost ``C``):
+
+    * ``naive`` — every chain against the full chain set: ``S^2``;
+    * ``pruned`` — per-relation Theorem-4 pruning plus sub-quadratic
+      verification of the surviving candidates: ``C + S*sqrt(S)``.
+
+    A non-strictly-monotone aggregate forces ``naive`` (the m-way
+    substitution proof needs strict monotonicity). Both algorithms are
+    exact, so ``mode`` never constrains the choice.
+    """
+    stats = plan.stats()
+    S = float(stats.join_size)
+    C = float(stats.categorization_cost)
+
+    if plan.aggregate is not None and not plan.aggregate.strictly_monotone:
+        return (
+            "naive",
+            {"naive": S * S},
+            f"aggregate {plan.aggregate.name!r} is not strictly monotone; "
+            "only the naive cascade is exact",
+        )
+    costs = {"naive": S * S, "pruned": C + S * math.sqrt(S)}
+    chosen = min(costs, key=lambda name: (costs[name], name))
+    reason = (
+        f"cheapest estimated cost over {stats.join_size} chains across "
+        f"{stats.n_relations} relations (Theorem-4 grouping cost "
+        f"{stats.categorization_cost})"
+    )
+    return chosen, costs, reason
+
+
 @dataclass(frozen=True)
 class ExplainReport:
     """What the engine would do for a spec, without doing it.
@@ -118,7 +174,9 @@ class ExplainReport:
         Candidate -> estimated cost (dominance-comparison units for
         ksjq; expected full-evaluation probes for find_k).
     stats:
-        Cardinality statistics of the (cached or newly built) plan.
+        Cardinality statistics of the (cached or newly built) plan —
+        a :class:`~repro.core.plan.PlanStats` for two-way joins, a
+        :class:`~repro.core.plan.CascadeStats` for cascades.
     cache_hit:
         Whether the plan came from the engine's cache.
     """
@@ -127,20 +185,29 @@ class ExplainReport:
     algorithm: str
     reason: str
     costs: Dict[str, float] = field(default_factory=dict)
-    stats: Optional[PlanStats] = None
+    stats: Optional[Union[PlanStats, CascadeStats]] = None
     cache_hit: bool = False
+
+    def _plan_line(self) -> str:
+        line = f"plan: {'cache hit' if self.cache_hit else 'prepared'}"
+        if isinstance(self.stats, CascadeStats):
+            sizes = " x ".join(str(n) for n in self.stats.base_sizes)
+            return line + (
+                f", {self.stats.join_size} chains "
+                f"({sizes} base tuples over {self.stats.n_relations} relations)"
+            )
+        if self.stats is not None:
+            return line + (
+                f", join size {self.stats.join_size} "
+                f"({self.stats.n_left} x {self.stats.n_right} base tuples, "
+                f"{self.stats.shared_group_count} shared groups)"
+            )
+        return line
 
     def summary(self) -> str:
         lines = [
             f"query: {self.spec.describe()}",
-            f"plan: {'cache hit' if self.cache_hit else 'prepared'}"
-            + (
-                f", join size {self.stats.join_size} "
-                f"({self.stats.n_left} x {self.stats.n_right} base tuples, "
-                f"{self.stats.shared_group_count} shared groups)"
-                if self.stats
-                else ""
-            ),
+            self._plan_line(),
             f"chosen: {self.algorithm} — {self.reason}",
         ]
         if self.costs:
@@ -189,33 +256,46 @@ class Engine:
         result = engine.query(r1, r2).aggregate("sum").k(7).run()
         tuned = engine.query(r1, r2).aggregate("sum").find_k(delta=100)
         print(engine.query(r1, r2).aggregate("sum").k(7).explain().summary())
+
+        # m-way cascade (Sec. 2.3): three legs chained on named columns.
+        chain = engine.query(leg1, leg2, leg3).hop("dst", "src").hop("dst", "src")
+        result = chain.aggregate("sum").k(7).run()
     """
 
     def __init__(self, max_plans: int = 32) -> None:
         if max_plans < 0:
             raise AlgorithmError(f"max_plans must be >= 0, got {max_plans}")
         self.max_plans = max_plans
-        self._plans: "OrderedDict[Tuple, JoinPlan]" = OrderedDict()
+        self._plans: "OrderedDict[Tuple, object]" = OrderedDict()
         self.cache_stats = PlanCacheStats()
 
     # ------------------------------------------------------------------
     # Plan cache
     # ------------------------------------------------------------------
-    def _cache_key(
-        self, left: Relation, right: Relation, join: str, aggregate, theta
-    ) -> Tuple:
+    @staticmethod
+    def _agg_key(aggregate):
         # Custom AggregateFunction objects key by value (frozen
         # dataclass) — collapsing them to their name would let a custom
         # function collide with the registry entry of the same name.
         if aggregate is None or isinstance(aggregate, AggregateFunction):
-            agg_key = aggregate
-        else:
-            agg_key = get_aggregate(aggregate).name
-        if theta is not None and not isinstance(theta, tuple):
-            from ..relational.join import normalize_theta
+            return aggregate
+        return get_aggregate(aggregate).name
 
-            theta = normalize_theta(theta)
-        return (left.fingerprint(), right.fingerprint(), join, agg_key, theta or ())
+    def _cached(self, key: Tuple, factory: Callable[[], object]):
+        """LRU lookup-or-build shared by two-way and cascade plans."""
+        cached = self._plans.get(key)
+        if cached is not None:
+            self.cache_stats.hits += 1
+            self._plans.move_to_end(key)
+            return cached
+        self.cache_stats.misses += 1
+        plan = factory()
+        if self.max_plans > 0:
+            self._plans[key] = plan
+            while len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+                self.cache_stats.evictions += 1
+        return plan
 
     def plan(
         self,
@@ -232,26 +312,58 @@ class Engine:
         memoized structure computed by one query (the joined view, the
         group indexes) is reused by the next.
         """
-        key = self._cache_key(left, right, join, aggregate, theta)
-        cached = self._plans.get(key)
-        if cached is not None:
-            self.cache_stats.hits += 1
-            self._plans.move_to_end(key)
-            return cached
-        self.cache_stats.misses += 1
-        plan = JoinPlan(
-            left,
-            right,
-            kind=join,
-            aggregate=aggregate,
-            theta=theta if theta else None,
+        if theta is not None and not isinstance(theta, tuple):
+            from ..relational.join import normalize_theta
+
+            theta = normalize_theta(theta)
+        key = (
+            left.fingerprint(),
+            right.fingerprint(),
+            join,
+            self._agg_key(aggregate),
+            theta or (),
         )
-        if self.max_plans > 0:
-            self._plans[key] = plan
-            while len(self._plans) > self.max_plans:
-                self._plans.popitem(last=False)
-                self.cache_stats.evictions += 1
-        return plan
+        return self._cached(
+            key,
+            lambda: JoinPlan(
+                left,
+                right,
+                kind=join,
+                aggregate=aggregate,
+                theta=theta if theta else None,
+            ),
+        )
+
+    def cascade_plan(
+        self,
+        relations: Sequence[Relation],
+        hops=None,
+        aggregate=None,
+    ) -> CascadePlan:
+        """A (cached) :class:`CascadePlan` for one relation chain + hops.
+
+        Keyed like :meth:`plan`: content fingerprints of every relation
+        in order, plus the normalized hop tuple and aggregate, so the
+        memoized chain set / pruning of one cascade query is reused by
+        the next.
+        """
+        from ..core.cascade import normalize_hops
+
+        relations = tuple(relations)
+        if len(relations) < 2:
+            # CascadePlan raises the canonical error; don't cache it.
+            return CascadePlan(relations, hops=hops, aggregate=aggregate)
+        hop_specs = normalize_hops(len(relations), hops if hops else None)
+        key = (
+            tuple(rel.fingerprint() for rel in relations),
+            "cascade",
+            self._agg_key(aggregate),
+            hop_specs,
+        )
+        return self._cached(
+            key,
+            lambda: CascadePlan(relations, hops=hop_specs, aggregate=aggregate),
+        )
 
     def cache_info(self) -> Dict[str, int]:
         """Cache counters plus current size/capacity."""
@@ -267,28 +379,52 @@ class Engine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def query(self, left: Relation, right: Relation) -> "QueryBuilder":
-        """Start a fluent query over one relation pair."""
+    def query(self, *relations: Relation) -> "QueryBuilder":
+        """Start a fluent query over a chain of two or more relations."""
         from .builder import QueryBuilder
 
-        return QueryBuilder(self, left, right)
+        return QueryBuilder(self, *relations)
 
-    def execute(
-        self,
-        left: Relation,
-        right: Relation,
-        spec: QuerySpec,
-        plan: Optional[JoinPlan] = None,
-    ) -> QueryResult:
-        """Run a spec, reusing a cached plan when one matches.
+    @staticmethod
+    def _split_args(args, spec):
+        """Unpack ``(r1, ..., rn, spec)`` positional calling conventions."""
+        if spec is None:
+            if not args or not isinstance(args[-1], QuerySpec):
+                raise ParameterError(
+                    "pass a QuerySpec as the last positional argument or as spec=..."
+                )
+            return tuple(args[:-1]), args[-1]
+        return tuple(args), spec
 
-        ``plan`` overrides the cache (used by the legacy facade's
-        ``plan=`` argument); the result carries the spec and plan as
-        provenance.
+    def _bind(self, relations: Tuple[Relation, ...], spec: QuerySpec):
+        """Resolve the (cached) plan a spec runs against."""
+        if spec.join == "cascade":
+            return self.cascade_plan(
+                relations, hops=spec.hops, aggregate=spec.aggregate
+            )
+        if len(relations) != 2:
+            raise ParameterError(
+                f"a {spec.join!r} join spec takes exactly two relations, got "
+                f"{len(relations)}; use QuerySpec.for_cascade (join='cascade') "
+                "for m-way chains"
+            )
+        return self.plan(relations[0], relations[1], *_plan_args(spec))
+
+    def execute(self, *args, spec: Optional[QuerySpec] = None, plan=None) -> QueryResult:
+        """Run a spec over relations, reusing a cached plan when one matches.
+
+        Call as ``execute(r1, r2, spec)`` (two-way) or
+        ``execute(r1, ..., rn, spec)`` / ``execute(*relations, spec=spec)``
+        (cascade). ``plan`` overrides the cache (used by the legacy
+        facade's ``plan=`` argument); the result carries the spec and
+        plan as provenance.
         """
+        relations, spec = self._split_args(args, spec)
         if plan is None:
-            plan = self.plan(left, right, *_plan_args(spec))
-        if spec.problem == "ksjq":
+            plan = self._bind(relations, spec)
+        if isinstance(plan, CascadePlan):
+            result: QueryResult = self._run_cascade(plan, spec)
+        elif spec.problem == "ksjq":
             result = self._run_ksjq(plan, spec)
         else:
             result = self._run_find_k(plan, spec)
@@ -306,6 +442,19 @@ class Engine:
             return run_dominator(plan, spec.k, mode=spec.mode)
         return run_cartesian(plan, spec.k, mode=spec.mode)
 
+    def _run_cascade(self, plan: CascadePlan, spec: QuerySpec) -> CascadeResult:
+        if spec.problem != "ksjq":
+            raise ParameterError(
+                "find_k is only defined over two-way joins; run ksjq at "
+                "fixed k over a cascade instead"
+            )
+        algorithm = spec.algorithm
+        if algorithm == "auto":
+            algorithm, _, _ = choose_cascade_algorithm(plan, spec.mode)
+        if algorithm == "naive":
+            return run_cascade_naive(plan, spec.k)
+        return run_cascade_pruned(plan, spec.k)
+
     def _run_find_k(self, plan: JoinPlan, spec: QuerySpec) -> FindKResult:
         if spec.objective == "at_least":
             return find_k_at_least_delta(
@@ -316,45 +465,63 @@ class Engine:
         )
 
     def stream(
-        self,
-        left: Relation,
-        right: Relation,
-        spec: QuerySpec,
-        plan: Optional[JoinPlan] = None,
-    ) -> Iterator[Tuple[int, int]]:
-        """Progressive results: yield skyline pairs as they are decided.
+        self, *args, spec: Optional[QuerySpec] = None, plan=None
+    ) -> Iterator[Tuple[int, ...]]:
+        """Progressive results: yield skyline tuples as they are decided.
 
-        Wraps :func:`~repro.core.progressive.ksjq_progressive` (grouping
-        order: guaranteed "yes" pairs first). Faithful mode only.
+        Two-way specs wrap :func:`~repro.core.progressive.ksjq_progressive`
+        (grouping order: guaranteed "yes" pairs first; faithful mode
+        only) and yield ``(left_row, right_row)`` pairs. Cascade specs
+        wrap :func:`~repro.core.cascade.cascade_progressive` and yield
+        m-tuples of row indexes, each emitted as soon as its
+        verification against the chain set decides it.
         """
+        relations, spec = self._split_args(args, spec)
         if spec.problem != "ksjq":
             raise AlgorithmError("only ksjq queries stream progressively")
+        if plan is None:
+            plan = self._bind(relations, spec)
+        if isinstance(plan, CascadePlan):
+            algorithm = spec.algorithm
+            if algorithm == "auto":
+                algorithm, _, _ = choose_cascade_algorithm(plan, spec.mode)
+            return cascade_progressive(plan, spec.k, algorithm=algorithm)
         if spec.mode != "faithful":
             raise AlgorithmError(
                 "progressive streaming emits Theorem-1/3 'yes' tuples unverified; "
                 "it is only defined for mode='faithful'"
             )
-        if plan is None:
-            plan = self.plan(left, right, *_plan_args(spec))
         return ksjq_progressive(plan, spec.k)
 
     # ------------------------------------------------------------------
     # Explanation
     # ------------------------------------------------------------------
     def explain(
-        self,
-        left: Relation,
-        right: Relation,
-        spec: QuerySpec,
-        plan: Optional[JoinPlan] = None,
+        self, *args, spec: Optional[QuerySpec] = None, plan=None
     ) -> ExplainReport:
         """Report the algorithm choice and cost estimates for a spec."""
+        relations, spec = self._split_args(args, spec)
         cache_hit = False
         if plan is None:
             hits_before = self.cache_stats.hits
-            plan = self.plan(left, right, *_plan_args(spec))
+            plan = self._bind(relations, spec)
             cache_hit = self.cache_stats.hits > hits_before
         stats = plan.stats()
+        if isinstance(plan, CascadePlan):
+            if spec.algorithm == "auto":
+                algorithm, costs, reason = choose_cascade_algorithm(plan, spec.mode)
+            else:
+                algorithm = spec.algorithm
+                _, costs, _ = choose_cascade_algorithm(plan, spec.mode)
+                reason = "explicitly requested"
+            return ExplainReport(
+                spec=spec,
+                algorithm=algorithm,
+                reason=reason,
+                costs=costs,
+                stats=stats,
+                cache_hit=cache_hit,
+            )
         if spec.problem == "ksjq":
             if spec.algorithm == "auto":
                 algorithm, costs, reason = choose_algorithm(plan, spec.mode)

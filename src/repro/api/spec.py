@@ -1,14 +1,19 @@
 """Frozen query specifications.
 
 A :class:`QuerySpec` is a hashable value object that fully describes
-any of the paper's four query problems over a prepared join:
+any of the paper's query problems over a prepared join graph:
 
 * Problems 1-2 (``problem="ksjq"``): the k-dominant skyline join at a
   fixed ``k``, with or without aggregates, under a chosen algorithm
   and soundness mode;
 * Problems 3-4 (``problem="find_k"``): tuning ``k`` from a desired
   cardinality ``delta``, with the search ``method`` and ``objective``
-  selecting between "at least delta" and "at most delta".
+  selecting between "at least delta" and "at most delta";
+* m-way cascades (``join="cascade"``, paper Sec. 2.3): an ordered
+  chain of N relations whose per-hop join conditions (composite-key
+  equality, named-column equality, theta conjunctions, cartesian) are
+  carried as a tuple of :class:`~repro.relational.join.HopSpec` —
+  today's two-way spec is the N=2 special case.
 
 Specs validate eagerly on construction — *before* any join structure
 is built — so malformed queries fail fast, and they hash/compare by
@@ -20,13 +25,15 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
+from ..core.cascade import CASCADE_ALGORITHMS
 from ..errors import AggregateError, AlgorithmError, JoinError, ParameterError
 from ..relational.aggregates import AggregateFunction, get_aggregate
-from ..relational.join import ThetaCondition, normalize_theta
+from ..relational.join import HopSpec, ThetaCondition, normalize_theta
 
 __all__ = [
     "QuerySpec",
     "ALGORITHMS",
+    "CASCADE_ALGORITHMS",
     "JOIN_KINDS",
     "MODES",
     "FIND_K_METHODS",
@@ -34,7 +41,7 @@ __all__ = [
 ]
 
 ALGORITHMS = ("auto", "grouping", "dominator", "naive", "cartesian")
-JOIN_KINDS = ("equality", "cartesian", "theta")
+JOIN_KINDS = ("equality", "cartesian", "theta", "cascade")
 MODES = ("faithful", "exact")
 FIND_K_METHODS = ("binary", "range", "naive")
 OBJECTIVES = ("at_least", "at_most")
@@ -55,6 +62,7 @@ class QuerySpec:
     join: str = "equality"
     aggregate: Optional[object] = None  # registry name, or a custom AggregateFunction
     theta: Tuple[ThetaCondition, ...] = ()
+    hops: Tuple[HopSpec, ...] = ()
     k: Optional[int] = None
     delta: Optional[int] = None
     algorithm: str = "auto"
@@ -87,6 +95,21 @@ class QuerySpec:
         if self.join != "theta" and theta:
             raise JoinError(f"theta condition given but join={self.join!r}")
 
+        # Normalize hops to a hashable tuple of HopSpecs.
+        hops = self.hops
+        if hops is None:
+            hops = ()
+        elif not isinstance(hops, tuple) or not all(
+            isinstance(h, HopSpec) for h in hops
+        ):
+            hops = tuple(HopSpec.coerce(h) for h in hops)
+        object.__setattr__(self, "hops", hops)
+        if self.join != "cascade" and hops:
+            raise JoinError(
+                f"hops given but join={self.join!r}; use QuerySpec.for_cascade "
+                "(or join='cascade') for m-way join graphs"
+            )
+
         # Normalize *registry* aggregate objects to their name, so
         # QuerySpec.for_ksjq(aggregate="sum") == ...(aggregate=SUM).
         # Custom (unregistered, or name-colliding) AggregateFunction
@@ -111,7 +134,24 @@ class QuerySpec:
             self._validate_find_k()
 
     def _validate_ksjq(self) -> None:
-        if self.algorithm not in ALGORITHMS:
+        if self.join == "cascade":
+            if self.algorithm not in CASCADE_ALGORITHMS:
+                raise ParameterError(
+                    f"unknown cascade algorithm {self.algorithm!r}; "
+                    f"choose from {CASCADE_ALGORITHMS}"
+                )
+            if self.algorithm == "pruned" and self.aggregate is not None:
+                resolved = (
+                    self.aggregate
+                    if isinstance(self.aggregate, AggregateFunction)
+                    else get_aggregate(self.aggregate)
+                )
+                if not resolved.strictly_monotone:
+                    raise ParameterError(
+                        "pruned cascade requires a strictly monotone aggregate; "
+                        "use naive"
+                    )
+        elif self.algorithm not in ALGORITHMS:
             raise AlgorithmError(
                 f"unknown algorithm {self.algorithm!r}; choose from {ALGORITHMS}"
             )
@@ -127,6 +167,12 @@ class QuerySpec:
             raise ParameterError("delta is a find_k parameter; a ksjq spec takes k")
 
     def _validate_find_k(self) -> None:
+        if self.join == "cascade":
+            raise ParameterError(
+                "find_k is only defined over two-way joins (the paper's "
+                "cardinality bounds are pairwise); run ksjq at fixed k over "
+                "a cascade instead"
+            )
         if self.method not in FIND_K_METHODS:
             raise ParameterError(
                 f"unknown find-k method {self.method!r}; choose from {FIND_K_METHODS}"
@@ -169,6 +215,34 @@ class QuerySpec:
         )
 
     @classmethod
+    def for_cascade(
+        cls,
+        k: int,
+        hops=None,
+        algorithm: str = "auto",
+        aggregate=None,
+        mode: str = "faithful",
+    ) -> "QuerySpec":
+        """Spec for an m-way cascade KSJQ (paper Sec. 2.3).
+
+        ``hops`` lists one join condition per adjacent relation pair
+        (:class:`~repro.relational.join.HopSpec`, legacy
+        :class:`~repro.core.cascade.Hop`, theta conditions, or ``None``
+        entries for composite-key equality); an empty/omitted ``hops``
+        means composite-key equality on every hop of however many
+        relations the spec is executed against.
+        """
+        return cls(
+            problem="ksjq",
+            join="cascade",
+            aggregate=aggregate,
+            hops=tuple(hops) if hops is not None else (),
+            k=k,
+            algorithm=algorithm,
+            mode=mode,
+        )
+
+    @classmethod
     def for_find_k(
         cls,
         delta: int,
@@ -200,10 +274,11 @@ class QuerySpec:
         """The part of the spec that determines join preparation.
 
         Two specs with equal plan keys over the same relations can share
-        one :class:`~repro.core.plan.JoinPlan`, regardless of k, delta,
+        one :class:`~repro.core.plan.JoinPlan` (or
+        :class:`~repro.core.plan.CascadePlan`), regardless of k, delta,
         algorithm, method, objective or mode.
         """
-        return (self.join, self.aggregate, self.theta)
+        return (self.join, self.aggregate, self.theta, self.hops)
 
     def describe(self) -> str:
         """One-line human-readable rendering."""
@@ -212,6 +287,8 @@ class QuerySpec:
             parts.append(f"aggregate={self.aggregate}")
         if self.theta:
             parts.append("theta=" + " AND ".join(str(c) for c in self.theta))
+        if self.hops:
+            parts.append("hops=[" + "; ".join(h.describe() for h in self.hops) + "]")
         if self.problem == "ksjq":
             parts.append(f"k={self.k}")
             parts.append(f"algorithm={self.algorithm}")

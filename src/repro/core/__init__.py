@@ -6,7 +6,15 @@ Public entry points are :func:`repro.core.query.ksjq` and
 :func:`run_cartesian`) are exposed for benchmarking and testing.
 """
 
-from .cascade import CascadeResult, Hop, cascade_ksjq
+from .cascade import (
+    CASCADE_ALGORITHMS,
+    CascadeResult,
+    Hop,
+    cascade_ksjq,
+    cascade_progressive,
+    run_cascade_naive,
+    run_cascade_pruned,
+)
 from .categorize import (
     FATE_TABLE,
     Categorization,
@@ -20,8 +28,8 @@ from .dominator import run_dominator
 from .find_k import find_k_at_least_delta, find_k_at_most_delta
 from .grouping import run_grouping
 from .naive import run_naive
-from .params import KSJQParams
-from .plan import JoinPlan, PlanStats
+from .params import CascadeParams, KSJQParams
+from .plan import CascadePlan, CascadeStats, JoinPlan, PlanStats
 from .progressive import ksjq_progressive
 from .query import default_engine, find_k, ksjq, make_plan
 from .result import FindKResult, FindKStep, KSJQResult, QueryResult
@@ -29,7 +37,11 @@ from .targets import target_rows_exact, target_rows_paper
 from .timing import PHASES, PhaseClock, TimingBreakdown
 
 __all__ = [
+    "CASCADE_ALGORITHMS",
+    "CascadeParams",
+    "CascadePlan",
     "CascadeResult",
+    "CascadeStats",
     "FATE_TABLE",
     "Categorization",
     "Category",
@@ -46,6 +58,7 @@ __all__ = [
     "QueryResult",
     "TimingBreakdown",
     "cascade_ksjq",
+    "cascade_progressive",
     "categorize",
     "categorize_theta",
     "default_engine",
@@ -56,6 +69,8 @@ __all__ = [
     "ksjq_progressive",
     "make_plan",
     "run_cartesian",
+    "run_cascade_naive",
+    "run_cascade_pruned",
     "run_dominator",
     "run_grouping",
     "run_naive",

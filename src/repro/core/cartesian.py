@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import List
 
-import numpy as np
 
 from ..errors import AlgorithmError, JoinError
 from ..skyline.dominance import is_k_dominated

@@ -2,16 +2,20 @@
 
 "The case for more than two base relations can be handled by cascading
 the joins." — e.g. a two-stop flight joins three leg relations. This
-module implements the m-way generalization:
+module implements the m-way generalization over a *join graph*: an
+ordered chain of relations where hop ``j`` connects ``relations[j]``
+to ``relations[j+1]`` under its own join condition
+(:class:`~repro.relational.join.HopSpec`):
 
-* chains ``(i_1, ..., i_m)`` are join-compatible compositions: hop
-  ``j`` connects ``relations[j]`` to ``relations[j+1]`` on an equality
-  of one column each (:class:`Hop`), defaulting to the relations'
-  composite join keys — e.g. ``Hop("dest", "source")`` expresses
+* equality of the composite join keys (the two-way default), or of one
+  named column per side — ``Hop("dest", "source")`` expresses
   ``leg_j.dest = leg_{j+1}.source``;
-* the joined skyline attributes are all relations' local attributes
-  plus each aggregate attribute folded across all m relations;
-* a chain k-dominates another exactly as in the two-way case.
+* a theta conjunction (``leg_j.arrival < leg_{j+1}.departure``);
+* a cartesian hop (every pair joins).
+
+The joined skyline attributes are all relations' local attributes plus
+each aggregate attribute folded across all m relations; a chain
+k-dominates another exactly as in the two-way case.
 
 Algorithms:
 
@@ -21,30 +25,65 @@ Algorithms:
   relation i dominated under threshold ``k'_i = k − Σ_{j≠i} l_j``
   (counted over its base attributes) *by a tuple sharing both its hop
   values* can never appear in a skyline chain, because substituting the
-  dominator yields a valid chain that k-dominates. Surviving chains are
-  verified against the full chain set, keeping the algorithm exact for
-  strictly monotone aggregates.
+  dominator yields a valid chain that k-dominates. (For theta hops,
+  "sharing the hop values" means sharing the exact theta-attribute
+  values, which guarantees an identical partner set.) Surviving chains
+  are verified against the full chain set, keeping the algorithm exact
+  for strictly monotone aggregates.
 
-The valid k range generalizes to ``max_i d_i < k <= Σ_i l_i + a``.
+The valid k range generalizes to ``max_i d_i < k <= Σ_i l_i + a``
+(:class:`~repro.core.params.CascadeParams`).
+
+:func:`cascade_ksjq` is a fail-fast convenience wrapper over the shared
+default :class:`repro.api.Engine` — it validates every parameter before
+any join structure is built, and repeated calls over equal-content
+relations reuse the engine's cached
+:class:`~repro.core.plan.CascadePlan`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from ..errors import JoinError, ParameterError
-from ..relational.aggregates import AggregateFunction, get_aggregate
+from ..relational.aggregates import AggregateFunction
+from ..relational.join import HopSpec, theta_conjunction_mask
 from ..relational.relation import Relation
 from ..skyline.dominance import is_k_dominated
 from ..skyline.kdominant import k_dominant_skyline
 from .result import QueryResult
 from .timing import PhaseClock, TimingBreakdown
-from .verify import sort_rows_for_early_exit
 
-__all__ = ["Hop", "CascadeResult", "cascade_chains", "cascade_oriented", "cascade_ksjq"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .plan import CascadePlan
+
+__all__ = [
+    "CASCADE_ALGORITHMS",
+    "Hop",
+    "CascadeResult",
+    "cascade_chains",
+    "cascade_oriented",
+    "cascade_ksjq",
+    "cascade_progressive",
+    "hop_side_values",
+    "normalize_hops",
+    "run_cascade_naive",
+    "run_cascade_pruned",
+]
+
+CASCADE_ALGORITHMS = ("auto", "naive", "pruned")
 
 
 @dataclass(frozen=True)
@@ -52,23 +91,107 @@ class Hop:
     """One equality hop of a cascade: ``left.column == right.column``.
 
     ``None`` selects the relation's composite join key (all join-role
-    attributes), matching the two-way default.
+    attributes), matching the two-way default. Legacy spelling of
+    :meth:`repro.relational.HopSpec.on_columns`; kept as the compact
+    public shorthand.
     """
 
     left_column: Optional[str] = None
     right_column: Optional[str] = None
 
 
-def _hop_value(relation: Relation, column: Optional[str], row: int):
-    if column is None:
-        return relation.join_key(row)
-    return relation.column(column)[row]
+def normalize_hops(m: int, hops) -> Tuple[HopSpec, ...]:
+    """Coerce a hop sequence to ``m - 1`` :class:`HopSpec` objects.
+
+    ``None`` selects composite-key equality for every hop. Individual
+    entries may be :class:`HopSpec`, legacy :class:`Hop`, ``None``, a
+    :class:`~repro.relational.join.ThetaCondition`, or a conjunction
+    sequence of conditions.
+    """
+    if hops is None:
+        hops = [HopSpec()] * (m - 1)
+    specs = tuple(HopSpec.coerce(h) for h in hops)
+    if len(specs) != m - 1:
+        raise JoinError(f"need {m - 1} hops for {m} relations, got {len(specs)}")
+    return specs
 
 
-def _hop_values(relation: Relation, column: Optional[str]) -> List:
+def hop_side_values(relation: Relation, hop: HopSpec, side: str):
+    """Connector values of one relation for one side of a hop.
+
+    Returns a per-row list of hashable values (rows sharing a value are
+    interchangeable on this side of the hop), or ``None`` for a
+    cartesian hop where every row is compatible with every partner.
+    """
+    if hop.kind == "cartesian":
+        return None
+    if hop.kind == "theta":
+        attrs = [c.left_attr if side == "left" else c.right_attr for c in hop.theta]
+        cols = [relation.column(a) for a in attrs]
+        return [tuple(col[i] for col in cols) for i in range(len(relation))]
+    column = hop.left_column if side == "left" else hop.right_column
     if column is None:
         return relation.join_keys()
     return list(relation.column(column))
+
+
+def connector_groups(
+    relations: Sequence[Relation], hops: Sequence[HopSpec], i: int
+) -> Dict[tuple, List[int]]:
+    """Rows of relation ``i`` grouped by their hop connector values.
+
+    Two rows in one group are interchangeable within every chain (they
+    share the incoming and outgoing connector values), which is exactly
+    the substitution set of the Theorem-4 pruning; the group sizes also
+    drive the cost model's ``categorization_cost``.
+    """
+    rel = relations[i]
+    incoming = hop_side_values(rel, hops[i - 1], "right") if i > 0 else None
+    outgoing = (
+        hop_side_values(rel, hops[i], "left") if i < len(relations) - 1 else None
+    )
+    groups: Dict[tuple, List[int]] = {}
+    for row in range(len(rel)):
+        key = (
+            incoming[row] if incoming is not None else None,
+            outgoing[row] if outgoing is not None else None,
+        )
+        groups.setdefault(key, []).append(row)
+    return groups
+
+
+def validate_hops(relations: Sequence[Relation], hops: Sequence[HopSpec]) -> None:
+    """Fail fast on hops naming missing columns or empty join keys.
+
+    Checked *before* any chain is enumerated, so a typo in a hop column
+    costs nothing; error wording mirrors the two-way join errors.
+    """
+    for i, hop in enumerate(hops):
+        sides = (("left", relations[i]), ("right", relations[i + 1]))
+        if hop.kind == "cartesian":
+            continue
+        if hop.kind == "theta":
+            for cond in hop.theta:
+                for side, rel in sides:
+                    attr = cond.left_attr if side == "left" else cond.right_attr
+                    if attr not in rel.schema:
+                        raise JoinError(
+                            f"hop {i}: relation {rel.name!r} has no attribute "
+                            f"{attr!r} for theta condition {cond}"
+                        )
+            continue
+        for side, rel in sides:
+            column = hop.left_column if side == "left" else hop.right_column
+            if column is None:
+                if not rel.schema.join_names:
+                    raise JoinError(
+                        f"hop {i}: no join attributes declared on {rel.name!r}; "
+                        "name a hop column explicitly or use a theta/cartesian hop"
+                    )
+            elif column not in rel.schema:
+                raise JoinError(
+                    f"hop {i}: relation {rel.name!r} has no attribute {column!r}"
+                )
 
 
 @dataclass(frozen=True)
@@ -91,15 +214,20 @@ class CascadeResult(QueryResult):
     def chain_set(self) -> frozenset:
         return frozenset(tuple(int(x) for x in row) for row in self.chains)
 
+    def _source_relations(self) -> Sequence[Relation]:
+        source = self._require_source()
+        relations = getattr(source, "relations", source)
+        return tuple(relations)
+
     def to_records(self) -> List[Dict[str, object]]:
         """Skyline chains as dicts: per-relation columns prefixed ``r{i}.``.
 
         Prefixes are one-based (``r1.``, ``r2.``, ...), matching the
         two-way :meth:`KSJQResult.to_records` layout. Needs the source
-        relations (attached when the cascade runs through the public
-        entry point).
+        plan or relations (attached when the cascade runs through an
+        :class:`repro.api.Engine`).
         """
-        relations: Sequence[Relation] = self._require_source()
+        relations = self._source_relations()
         records: List[Dict[str, object]] = []
         for chain in self.chains:
             rec: Dict[str, object] = {}
@@ -111,41 +239,59 @@ class CascadeResult(QueryResult):
         return records
 
 
-def _normalize_hops(relations: Sequence[Relation], hops) -> List[Hop]:
-    m = len(relations)
-    if hops is None:
-        hops = [Hop()] * (m - 1)
-    hops = list(hops)
-    if len(hops) != m - 1:
-        raise JoinError(f"need {m - 1} hops for {m} relations, got {len(hops)}")
-    return hops
+def _partner_lookup(
+    left_rel: Relation,
+    right_rel: Relation,
+    hop: HopSpec,
+    right_rows: np.ndarray,
+):
+    """``left_row -> list of compatible right rows`` for one hop."""
+    if hop.kind == "cartesian":
+        partners = [int(r) for r in right_rows]
+        return lambda row: partners
 
+    if hop.kind == "theta":
+        left_cols = [
+            np.asarray(left_rel.column(c.left_attr), dtype=np.float64)
+            for c in hop.theta
+        ]
+        right_cols = [
+            np.asarray(right_rel.column(c.right_attr), dtype=np.float64)[right_rows]
+            for c in hop.theta
+        ]
+        cache: Dict[int, List[int]] = {}
 
-def _validate(relations: Sequence[Relation], k: int) -> int:
-    if len(relations) < 2:
-        raise JoinError("a cascade needs at least two relations")
-    first = relations[0].schema
-    for rel in relations[1:]:
-        first.validate_compatible_aggregates(rel.schema)
-    a = first.a
-    joined_d = sum(rel.schema.l for rel in relations) + a
-    k_min = max(rel.schema.d for rel in relations) + 1
-    if not k_min <= k <= joined_d:
-        raise ParameterError(f"k={k} outside valid cascade range [{k_min}, {joined_d}]")
-    return a
+        def theta_partners(row: int) -> List[int]:
+            if row not in cache:
+                mask = theta_conjunction_mask(
+                    hop.theta, [lvals[row] for lvals in left_cols], right_cols
+                )
+                cache[row] = [int(r) for r in right_rows[mask]]
+            return cache[row]
+
+        return theta_partners
+
+    left_values = hop_side_values(left_rel, hop, "left")
+    right_values = hop_side_values(right_rel, hop, "right")
+    groups: Dict[object, List[int]] = {}
+    for row in right_rows:
+        groups.setdefault(right_values[int(row)], []).append(int(row))
+    empty: List[int] = []
+    return lambda row: groups.get(left_values[row], empty)
 
 
 def cascade_chains(
     relations: Sequence[Relation],
-    hops: Optional[Sequence[Hop]] = None,
+    hops=None,
     keep: Optional[Sequence[np.ndarray]] = None,
 ) -> np.ndarray:
     """Enumerate join-compatible chains ``(i_1, ..., i_m)`` as an (s x m) array.
 
-    ``keep`` optionally restricts each relation to a row subset (used by
-    the pruned algorithm).
+    ``hops`` accepts anything :func:`normalize_hops` does; ``keep``
+    optionally restricts each relation to a row subset (used by the
+    pruned algorithm).
     """
-    hops = _normalize_hops(relations, hops)
+    hops = normalize_hops(len(relations), hops)
     masks = (
         [np.asarray(rows, dtype=np.intp) for rows in keep]
         if keep is not None
@@ -153,16 +299,12 @@ def cascade_chains(
     )
     chains = masks[0].reshape(-1, 1)
     for idx, hop in enumerate(hops):
-        left_rel, right_rel = relations[idx], relations[idx + 1]
-        left_values = _hop_values(left_rel, hop.left_column)
-        right_groups: Dict[object, List[int]] = {}
-        right_values = _hop_values(right_rel, hop.right_column)
-        for row in masks[idx + 1]:
-            right_groups.setdefault(right_values[int(row)], []).append(int(row))
+        partners_of = _partner_lookup(
+            relations[idx], relations[idx + 1], hop, masks[idx + 1]
+        )
         out: List[np.ndarray] = []
         for chain in chains:
-            partners = right_groups.get(left_values[int(chain[-1])], [])
-            for partner in partners:
+            for partner in partners_of(int(chain[-1])):
                 out.append(np.append(chain, partner))
         chains = (
             np.asarray(out, dtype=np.intp)
@@ -200,52 +342,91 @@ def cascade_oriented(
     return np.concatenate(blocks, axis=1)
 
 
-def cascade_ksjq(
-    relations: Sequence[Relation],
-    k: int,
-    hops: Optional[Sequence[Hop]] = None,
-    aggregate=None,
-    algorithm: str = "pruned",
-) -> CascadeResult:
-    """m-way k-dominant skyline join over cascaded equality joins."""
-    a = _validate(relations, k)
-    hops = _normalize_hops(relations, hops)
-    if a and aggregate is None:
-        raise JoinError("schemas declare aggregate attributes; pass aggregate=...")
-    agg = get_aggregate(aggregate) if aggregate is not None else None
-    if algorithm not in ("naive", "pruned"):
-        raise ParameterError(f"unknown cascade algorithm {algorithm!r}")
-    if algorithm == "pruned" and agg is not None and not agg.strictly_monotone:
-        raise ParameterError(
-            "pruned cascade requires a strictly monotone aggregate; use naive"
-        )
+def theta_weight_sums(
+    left_rel: Relation,
+    right_rel: Relation,
+    hop: HopSpec,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Per-left-row sums of right-row ``weights`` over one theta hop.
 
+    The chain-count DP building block for theta hops: with unit weights
+    this counts partners. Single conditions use a sort + prefix-sum
+    (O((n+m) log m)); conjunctions fall back to per-row masks.
+    """
+    if len(hop.theta) == 1:
+        from ..relational.groups import ThetaOp
+
+        cond = hop.theta[0]
+        lvals = np.asarray(left_rel.column(cond.left_attr), dtype=np.float64)
+        rvals = np.asarray(right_rel.column(cond.right_attr), dtype=np.float64)
+        order = np.argsort(rvals, kind="stable")
+        rsorted = rvals[order]
+        prefix = np.concatenate([[0.0], np.cumsum(weights[order])])
+        out = np.empty(len(left_rel), dtype=np.float64)
+        for i, value in enumerate(lvals):
+            if cond.op is ThetaOp.LT:
+                lo = int(np.searchsorted(rsorted, value, side="right"))
+                out[i] = prefix[-1] - prefix[lo]
+            elif cond.op is ThetaOp.LE:
+                lo = int(np.searchsorted(rsorted, value, side="left"))
+                out[i] = prefix[-1] - prefix[lo]
+            elif cond.op is ThetaOp.GT:
+                out[i] = prefix[int(np.searchsorted(rsorted, value, side="left"))]
+            else:
+                out[i] = prefix[int(np.searchsorted(rsorted, value, side="right"))]
+        return out
+    left_cols = [
+        np.asarray(left_rel.column(c.left_attr), dtype=np.float64) for c in hop.theta
+    ]
+    right_cols = [
+        np.asarray(right_rel.column(c.right_attr), dtype=np.float64) for c in hop.theta
+    ]
+    out = np.empty(len(left_rel), dtype=np.float64)
+    for i in range(len(left_rel)):
+        mask = theta_conjunction_mask(
+            hop.theta, [lvals[i] for lvals in left_cols], right_cols
+        )
+        out[i] = float(weights[mask].sum())
+    return out
+
+
+# ----------------------------------------------------------------------
+# Plan-based algorithm runners (consumed by repro.api.Engine)
+# ----------------------------------------------------------------------
+def run_cascade_naive(plan: "CascadePlan", k: int) -> CascadeResult:
+    """Algorithm ``naive``: full chain set, then the k-dominant skyline."""
+    plan.params(k)
     clock = PhaseClock()
     with clock.phase("join"):
-        all_chains = cascade_chains(relations, hops)
-        matrix = cascade_oriented(relations, all_chains, agg)
-
-    if algorithm == "naive":
-        with clock.phase("remaining"):
-            skyline_idx = k_dominant_skyline(matrix, k)
-        return CascadeResult(
-            k=k,
-            chains=all_chains[skyline_idx],
-            total_chains=int(all_chains.shape[0]),
-            pruned_rows=0,
-            algorithm="naive",
-            timings=clock.freeze(),
-            source=tuple(relations),
-        )
-
-    with clock.phase("grouping"):
-        keep = _prune_rows(relations, hops, k)
-        pruned_rows = sum(len(rel) - len(rows) for rel, rows in zip(relations, keep))
-    with clock.phase("join"):
-        candidates = cascade_chains(relations, hops, keep=keep)
-        cand_matrix = cascade_oriented(relations, candidates, agg)
+        all_chains = plan.chains()
+        matrix = plan.oriented()
     with clock.phase("remaining"):
-        full_sorted = sort_rows_for_early_exit(matrix)
+        skyline_idx = k_dominant_skyline(matrix, k)
+    return CascadeResult(
+        k=k,
+        chains=all_chains[skyline_idx],
+        total_chains=int(all_chains.shape[0]),
+        pruned_rows=0,
+        algorithm="naive",
+        timings=clock.freeze(),
+    )
+
+
+def run_cascade_pruned(plan: "CascadePlan", k: int) -> CascadeResult:
+    """Algorithm ``pruned``: Theorem-4 NN pruning + verification."""
+    plan.params(k)
+    plan.require_strict_aggregate("pruned")
+    clock = PhaseClock()
+    with clock.phase("join"):
+        all_chains = plan.chains()
+        plan.oriented()  # charge join materialization to the join phase
+    with clock.phase("grouping"):
+        _, pruned_rows = plan.pruned_keep(k)
+    with clock.phase("join"):
+        candidates, cand_matrix = plan.pruned_candidates(k)
+    with clock.phase("remaining"):
+        full_sorted = plan.sorted_oriented()
         keep_idx = [
             pos
             for pos in range(candidates.shape[0])
@@ -258,23 +439,66 @@ def cascade_ksjq(
         pruned_rows=pruned_rows,
         algorithm="pruned",
         timings=clock.freeze(),
-        source=tuple(relations),
     )
 
 
-def _prune_rows(
-    relations: Sequence[Relation], hops: Sequence[Hop], k: int
+def cascade_progressive(
+    plan: "CascadePlan", k: int, algorithm: str = "pruned"
+) -> Iterator[Tuple[int, ...]]:
+    """Yield skyline chains progressively (candidate order).
+
+    Candidates — the Theorem-4 pruning survivors for ``algorithm=
+    "pruned"``, every chain for ``"naive"`` — are verified one at a
+    time against the full chain set, and each survivor is yielded as
+    soon as it is decided: consuming a prefix performs only that
+    prefix's verification work. Parameters are validated here, before
+    the generator is created, so a bad ``k`` or a non-strictly-monotone
+    aggregate under pruning fails at the call, not on first ``next()``.
+    """
+    plan.params(k)
+    if algorithm == "auto":
+        from ..api.engine import choose_cascade_algorithm
+
+        algorithm, _, _ = choose_cascade_algorithm(plan)
+    if algorithm not in ("naive", "pruned"):
+        raise ParameterError(
+            f"unknown cascade algorithm {algorithm!r}; choose from "
+            f"{CASCADE_ALGORITHMS}"
+        )
+    if algorithm == "pruned":
+        plan.require_strict_aggregate("pruned")
+
+    def generate() -> Iterator[Tuple[int, ...]]:
+        if algorithm == "pruned":
+            candidates, cand_matrix = plan.pruned_candidates(k)
+        else:
+            candidates, cand_matrix = plan.chains(), plan.oriented()
+        full_sorted = plan.sorted_oriented()
+        for pos in range(candidates.shape[0]):
+            if not is_k_dominated(full_sorted, cand_matrix[pos], k):
+                yield tuple(int(x) for x in candidates[pos])
+
+    return generate()
+
+
+def prune_rows(
+    relations: Sequence[Relation],
+    hops: Sequence[HopSpec],
+    k: int,
+    groups_per_relation: Optional[Sequence[Dict[tuple, List[int]]]] = None,
 ) -> List[np.ndarray]:
     """Per-relation NN pruning (m-way Theorem 4).
 
     A row of relation i may be discarded when some other row shares
-    *both* its hop values (so it can substitute into every chain) and
-    k'_i-dominates it, with ``k'_i = k − Σ_{j≠i} l_j`` counted over all
-    of relation i's base attributes. Substituting the dominator keeps
-    the chain valid, matches all other components exactly, and wins at
-    least ``k'_i − a`` locals plus the dominated aggregate inputs —
-    at least k joined attributes in total (strictness via the strictly
-    monotone aggregate).
+    *both* its hop connector values (so it can substitute into every
+    chain) and k'_i-dominates it, with ``k'_i = k − Σ_{j≠i} l_j``
+    counted over all of relation i's base attributes. Substituting the
+    dominator keeps the chain valid, matches all other components
+    exactly, and wins at least ``k'_i − a`` locals plus the dominated
+    aggregate inputs — at least k joined attributes in total
+    (strictness via the strictly monotone aggregate). For theta hops
+    the connector value is the exact theta-attribute tuple, so a
+    sharer's partner set is identical and substitution stays valid.
     """
     total_locals = sum(rel.schema.l for rel in relations)
     keep: List[np.ndarray] = []
@@ -284,15 +508,11 @@ def _prune_rows(
             keep.append(np.arange(len(rel)))
             continue
         # Group rows by the hop values that constrain substitution.
-        incoming = _hop_values(rel, hops[i - 1].right_column) if i > 0 else None
-        outgoing = _hop_values(rel, hops[i].left_column) if i < len(relations) - 1 else None
-        groups: Dict[tuple, List[int]] = {}
-        for row in range(len(rel)):
-            key = (
-                incoming[row] if incoming is not None else None,
-                outgoing[row] if outgoing is not None else None,
-            )
-            groups.setdefault(key, []).append(row)
+        groups = (
+            groups_per_relation[i]
+            if groups_per_relation is not None
+            else connector_groups(relations, hops, i)
+        )
         oriented = rel.oriented()
         survivors = []
         for rows in groups.values():
@@ -302,3 +522,31 @@ def _prune_rows(
                     survivors.append(row)
         keep.append(np.asarray(sorted(survivors), dtype=np.intp))
     return keep
+
+
+def cascade_ksjq(
+    relations: Sequence[Relation],
+    k: int,
+    hops=None,
+    aggregate=None,
+    algorithm: str = "pruned",
+    engine=None,
+) -> CascadeResult:
+    """m-way k-dominant skyline join over a cascaded join graph.
+
+    A fail-fast wrapper over the shared default
+    :class:`repro.api.Engine` (pass ``engine=`` to use your own):
+    every parameter is validated *before* any chain is enumerated, and
+    repeated calls over equal-content relations reuse the engine's
+    cached :class:`~repro.core.plan.CascadePlan`. ``algorithm`` is
+    ``"pruned"`` (default), ``"naive"``, or ``"auto"`` (cost-based
+    choice over the plan's chain statistics).
+    """
+    from ..api.spec import QuerySpec
+    from .query import default_engine
+
+    spec = QuerySpec.for_cascade(
+        k=k, hops=hops, aggregate=aggregate, algorithm=algorithm
+    )
+    eng = engine if engine is not None else default_engine()
+    return eng.execute(*relations, spec=spec)

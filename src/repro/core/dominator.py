@@ -18,7 +18,7 @@ Modes are as in :mod:`repro.core.grouping`.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 

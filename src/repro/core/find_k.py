@@ -26,8 +26,7 @@ reduction including both corner cases.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..errors import ParameterError
 from .grouping import run_grouping

@@ -20,11 +20,12 @@ least one preferred attribute.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence, Tuple
 
 from ..errors import ParameterError
 from ..relational.schema import RelationSchema
 
-__all__ = ["KSJQParams"]
+__all__ = ["KSJQParams", "CascadeParams"]
 
 
 @dataclass(frozen=True)
@@ -112,4 +113,87 @@ class KSJQParams:
             f"(d1={self.d1}, d2={self.d2}, a={self.a}, l1={self.l1}, l2={self.l2}); "
             f"k'=({self.k1_prime}, {self.k2_prime}), k''=({self.k1_min_local}, "
             f"{self.k2_min_local}); valid k in [{self.k_min}, {self.k_max}]"
+        )
+
+
+@dataclass(frozen=True)
+class CascadeParams:
+    """Validated parameter bundle for an m-way cascade KSJQ.
+
+    The m-way analogue of :class:`KSJQParams` (paper Sec. 2.3): given
+    relations with ``d_i`` skyline attributes of which ``a`` are
+    aggregated (``l_i = d_i - a`` local), the valid query range is
+    ``max_i d_i < k <= sum_i l_i + a``. Per-relation pruning thresholds
+    generalize Theorem 4: ``k'_i = k - sum_{j != i} l_j``, counted over
+    relation ``i``'s ``d_i`` base attributes.
+    """
+
+    k: int
+    ds: Tuple[int, ...]
+    a: int
+
+    def __post_init__(self) -> None:
+        if len(self.ds) < 2:
+            raise ParameterError("a cascade needs at least two relations")
+        if self.a < 0 or self.a > min(self.ds):
+            raise ParameterError(
+                f"a={self.a} must be within [0, min_i d_i={min(self.ds)}]"
+            )
+        if min(self.ds) < 1:
+            raise ParameterError("every relation needs at least one skyline attribute")
+        if not self.k_min <= self.k <= self.k_max:
+            raise ParameterError(
+                f"k={self.k} outside valid cascade range [{self.k_min}, {self.k_max}] "
+                f"(d={tuple(self.ds)}, a={self.a}); "
+                "the m-way analogue requires max_i d_i < k <= sum_i l_i + a"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_schemas(
+        cls, schemas: Sequence[RelationSchema], k: int
+    ) -> "CascadeParams":
+        """Derive parameters from the chain's base schemas."""
+        first = schemas[0]
+        for other in schemas[1:]:
+            first.validate_compatible_aggregates(other)
+        return cls(k=k, ds=tuple(s.d for s in schemas), a=first.a)
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of relations in the chain."""
+        return len(self.ds)
+
+    @property
+    def ls(self) -> Tuple[int, ...]:
+        """Local (non-aggregate) skyline attribute counts per relation."""
+        return tuple(d - self.a for d in self.ds)
+
+    @property
+    def joined_d(self) -> int:
+        """Skyline attributes of the joined chain (``sum_i l_i + a``)."""
+        return sum(self.ls) + self.a
+
+    @property
+    def k_min(self) -> int:
+        """Smallest valid ``k``: ``max_i d_i + 1``."""
+        return max(self.ds) + 1
+
+    @property
+    def k_max(self) -> int:
+        """Largest valid ``k``: all joined skyline attributes."""
+        return self.joined_d
+
+    def k_prime(self, i: int) -> int:
+        """Pruning threshold for relation ``i`` (Theorem 4, m-way)."""
+        return self.k - (sum(self.ls) - self.ls[i])
+
+    def describe(self) -> str:
+        """Readable summary of all derived quantities."""
+        return (
+            f"k={self.k} over joined d={self.joined_d} "
+            f"(m={self.m}, d={tuple(self.ds)}, a={self.a}, l={self.ls}); "
+            f"k'={tuple(self.k_prime(i) for i in range(self.m))}; "
+            f"valid k in [{self.k_min}, {self.k_max}]"
         )

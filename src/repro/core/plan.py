@@ -11,11 +11,11 @@ dominator-based runs are guaranteed to answer the same query.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import AggregateError, JoinError
+from ..errors import AggregateError, JoinError, ParameterError
 from ..relational.aggregates import AggregateFunction, get_aggregate
 from ..relational.groups import ConjunctiveThetaIndex, GroupIndex, ThetaGroupIndex
 from ..relational.join import (
@@ -24,12 +24,13 @@ from ..relational.join import (
     cartesian_pairs,
     equality_pairs,
     pairs_product,
+    theta_conjunction_mask,
 )
 from ..relational.relation import Relation
 from .categorize import Categorization, categorize, categorize_theta
-from .params import KSJQParams
+from .params import CascadeParams, KSJQParams
 
-__all__ = ["JoinPlan", "PlanStats"]
+__all__ = ["JoinPlan", "PlanStats", "CascadePlan", "CascadeStats"]
 
 
 @dataclass(frozen=True)
@@ -311,11 +312,14 @@ class JoinPlan:
             )
             for cond in self.theta_conditions
         ]
+        right_subsets = [rvals[right_rows] for _, rvals in value_pairs]
         chunks = []
         for l in left_rows:
-            mask = np.ones(right_rows.shape, dtype=bool)
-            for cond, (lvals, rvals) in zip(self.theta_conditions, value_pairs):
-                mask &= _theta_mask(cond, lvals[int(l)], rvals[right_rows])
+            mask = theta_conjunction_mask(
+                self.theta_conditions,
+                [lvals[int(l)] for lvals, _ in value_pairs],
+                right_subsets,
+            )
             partners = right_rows[mask]
             if partners.size:
                 chunks.append(pairs_product([int(l)], partners))
@@ -380,13 +384,223 @@ class JoinPlan:
         )
 
 
-def _theta_mask(theta: ThetaCondition, left_value: float, right_values: np.ndarray) -> np.ndarray:
-    from ..relational.groups import ThetaOp
+# ----------------------------------------------------------------------
+# m-way cascade plans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CascadeStats:
+    """Cardinality statistics of a prepared cascade, for cost-based choices.
 
-    if theta.op is ThetaOp.LT:
-        return right_values > left_value
-    if theta.op is ThetaOp.LE:
-        return right_values >= left_value
-    if theta.op is ThetaOp.GT:
-        return right_values < left_value
-    return right_values <= left_value
+    ``join_size`` is the exact number of join-compatible chains,
+    computed by a backward dynamic program over the hop structure
+    (group-sum arithmetic for equality hops, prefix-sum binary search
+    for single theta conditions) — nothing here materializes the chain
+    set. ``categorization_cost`` is the abstract cost of the pruned
+    algorithm's per-relation Theorem-4 grouping pass: the sum of
+    squared connector-group sizes across every relation.
+    """
+
+    kind: str
+    base_sizes: Tuple[int, ...]
+    join_size: int
+    categorization_cost: int
+
+    @property
+    def n_relations(self) -> int:
+        """Number of relations in the chain."""
+        return len(self.base_sizes)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "base_sizes": list(self.base_sizes),
+            "n_relations": self.n_relations,
+            "join_size": self.join_size,
+            "categorization_cost": self.categorization_cost,
+        }
+
+
+class CascadePlan:
+    """A prepared (but unexecuted) cascade of m base relations.
+
+    The m-way counterpart of :class:`JoinPlan`: validates the join
+    graph eagerly (hop count, hop column existence, aggregate
+    compatibility — all *before* any chain is enumerated) and memoizes
+    the derived structures the cascade algorithms share: the chain set,
+    the oriented joined matrix, the per-k Theorem-4 pruning, and exact
+    chain-count statistics.
+
+    Parameters
+    ----------
+    relations:
+        Ordered chain of base relations (at least two).
+    hops:
+        ``m - 1`` hop conditions; anything
+        :func:`repro.core.cascade.normalize_hops` accepts. ``None``
+        selects composite-key equality for every hop.
+    aggregate:
+        Aggregate function or registry name; required iff the schemas
+        mark aggregate attributes.
+    """
+
+    kind = "cascade"
+
+    def __init__(self, relations: Sequence[Relation], hops=None, aggregate=None) -> None:
+        from .cascade import normalize_hops, validate_hops
+
+        relations = tuple(relations)
+        if len(relations) < 2:
+            raise JoinError("a cascade needs at least two relations")
+        first = relations[0].schema
+        for rel in relations[1:]:
+            first.validate_compatible_aggregates(rel.schema)
+        self.relations = relations
+        self.hops = normalize_hops(len(relations), hops)
+        validate_hops(relations, self.hops)
+        if first.a and aggregate is None:
+            raise JoinError("schemas declare aggregate attributes; pass aggregate=...")
+        self.aggregate: Optional[AggregateFunction] = (
+            get_aggregate(aggregate) if aggregate is not None else None
+        )
+
+        self._chains: Optional[np.ndarray] = None
+        self._oriented: Optional[np.ndarray] = None
+        self._sorted: Optional[np.ndarray] = None
+        self._pruned: Dict[int, tuple] = {}
+        self._pruned_candidates: Dict[int, tuple] = {}
+        self._groups: Optional[List[Dict[tuple, List[int]]]] = None
+        self._stats: Optional[CascadeStats] = None
+
+    # ------------------------------------------------------------------
+    def params(self, k: int) -> CascadeParams:
+        """Validated m-way parameters for this plan at a given ``k``."""
+        return CascadeParams.from_schemas([r.schema for r in self.relations], k)
+
+    def require_strict_aggregate(self, algorithm: str) -> None:
+        """The pruned cascade's Theorem-4 proof needs strict monotonicity."""
+        if self.aggregate is not None and not self.aggregate.strictly_monotone:
+            raise ParameterError(
+                f"{algorithm} cascade requires a strictly monotone aggregate; "
+                "use naive"
+            )
+
+    # ------------------------------------------------------------------
+    # Memoized derived structures
+    # ------------------------------------------------------------------
+    def chains(self) -> np.ndarray:
+        """The full (s x m) chain set (enumerated on first call)."""
+        if self._chains is None:
+            from .cascade import cascade_chains
+
+            self._chains = cascade_chains(self.relations, self.hops)
+        return self._chains
+
+    def oriented(self) -> np.ndarray:
+        """Oriented joined matrix of every chain, cached."""
+        if self._oriented is None:
+            from .cascade import cascade_oriented
+
+            self._oriented = cascade_oriented(self.relations, self.chains(), self.aggregate)
+        return self._oriented
+
+    def sorted_oriented(self) -> np.ndarray:
+        """The oriented matrix pre-sorted for early-exit dominance checks."""
+        if self._sorted is None:
+            from .verify import sort_rows_for_early_exit
+
+            self._sorted = sort_rows_for_early_exit(self.oriented())
+        return self._sorted
+
+    def connector_group_list(self) -> List[Dict[tuple, List[int]]]:
+        """Per-relation Theorem-4 connector groups (k-independent), cached."""
+        if self._groups is None:
+            from .cascade import connector_groups
+
+            self._groups = [
+                connector_groups(self.relations, self.hops, i)
+                for i in range(len(self.relations))
+            ]
+        return self._groups
+
+    def pruned_keep(self, k: int):
+        """Per-relation survivor rows of the Theorem-4 pruning at ``k``.
+
+        Returns ``(keep, pruned_rows)`` where ``keep`` lists surviving
+        row indexes per relation; memoized per ``k`` so repeated
+        queries (or a stream after a run) prune once.
+        """
+        if k not in self._pruned:
+            from .cascade import prune_rows
+
+            keep = prune_rows(
+                self.relations,
+                self.hops,
+                k,
+                groups_per_relation=self.connector_group_list(),
+            )
+            pruned = sum(
+                len(rel) - len(rows) for rel, rows in zip(self.relations, keep)
+            )
+            self._pruned[k] = (keep, pruned)
+        return self._pruned[k]
+
+    def pruned_candidates(self, k: int):
+        """Surviving candidate chains at ``k`` and their oriented matrix.
+
+        Returns ``(candidates, matrix)``; memoized per ``k`` so a
+        repeated pruned query through a cached plan is verification-only.
+        """
+        if k not in self._pruned_candidates:
+            from .cascade import cascade_chains, cascade_oriented
+
+            keep, _ = self.pruned_keep(k)
+            candidates = cascade_chains(self.relations, self.hops, keep=keep)
+            matrix = cascade_oriented(self.relations, candidates, self.aggregate)
+            self._pruned_candidates[k] = (candidates, matrix)
+        return self._pruned_candidates[k]
+
+    def stats(self) -> CascadeStats:
+        """Exact chain-count statistics without materializing the chains."""
+        if self._stats is None:
+            from .cascade import hop_side_values, theta_weight_sums
+
+            relations, hops = self.relations, self.hops
+            weights = np.ones(len(relations[-1]), dtype=np.float64)
+            for idx in range(len(hops) - 1, -1, -1):
+                left_rel, right_rel, hop = relations[idx], relations[idx + 1], hops[idx]
+                if hop.kind == "cartesian":
+                    weights = np.full(len(left_rel), float(weights.sum()))
+                elif hop.kind == "theta":
+                    weights = theta_weight_sums(left_rel, right_rel, hop, weights)
+                else:
+                    right_values = hop_side_values(right_rel, hop, "right")
+                    sums: Dict[object, float] = {}
+                    for row, value in enumerate(right_values):
+                        sums[value] = sums.get(value, 0.0) + float(weights[row])
+                    left_values = hop_side_values(left_rel, hop, "left")
+                    weights = np.asarray(
+                        [sums.get(value, 0.0) for value in left_values],
+                        dtype=np.float64,
+                    )
+            join_size = int(round(float(weights.sum())))
+
+            # Theorem-4 grouping cost: squared connector-group sizes,
+            # over exactly the (cached) groups the pruning pass uses.
+            cat_cost = sum(
+                len(rows) * len(rows)
+                for groups in self.connector_group_list()
+                for rows in groups.values()
+            )
+            self._stats = CascadeStats(
+                kind=self.kind,
+                base_sizes=tuple(len(rel) for rel in relations),
+                join_size=join_size,
+                categorization_cost=int(cat_cost),
+            )
+        return self._stats
+
+    def __repr__(self) -> str:
+        agg = self.aggregate.name if self.aggregate else None
+        names = " x ".join(repr(rel.name) for rel in self.relations)
+        hops = "; ".join(h.describe() for h in self.hops)
+        return f"<CascadePlan {names}, hops=[{hops}], aggregate={agg}>"

@@ -26,7 +26,7 @@ Theorem 1/3. With aggregates the same caveats as
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, Tuple
 
 import numpy as np
 

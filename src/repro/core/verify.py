@@ -10,7 +10,7 @@ dominate each other.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

@@ -20,7 +20,7 @@ experiments run against it unchanged.
 
 from __future__ import annotations
 
-from typing import List, Tuple, Union
+from typing import Tuple, Union
 
 import numpy as np
 

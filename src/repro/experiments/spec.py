@@ -11,7 +11,7 @@ units* (the harness applies scaling). Two experiment kinds exist:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 __all__ = ["SweepPoint", "ExperimentSpec", "KSJQ_ALGORITHMS", "FINDK_METHODS"]

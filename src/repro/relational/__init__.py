@@ -20,6 +20,7 @@ from .aggregates import (
 from .csvio import read_csv, write_csv
 from .groups import GroupIndex, ThetaGroupIndex, ThetaOp
 from .join import (
+    HopSpec,
     JoinedLayout,
     JoinedView,
     ThetaCondition,
@@ -35,6 +36,7 @@ __all__ = [
     "AggregateFunction",
     "AttributeSpec",
     "GroupIndex",
+    "HopSpec",
     "JoinedLayout",
     "JoinedView",
     "MAX",

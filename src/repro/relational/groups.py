@@ -15,7 +15,7 @@ joins with.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
 import numpy as np
 

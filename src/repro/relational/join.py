@@ -23,21 +23,26 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import JoinError, SchemaError
+from ..errors import JoinError
 from .aggregates import AggregateFunction, get_aggregate
-from .groups import GroupIndex, ThetaGroupIndex, ThetaOp
+from .groups import GroupIndex, ThetaOp
 from .relation import Relation
 from .schema import RelationSchema
 
 __all__ = [
+    "HopSpec",
     "ThetaCondition",
     "JoinedLayout",
     "JoinedView",
     "equality_pairs",
     "cartesian_pairs",
     "theta_pairs",
+    "theta_conjunction_mask",
+    "theta_value_mask",
     "pairs_product",
 ]
+
+HOP_KINDS = ("equality", "cartesian", "theta")
 
 
 @dataclass(frozen=True)
@@ -50,6 +55,103 @@ class ThetaCondition:
 
     def __str__(self) -> str:
         return f"left.{self.left_attr} {self.op.value} right.{self.right_attr}"
+
+
+@dataclass(frozen=True)
+class HopSpec:
+    """One hop of a join graph: how relation ``i`` connects to ``i + 1``.
+
+    A chain of N relations is described by N - 1 hops; each hop carries
+    its own join kind, mirroring the two-way ``JOIN_KINDS``:
+
+    * ``"equality"`` (default) — equality of one named column per side
+      (``HopSpec.on_columns("dest", "source")`` expresses
+      ``left.dest == right.source``); a side whose column is ``None``
+      contributes its schema's composite join key, so the bare
+      ``HopSpec()`` is exactly the two-way default equality join;
+    * ``"theta"`` — a conjunction of non-equality
+      :class:`ThetaCondition` predicates (``HopSpec.on_theta(...)``);
+    * ``"cartesian"`` — every pair joins (``HopSpec.cross()``).
+
+    HopSpecs are frozen and hashable, so query specs built from them
+    can key engine plan caches.
+    """
+
+    kind: str = "equality"
+    left_column: Optional[str] = None
+    right_column: Optional[str] = None
+    theta: Tuple[ThetaCondition, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in HOP_KINDS:
+            raise JoinError(f"unknown hop kind {self.kind!r}; choose from {HOP_KINDS}")
+        if self.kind == "theta":
+            object.__setattr__(self, "theta", normalize_theta(self.theta))
+        elif self.theta:
+            raise JoinError(f"theta condition given but hop kind={self.kind!r}")
+        if self.kind != "equality" and (self.left_column or self.right_column):
+            raise JoinError(f"hop columns given but hop kind={self.kind!r}")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def key(cls) -> "HopSpec":
+        """Equality on both schemas' composite join keys (the default)."""
+        return cls()
+
+    @classmethod
+    def on_columns(
+        cls, left_column: Optional[str], right_column: Optional[str]
+    ) -> "HopSpec":
+        """Equality of one named column per side (``None`` = composite key)."""
+        return cls(kind="equality", left_column=left_column, right_column=right_column)
+
+    @classmethod
+    def on_theta(cls, theta) -> "HopSpec":
+        """Theta hop: one condition or a conjunction sequence."""
+        return cls(kind="theta", theta=normalize_theta(theta))
+
+    @classmethod
+    def cross(cls) -> "HopSpec":
+        """Cartesian hop: every left row joins every right row."""
+        return cls(kind="cartesian")
+
+    @classmethod
+    def coerce(cls, obj) -> "HopSpec":
+        """Normalize a hop-like object to a :class:`HopSpec`.
+
+        Accepts a ``HopSpec``, ``None`` (composite-key equality), a
+        :class:`ThetaCondition` or sequence of them (conjunction), or
+        any object with ``left_column`` / ``right_column`` attributes
+        (e.g. the legacy :class:`repro.core.cascade.Hop`).
+        """
+        if isinstance(obj, cls):
+            return obj
+        if obj is None:
+            return cls()
+        if isinstance(obj, ThetaCondition):
+            return cls.on_theta(obj)
+        if hasattr(obj, "left_column") and hasattr(obj, "right_column"):
+            return cls.on_columns(obj.left_column, obj.right_column)
+        try:
+            return cls.on_theta(normalize_theta(obj))
+        except JoinError:
+            raise JoinError(
+                f"cannot interpret {obj!r} as a hop; pass a HopSpec, Hop, "
+                "ThetaCondition, conjunction sequence, or None"
+            ) from None
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        if self.kind == "cartesian":
+            return "cartesian"
+        if self.kind == "theta":
+            return " AND ".join(str(c) for c in self.theta)
+        left = self.left_column if self.left_column is not None else "<join key>"
+        right = self.right_column if self.right_column is not None else "<join key>"
+        return f"left.{left} == right.{right}"
+
+    def __str__(self) -> str:
+        return self.describe()
 
 
 @dataclass(frozen=True)
@@ -170,6 +272,38 @@ def normalize_theta(theta) -> Tuple[ThetaCondition, ...]:
         if not isinstance(cond, ThetaCondition):
             raise JoinError(f"expected ThetaCondition, got {type(cond).__name__}")
     return conditions
+
+
+def theta_value_mask(
+    condition: ThetaCondition, left_value: float, right_values: np.ndarray
+) -> np.ndarray:
+    """Mask of ``right_values`` joining one left value under a condition."""
+    if condition.op is ThetaOp.LT:
+        return right_values > left_value
+    if condition.op is ThetaOp.LE:
+        return right_values >= left_value
+    if condition.op is ThetaOp.GT:
+        return right_values < left_value
+    return right_values <= left_value
+
+
+def theta_conjunction_mask(
+    conditions: Sequence[ThetaCondition],
+    left_values: Sequence[float],
+    right_arrays: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Mask of right rows joining one left row under every condition.
+
+    ``left_values[i]`` / ``right_arrays[i]`` hold the value pair of
+    ``conditions[i]`` (one scalar for the anchored left row, the
+    candidate rows' column for the right side).
+    """
+    mask = np.ones(right_arrays[0].shape, dtype=bool)
+    for condition, left_value, right_values in zip(
+        conditions, left_values, right_arrays
+    ):
+        mask &= theta_value_mask(condition, left_value, right_values)
+    return mask
 
 
 def theta_pairs(left: Relation, right: Relation, theta) -> np.ndarray:

@@ -15,12 +15,12 @@ all dominance code can assume "lower is preferred" (paper Sec. 2.1,
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..errors import SchemaError
-from .schema import AttributeSpec, Preference, RelationSchema, Role
+from .schema import RelationSchema, Role
 
 __all__ = ["Relation"]
 

@@ -1,6 +1,5 @@
 """Engine plan cache: hit/miss accounting, reuse, eviction, provenance."""
 
-import numpy as np
 import pytest
 
 import repro

@@ -2,8 +2,6 @@
 
 import warnings
 
-import pytest
-
 from repro.api import Engine, choose_algorithm
 from repro.core.plan import JoinPlan
 from repro.errors import SoundnessWarning

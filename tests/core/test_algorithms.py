@@ -55,7 +55,6 @@ class TestOptimizedAgreement:
     @pytest.mark.parametrize("seed", range(12))
     def test_all_algorithms_agree_no_aggregation(self, seed):
         left, right = make_random_pair(seed=seed, n=12, d=4, g=3, a=0)
-        plan_kwargs = {}
         k = 6
         base = repro.ksjq(left, right, k=k, algorithm="naive")
         for algorithm in ("grouping", "dominator"):

@@ -1,9 +1,6 @@
 """Unit tests for repro.core.categorize (SS/SN/NN and the fate table)."""
 
-import numpy as np
-import pytest
-
-from repro.core import FATE_TABLE, Categorization, Category, Fate, categorize
+from repro.core import FATE_TABLE, Category, Fate, categorize
 from repro.core.categorize import categorize_theta
 from repro.datagen import (
     EXPECTED_TABLE1_CATEGORIES,

@@ -1,10 +1,8 @@
 """Unit tests for repro.core.plan (JoinPlan)."""
 
-import numpy as np
 import pytest
 
-import repro
-from repro.core import Category, JoinPlan
+from repro.core import JoinPlan
 from repro.errors import AggregateError, JoinError
 from repro.relational import Relation, RelationSchema, ThetaCondition, ThetaOp
 

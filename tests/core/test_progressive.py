@@ -5,7 +5,6 @@ import warnings
 
 import pytest
 
-import repro
 from repro.core import Category, JoinPlan, ksjq_progressive, run_grouping, run_naive
 from repro.errors import AggregateError, SoundnessWarning
 

@@ -1,6 +1,5 @@
 """Unit tests for the repro.core.query facade and result objects."""
 
-import numpy as np
 import pytest
 
 import repro

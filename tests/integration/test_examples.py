@@ -8,8 +8,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
-
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
 
@@ -56,12 +54,18 @@ def test_nonequality_layover():
     out = _run("nonequality_layover.py")
     assert "time-feasible itineraries" in out
     assert "skyline size by k" in out
+    # Engine API: explain plan + every sweep point reusing one cached plan.
+    assert "chosen:" in out
+    assert "plan cache: 6 hits / 1 miss" in out
 
 
 def test_two_stop_cascade():
     out = _run("two_stop_cascade.py")
     assert "valid itineraries" in out
     assert "progressive results" in out
+    # Engine API: cascade explain plan + cached second execution.
+    assert "chains" in out and "chosen:" in out
+    assert "plan cache: 2 hits / 1 miss" in out
 
 
 def test_examples_inventory():

@@ -1,0 +1,110 @@
+"""Property tests: engine cascade parity on random 3-chain workloads.
+
+Complements ``test_property_extensions`` (which exercises the legacy
+``cascade_ksjq`` surface): here the chains run through
+``Engine.query(...)``, mix equality and theta hops, and assert that
+
+* the pruned algorithm matches the naive ground truth exactly,
+* ``algorithm="auto"`` returns the same answer as both, and
+* a cached second execution is identical to the first.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Engine
+from repro.relational import Relation, RelationSchema, ThetaCondition, ThetaOp
+
+
+@st.composite
+def chain_instances(draw):
+    """Three relations chained by hop columns, plus a valid k."""
+    d = 3
+    a = draw(st.integers(min_value=0, max_value=1))
+    names = [f"s{i}" for i in range(d)]
+    schema = RelationSchema.build(
+        skyline=names, aggregate=names[:a], payload=["src", "dst", "hour"]
+    )
+    cities = ["X", "Y"]
+
+    def rel(name, ins, outs):
+        n = draw(st.integers(min_value=1, max_value=6))
+        rows = draw(
+            st.lists(
+                st.lists(st.integers(0, 3), min_size=d, max_size=d),
+                min_size=n, max_size=n,
+            )
+        )
+        columns = {names[i]: [float(r[i]) for r in rows] for i in range(d)}
+        columns["src"] = [draw(st.sampled_from(ins)) for _ in range(n)]
+        columns["dst"] = [draw(st.sampled_from(outs)) for _ in range(n)]
+        columns["hour"] = [float(draw(st.integers(0, 5))) for _ in range(n)]
+        return Relation(schema, columns, name=name)
+
+    relations = (
+        rel("L1", ["A"], cities),
+        rel("L2", cities, cities),
+        rel("L3", cities, ["B"]),
+    )
+    joined_d = sum(r.schema.l for r in relations) + a
+    k = draw(st.integers(min_value=d + 1, max_value=joined_d))
+    theta_second_hop = draw(st.booleans())
+    return relations, k, a, theta_second_hop
+
+
+def _query(engine, relations, a, theta_second_hop):
+    query = engine.query(*relations).hop("dst", "src")
+    if theta_second_hop:
+        query = query.theta(ThetaCondition("hour", ThetaOp.LE, "hour"))
+    else:
+        query = query.hop("dst", "src")
+    if a:
+        query = query.aggregate("sum")
+    return query
+
+
+@given(chain_instances())
+@settings(max_examples=60, deadline=None)
+def test_engine_pruned_equals_naive_on_random_chains(instance):
+    relations, k, a, theta_second_hop = instance
+    engine = Engine()
+    pruned = _query(engine, relations, a, theta_second_hop).algorithm("pruned").k(k).run()
+    naive = _query(engine, relations, a, theta_second_hop).algorithm("naive").k(k).run()
+    auto = _query(engine, relations, a, theta_second_hop).algorithm("auto").k(k).run()
+    assert pruned.chain_set() == naive.chain_set()
+    assert auto.chain_set() == naive.chain_set()
+    assert pruned.total_chains == naive.total_chains
+
+
+@given(chain_instances())
+@settings(max_examples=30, deadline=None)
+def test_cached_second_execution_is_identical(instance):
+    relations, k, a, theta_second_hop = instance
+    engine = Engine()
+    query = _query(engine, relations, a, theta_second_hop).k(k)
+    first = query.run()
+    second = query.run()
+    assert engine.cache_info()["hits"] >= 1
+    assert second.chain_set() == first.chain_set()
+    assert second.source is first.source
+
+
+@given(chain_instances())
+@settings(max_examples=30, deadline=None)
+def test_chain_count_statistics_are_exact(instance):
+    relations, k, a, theta_second_hop = instance
+    engine = Engine()
+    query = _query(engine, relations, a, theta_second_hop).k(k)
+    report = query.explain()
+    result = query.run()
+    assert report.stats.join_size == result.total_chains
+    assert report.stats.base_sizes == tuple(len(r) for r in relations)
+
+
+@given(chain_instances())
+@settings(max_examples=20, deadline=None)
+def test_stream_equals_run(instance):
+    relations, k, a, theta_second_hop = instance
+    engine = Engine()
+    query = _query(engine, relations, a, theta_second_hop).k(k)
+    assert set(query.stream()) == query.run().chain_set()

@@ -16,7 +16,6 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-import repro
 from repro.core import Category, JoinPlan, run_cartesian, run_dominator, run_grouping, run_naive
 from repro.errors import SoundnessWarning
 from repro.relational import Relation
