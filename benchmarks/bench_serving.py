@@ -1,0 +1,74 @@
+"""Serving-path benchmarks: catalog-registered datasets + batch front-end.
+
+Not a paper figure — this measures the PR-3 serving layer itself:
+
+* ``cold``: every query pays full plan preparation (cache disabled),
+  the pre-catalog behaviour;
+* ``warm``: the same query mix through one engine with plan caching —
+  repeat queries over registered datasets skip join preparation;
+* ``results``: plan + result caches — repeat queries are pure lookups;
+* ``batch``: ``execute_many`` fan-out of the mix over a thread pool.
+
+Skyline sizes are recorded in ``extra_info`` as a correctness record,
+exactly like the figure benchmarks.
+"""
+
+import pytest
+
+from repro.api import Engine, QuerySpec
+
+from .conftest import dataset, record_artifact, scaled_n
+
+
+def _query_mix():
+    """A small dashboard-like mix: repeated ks over one dataset pair."""
+    specs = [QuerySpec.for_ksjq(k=k) for k in (8, 9, 10)]
+    return [spec for _ in range(4) for spec in specs]  # 12 queries, 3 distinct
+
+
+def _register(engine):
+    left, right = dataset(paper_n=min(scaled_n(), 400) * 20, a=0)
+    engine.register("left", left)
+    engine.register("right", right)
+    return left, right
+
+
+def _run_serial(engine, left, right, named):
+    results = []
+    for spec in _query_mix():
+        if named:
+            results.append(engine.execute("left", "right", spec))
+        else:
+            results.append(engine.execute(left, right, spec))
+    return results
+
+
+@pytest.mark.parametrize("mode", ["cold", "warm", "results"])
+def test_serving_query_mix(benchmark, mode):
+    kwargs = {"cold": dict(max_plans=0), "warm": dict(), "results": dict(max_results=64)}
+    engine = Engine(**kwargs[mode])
+    left, right = _register(engine)
+
+    results = benchmark.pedantic(
+        _run_serial, args=(engine, left, right, mode != "cold"),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info["skyline"] = [r.count for r in results[:3]]
+    benchmark.extra_info["cache_info"] = {
+        k: v for k, v in engine.cache_info().items() if k != "results"
+    }
+    record_artifact(benchmark, f"serving-{mode}", sum(r.elapsed for r in results))
+
+
+@pytest.mark.parametrize("workers", [1, 8])
+def test_serving_execute_many(benchmark, workers):
+    engine = Engine(max_results=64)
+    _register(engine)
+    requests = [("left", "right", spec) for spec in _query_mix()]
+
+    results = benchmark.pedantic(
+        engine.execute_many, args=(requests,), kwargs=dict(max_workers=workers),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info["skyline"] = [r.count for r in results[:3]]
+    record_artifact(benchmark, f"batch-{workers}w", sum(r.elapsed for r in results))

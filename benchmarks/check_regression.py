@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Bench-regression guard: compare BENCH_*.json artifacts to baselines.
+
+The benchmark conftest writes one ``BENCH_<figure>.json`` per benchmark
+module when ``REPRO_BENCH_ARTIFACTS`` is set; CI uploads them as build
+artifacts. This script compares a fresh artifact directory against the
+committed baselines in ``benchmarks/baselines/`` and fails (exit 1)
+when any figure's total elapsed time exceeds ``threshold`` times its
+baseline — catching order-of-magnitude regressions while tolerating
+runner-to-runner noise.
+
+Baselines are committed from a developer machine but compared on
+arbitrary CI runners, so raw wall-clock would measure hardware, not
+code. Every baseline therefore records a **calibration**: the elapsed
+seconds of :func:`calibration_seconds`, a fixed numpy+python workload
+shaped like the KSJQ hot paths. Before comparing, each baseline total
+is scaled by ``local_calibration / baseline_calibration``, normalizing
+"how long should this figure take on *this* machine".
+
+Per-figure *totals* are compared (not individual cells): totals
+aggregate enough work to be stable across runners, and a real
+regression in any hot path moves the total of its figure.
+
+Usage::
+
+    python benchmarks/check_regression.py <artifact_dir> \
+        [--baseline-dir benchmarks/baselines] [--threshold 2.0]
+
+Figures present in the artifacts but without a committed baseline are
+reported and skipped (new benchmarks don't fail the guard; commit a
+baseline to arm it). A baseline with no matching artifact fails: the
+benchmark silently not running is itself a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+
+def calibration_seconds(repeats: int = 3) -> float:
+    """Machine-speed probe: best-of-N elapsed for a fixed workload.
+
+    Mixes vectorized numpy work and a pure-python loop in roughly the
+    proportions of the KSJQ algorithms (dominance matrix arithmetic +
+    per-tuple bookkeeping), so the ratio between two machines'
+    calibrations predicts the ratio of their benchmark times.
+    """
+    import numpy as np
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        rng = np.random.default_rng(0)
+        matrix = rng.standard_normal((200, 200))
+        for _ in range(15):
+            matrix = np.tanh(matrix @ matrix.T / 200.0)
+            (matrix[:, None, :50] <= matrix[None, :, :50]).sum()
+        acc = 0
+        for i in range(120_000):
+            acc += i % 7
+        assert acc > 0
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def figure_totals(path: Path) -> Tuple[float, Optional[float]]:
+    """``(summed elapsed seconds, recorded calibration)`` of one BENCH_*.json."""
+    payload = json.loads(path.read_text())
+    total = sum(float(cell["elapsed"]) for cell in payload.get("results", []))
+    calibration = payload.get("calibration")
+    return total, float(calibration) if calibration else None
+
+
+def load_dir(directory: Path) -> Dict[str, Path]:
+    return {p.stem[len("BENCH_"):]: p for p in sorted(directory.glob("BENCH_*.json"))}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact_dir", type=Path,
+                        help="directory holding freshly produced BENCH_*.json files")
+    parser.add_argument("--baseline-dir", type=Path,
+                        default=Path(__file__).parent / "baselines")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail when elapsed > threshold * baseline (default 2.0)")
+    parser.add_argument("--min-baseline", type=float, default=0.01,
+                        help="skip figures whose baseline total is below this many "
+                             "seconds (too noisy to compare; default 0.01)")
+    args = parser.parse_args(argv)
+
+    baselines = load_dir(args.baseline_dir)
+    artifacts = load_dir(args.artifact_dir)
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {args.baseline_dir}")
+        return 1
+
+    local_calibration = calibration_seconds()
+    print(f"local calibration: {local_calibration:.4f}s")
+
+    failures = []
+    for figure, baseline_path in baselines.items():
+        baseline, base_calibration = figure_totals(baseline_path)
+        artifact_path = artifacts.get(figure)
+        if artifact_path is None:
+            failures.append(f"{figure}: baseline exists but no artifact was produced")
+            continue
+        elapsed, _ = figure_totals(artifact_path)
+        if base_calibration:
+            speed = local_calibration / base_calibration
+            baseline *= speed  # what the baseline machine's run costs *here*
+        else:
+            speed = None
+        if baseline < args.min_baseline:
+            print(f"~ {figure}: baseline {baseline:.4f}s below --min-baseline, skipped")
+            continue
+        ratio = elapsed / baseline
+        note = f", machine-speed x{speed:.2f}" if speed is not None else ", uncalibrated"
+        failed = ratio > args.threshold
+        print(f"{'!' if failed else ' '} {figure}: {elapsed:.4f}s vs adjusted "
+              f"baseline {baseline:.4f}s ({ratio:.2f}x, limit "
+              f"{args.threshold:.2f}x{note})")
+        if failed:
+            failures.append(
+                f"{figure}: {elapsed:.4f}s is {ratio:.2f}x the adjusted baseline "
+                f"{baseline:.4f}s (limit {args.threshold:.2f}x)"
+            )
+
+    for figure in sorted(set(artifacts) - set(baselines)):
+        print(f"~ {figure}: no baseline committed, skipped "
+              f"(add benchmarks/baselines/BENCH_{figure}.json to arm the guard)")
+
+    if failures:
+        print("\nbench-regression guard FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbench-regression guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,8 +17,10 @@ benchmark JSON doubles as a correctness record.
 
 Setting ``REPRO_BENCH_ARTIFACTS=<dir>`` additionally writes one
 ``BENCH_<figure>.json`` per benchmark module at session end (figure id,
-scale, elapsed seconds per algorithm cell) — CI uploads these as build
-artifacts so runs are comparable across commits.
+scale, elapsed seconds per algorithm cell, plus the machine-speed
+calibration of :func:`check_regression.calibration_seconds`) — CI
+uploads these as build artifacts and ``check_regression.py`` compares
+them, calibration-adjusted, against the committed baselines.
 """
 
 from __future__ import annotations
@@ -73,12 +75,16 @@ def pytest_sessionfinish(session, exitstatus):
     """Write one BENCH_<figure>.json per benchmark module that ran."""
     if not ARTIFACT_DIR or not _artifact_records:
         return
+    from .check_regression import calibration_seconds
+
+    calibration = calibration_seconds()
     os.makedirs(ARTIFACT_DIR, exist_ok=True)
     for figure, results in sorted(_artifact_records.items()):
         payload = {
             "figure": figure,
             "scale": BENCH_SCALE,
             "max_joined": MAX_JOINED,
+            "calibration": round(calibration, 6),
             "results": results,
         }
         path = os.path.join(ARTIFACT_DIR, f"BENCH_{figure}.json")

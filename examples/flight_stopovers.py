@@ -7,9 +7,12 @@ exist after the join — plus per-leg date-change fees, popularity and
 amenities. This example:
 
 1. builds the simulated 192 x 155 flight network over 13 hub cities
-   (same shape as the paper's makemytrip crawl);
+   (same shape as the paper's makemytrip crawl) and registers both legs
+   as named datasets in an :class:`repro.Engine` catalog;
 2. runs the Aggregate KSJQ (Problem 2) for k = 6, 7, 8 over the
-   3 + 3 + 2 = 8 joined attributes, comparing all three algorithms;
+   3 + 3 + 2 = 8 joined attributes, comparing all three algorithms —
+   every query names its inputs (``engine.query("outbound", "inbound")``)
+   and shares one cached join plan;
 3. prints the best itineraries and the component timing breakdown,
    i.e. a small-scale rerun of the paper's Fig. 11.
 
@@ -27,8 +30,12 @@ def main() -> None:
     outbound, inbound = make_flight_relations()
     print(f"legs: {len(outbound)} Delhi->hub, {len(inbound)} hub->Mumbai")
 
-    plan = repro.make_plan(outbound, inbound, aggregate="sum")
-    print(f"joined itineraries: {len(plan.view())}\n")
+    engine = repro.Engine()
+    engine.register("outbound", outbound)
+    engine.register("inbound", inbound)
+
+    plan = engine.plan("outbound", "inbound", aggregate="sum")
+    print(f"joined itineraries: {plan.stats().join_size}\n")
 
     # a = 2 aggregates means faithful mode can over-report (see
     # DESIGN.md errata); exact mode guarantees the true skyline.
@@ -38,19 +45,27 @@ def main() -> None:
           f"{'grouping':>9} {'join':>7} {'dominator':>10} {'remaining':>10}")
     for k in (6, 7, 8):
         for algorithm in ("grouping", "dominator", "naive"):
-            result = repro.ksjq(
-                outbound, inbound, k=k, algorithm=algorithm,
-                aggregate="sum", mode="exact", plan=plan,
+            result = (
+                engine.query("outbound", "inbound")
+                .aggregate("sum").algorithm(algorithm).mode("exact")
+                .run(k=k)
             )
             t = result.timings
             print(f"{k:>3} {algorithm:<10} {result.count:>8} {t.total:>9.4f} "
                   f"{t.grouping:>9.4f} {t.join:>7.4f} {t.dominator:>10.4f} "
                   f"{t.remaining:>10.4f}")
 
+    info = engine.cache_info()
+    print(f"\nplan cache: {info['size']} plan for {info['requests']} queries "
+          f"({info['hits']} hits) — join preparation was paid once")
+
     # Show the top itineraries for k = 6 sorted by total cost.
-    result = repro.ksjq(outbound, inbound, k=6, aggregate="sum",
-                        mode="exact", plan=plan)
-    skyline = result.to_relation(plan.view(), name="itineraries")
+    result = (
+        engine.query("outbound", "inbound")
+        .aggregate("sum").mode("exact")
+        .run(k=6)
+    )
+    skyline = result.to_relation(name="itineraries")
     print(f"\n{result.count} skyline itineraries at k=6; 5 cheapest:")
     for rec in skyline.sort_by("cost").head(5).records():
         out_leg = outbound.record(rec["_left_row"])

@@ -16,6 +16,12 @@ The full skyline over these 5 joined attributes is large; k-dominance
 with k = 4 trims it to a manageable shortlist, and find-k picks k from
 a desired shortlist size instead.
 
+Both tables are registered as named, versioned datasets in an
+:class:`repro.Engine` catalog; every query below names its inputs, so
+the join plan is prepared once and reused, and the closing section
+shows a catalog mutation (a new product arrives) invalidating exactly
+the affected cache entries before the shortlist is recomputed.
+
 Run:  python examples/product_shipping.py
 """
 
@@ -74,40 +80,61 @@ def make_shipping(n=40) -> Relation:
     )
 
 
-def main() -> None:
-    products, shipping = make_products(), make_shipping()
-    plan = repro.make_plan(products, shipping, aggregate="sum")
-    joined = len(plan.view())
-    print(f"{len(products)} products x {len(shipping)} shipping offers "
-          f"-> {joined} joined offers (per-category equality join)")
-
-    # Full skyline (k = 7 joined attributes) vs k-dominant shortlists.
-    print("\nshortlist size by k (Lemma 1: monotone in k):")
-    for k in (5, 6, 7):
-        result = repro.ksjq(products, shipping, k=k, aggregate="sum",
-                            mode="exact", plan=plan)
-        kind = "full skyline" if k == 7 else f"{k}-dominant skyline"
-        print(f"  k={k} ({kind}): {result.count} offers")
-
-    # Problem 3: "I want to review about 15 offers" -> find k.
-    tuned = repro.find_k(products, shipping, delta=15, method="binary",
-                         mode="exact", aggregate="sum", plan=plan)
-    print(f"\nfind-k: smallest k with >= 15 offers is k={tuned.k} "
-          f"({tuned.full_evaluations} full evaluations, "
-          f"{len(tuned.steps)} probes)")
-
-    result = repro.ksjq(products, shipping, k=tuned.k, aggregate="sum",
-                        mode="exact", plan=plan)
-    shortlist = result.to_relation(plan.view(), name="shortlist")
-    print(f"\n{result.count} shortlisted offers; 8 cheapest bundles:")
-    header = f"  {'sku':<7} {'carrier':<8} {'total':>8} {'rating':>7} {'days':>5}"
-    print(header)
+def print_shortlist(engine: "repro.Engine", products, shipping, k: int) -> None:
+    result = (
+        engine.query("products", "shipping")
+        .aggregate("sum").mode("exact")
+        .run(k=k)
+    )
+    shortlist = result.to_relation(name="shortlist")
+    print(f"\n{result.count} shortlisted offers at k={k}; 8 cheapest bundles:")
+    print(f"  {'sku':<7} {'carrier':<8} {'total':>8} {'rating':>7} {'days':>5}")
     for rec in shortlist.sort_by("price").head(8).records():
         product = products.record(rec["_left_row"])
         carrier = shipping.record(rec["_right_row"])
         print(f"  {product['sku']:<7} {carrier['carrier']:<8} "
               f"{rec['price']:>8.2f} {product['rating']:>7.1f} "
               f"{carrier['days']:>5.0f}")
+
+
+def main() -> None:
+    engine = repro.Engine()
+    products_ds = engine.register("products", make_products())
+    engine.register("shipping", make_shipping())
+
+    joined = engine.plan("products", "shipping", aggregate="sum").stats().join_size
+    print(f"{len(products_ds)} products x {len(engine.catalog['shipping'])} "
+          f"shipping offers -> {joined} joined offers (per-category equality join)")
+
+    # Full skyline (k = 7 joined attributes) vs k-dominant shortlists.
+    print("\nshortlist size by k (Lemma 1: monotone in k):")
+    offers = engine.query("products", "shipping").aggregate("sum").mode("exact")
+    for k in (5, 6, 7):
+        result = offers.run(k=k)
+        kind = "full skyline" if k == 7 else f"{k}-dominant skyline"
+        print(f"  k={k} ({kind}): {result.count} offers")
+
+    # Problem 3: "I want to review about 15 offers" -> find k.
+    tuned = offers.find_k(delta=15, method="binary")
+    print(f"\nfind-k: smallest k with >= 15 offers is k={tuned.k} "
+          f"({tuned.full_evaluations} full evaluations, "
+          f"{len(tuned.steps)} probes)")
+
+    print_shortlist(engine, products_ds.relation, engine.catalog["shipping"].relation,
+                    tuned.k)
+
+    # A new bargain product arrives: the copy-on-write insert bumps the
+    # dataset version, invalidating exactly the cached plans built over
+    # the old snapshot, and the rerun picks the newcomer up.
+    products_ds.insert_rows([{
+        "category": "electronics", "price": 49.99, "rating": 4.9,
+        "warranty": 36, "reviews": 480, "sku": "P9999",
+    }])
+    info = engine.cache_info()
+    print(f"\ninserted P9999 -> products now v{products_ds.version}, "
+          f"{info['invalidations']} plan cache entries invalidated")
+    print_shortlist(engine, products_ds.relation, engine.catalog["shipping"].relation,
+                    tuned.k)
 
 
 if __name__ == "__main__":

@@ -42,6 +42,20 @@ preparation is cached across queries over the same relations::
     chain = engine.query(leg1, leg2, leg3).hop("dst", "src").hop("dst", "src")
     chains = chain.aggregate("sum").k(7).run()
 
+Serving workloads register named, versioned datasets in the engine's
+catalog — caches are keyed by ``(name, version)`` and mutation
+invalidates exactly the affected entries::
+
+    engine.register("hotels", hotels)
+    engine.register("flights", flights)
+    result = engine.query("hotels", "flights").aggregate("sum").k(7).run()
+
+    engine.catalog["hotels"].insert_rows(new_rows)   # bumps the version
+    handle = engine.prepare("hotels", "flights", spec)
+    handle.refresh()                                 # re-runs only when stale
+
+    batch = engine.execute_many(requests, max_workers=8)
+
 The original one-shot facade remains fully supported (it now runs on a
 shared default engine, so it benefits from plan caching too)::
 
@@ -49,7 +63,14 @@ shared default engine, so it benefits from plan caching too)::
     tuned = repro.find_k(r1, r2, delta=100, aggregate="sum")
 """
 
-from .api import Engine, ExplainReport, QueryBuilder, QuerySpec
+from .api import (
+    Catalog,
+    Engine,
+    ExplainReport,
+    QueryBuilder,
+    QueryHandle,
+    QuerySpec,
+)
 from .core import (
     CascadeParams,
     CascadePlan,
@@ -83,6 +104,7 @@ from .core import (
 from .errors import (
     AggregateError,
     AlgorithmError,
+    CatalogError,
     JoinError,
     ParameterError,
     ReproError,
@@ -92,6 +114,7 @@ from .errors import (
 )
 from .relational import (
     AttributeSpec,
+    Dataset,
     HopSpec,
     JoinedView,
     Preference,
@@ -102,14 +125,17 @@ from .relational import (
     ThetaOp,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AggregateError",
     "AlgorithmError",
     "AttributeSpec",
+    "Catalog",
+    "CatalogError",
     "Categorization",
     "Category",
+    "Dataset",
     "Engine",
     "ExplainReport",
     "FATE_TABLE",
@@ -125,6 +151,7 @@ __all__ = [
     "PlanStats",
     "Preference",
     "QueryBuilder",
+    "QueryHandle",
     "QueryResult",
     "QuerySpec",
     "Relation",

@@ -12,27 +12,40 @@ This package turns the paper's four query problems into a prepare-once
   to every result;
 * :class:`QueryBuilder` — the fluent front end:
   ``engine.query(r1, r2).aggregate("sum").k(7).run()``;
-* :class:`ExplainReport` — what would run and why, without running it.
+* :class:`ExplainReport` — what would run and why, without running it;
+* :class:`Catalog` — the registry of named, versioned
+  :class:`~repro.relational.dataset.Dataset` handles behind
+  ``engine.register`` / query-by-name, with mutation fan-out driving
+  exact cache invalidation;
+* :class:`QueryHandle` — a prepared, version-aware query from
+  ``engine.prepare(...)`` that re-executes cheaply against the latest
+  dataset versions and reports freshness.
 
 The legacy ``repro.ksjq`` / ``repro.find_k`` functions remain supported
 as thin wrappers over a module-default engine.
 """
 
 from .builder import QueryBuilder
+from .catalog import Catalog
 from .engine import (
+    CacheStats,
     Engine,
     ExplainReport,
     PlanCacheStats,
     choose_algorithm,
     choose_cascade_algorithm,
 )
+from .handle import QueryHandle
 from .spec import QuerySpec
 
 __all__ = [
+    "CacheStats",
+    "Catalog",
     "Engine",
     "ExplainReport",
     "PlanCacheStats",
     "QueryBuilder",
+    "QueryHandle",
     "QuerySpec",
     "choose_algorithm",
     "choose_cascade_algorithm",

@@ -20,30 +20,39 @@ explain the same query.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple, TYPE_CHECKING
+from typing import Iterator, List, Optional, Tuple, Union, TYPE_CHECKING
 
 from ..core.result import FindKResult, KSJQResult
 from ..errors import JoinError, ParameterError
+from ..relational.dataset import Dataset
 from ..relational.join import HopSpec
 from ..relational.relation import Relation
 from .spec import QuerySpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .engine import Engine, ExplainReport
+    from .handle import QueryHandle
+
+QueryInput = Union[Relation, Dataset, str]
 
 __all__ = ["QueryBuilder"]
 
 
 class QueryBuilder:
-    """Chainable description of one query over a fixed relation chain."""
+    """Chainable description of one query over a fixed input chain.
 
-    def __init__(self, engine: "Engine", *relations: Relation) -> None:
+    Inputs may be :class:`Relation` objects, :class:`Dataset` handles,
+    or the names of datasets registered in the engine's catalog; names
+    resolve to their *latest* snapshot at each terminal call.
+    """
+
+    def __init__(self, engine: "Engine", *relations: QueryInput) -> None:
         if len(relations) < 2:
             raise ParameterError(
                 f"query() needs at least two relations, got {len(relations)}"
             )
         self._engine = engine
-        self._relations: Tuple[Relation, ...] = tuple(relations)
+        self._relations: Tuple[QueryInput, ...] = tuple(relations)
         self._join = "equality"
         self._theta = None
         self._hops: List[HopSpec] = []
@@ -258,12 +267,24 @@ class QueryBuilder:
         """Algorithm choice + cost estimates, without executing."""
         return self._engine.explain(*self._relations, spec=self.spec())
 
+    def prepare(self) -> "QueryHandle":
+        """Freeze into a version-aware :class:`QueryHandle`.
+
+        The handle re-executes against the latest dataset versions and
+        reports whether its cached result is still fresh — the serving
+        counterpart of the one-shot :meth:`run`.
+        """
+        return self._engine.prepare(*self._relations, spec=self.spec())
+
     def to_records(self, k: Optional[int] = None) -> List[dict]:
         """Convenience: run and materialize the answer as dicts."""
         return self.run(k=k).to_records()
 
     def __repr__(self) -> str:
-        names = " x ".join(repr(rel.name) for rel in self._relations)
+        names = " x ".join(
+            repr(rel if isinstance(rel, str) else getattr(rel, "name", "?"))
+            for rel in self._relations
+        )
         try:
             described = self.spec().describe()
         except (ParameterError, JoinError):

@@ -1,0 +1,171 @@
+"""The catalog: a registry of named, versioned datasets.
+
+A :class:`Catalog` maps names to :class:`~repro.relational.dataset.Dataset`
+handles so queries can reference their inputs by name
+(``engine.query("hotels", "flights")``) instead of hand-binding
+anonymous :class:`~repro.relational.relation.Relation` objects on every
+call. Names are the serving-layer contract: plan, stats and result
+caches key on ``(name, version)`` tokens, and every dataset mutation is
+forwarded to catalog subscribers (engines), which invalidate exactly
+the cache entries built over the old version.
+
+Re-registering a name with content-identical data is a no-op (same
+fingerprint → version kept → caches stay warm), so idempotent setup
+code and figure reruns do not thrash caches; re-registering with *new*
+content replaces the snapshot through the existing :class:`Dataset`
+handle, bumping its version like any other mutation.
+
+All operations are thread-safe.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+import weakref
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from ..errors import CatalogError
+from ..relational.dataset import Dataset
+from ..relational.relation import Relation
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Thread-safe name -> :class:`Dataset` registry with mutation fan-out."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._datasets: Dict[str, Dataset] = {}
+        # Bound-method subscribers (engine invalidation hooks) are held
+        # weakly: a shared catalog must not keep every engine that ever
+        # subscribed — and its caches — alive forever.
+        self._subscribers: List[Callable[[], Optional[Callable[[Dataset], None]]]] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, data: Union[Relation, Dataset]) -> Dataset:
+        """Register (or refresh) a named dataset; returns its handle.
+
+        ``data`` may be a :class:`Relation` or an existing
+        :class:`Dataset` (whose name must match ``name``). Registering
+        an already-registered name with content-identical data returns
+        the existing handle unchanged; different content replaces the
+        snapshot via :meth:`Dataset.replace`, bumping the version and
+        triggering invalidation in subscribed engines.
+        """
+        if isinstance(data, Dataset):
+            if data.name != name:
+                raise CatalogError(
+                    f"cannot register dataset named {data.name!r} under {name!r}; "
+                    "names are the cache-key identity and must match"
+                )
+            relation = data.relation
+        elif isinstance(data, Relation):
+            relation = data
+        else:
+            raise CatalogError(
+                f"register({name!r}) needs a Relation or Dataset, "
+                f"got {type(data).__name__}"
+            )
+
+        with self._lock:
+            existing = self._datasets.get(name)
+            if existing is not None:
+                if existing.relation.fingerprint() == relation.fingerprint():
+                    return existing  # identical content: keep version, keep caches
+                existing.replace(relation)  # bumps version -> notifies subscribers
+                return existing
+            dataset = data if isinstance(data, Dataset) else Dataset(name, relation)
+            dataset.subscribe(self._fan_out)
+            self._datasets[name] = dataset
+            return dataset
+
+    def drop(self, name: str) -> None:
+        """Remove a dataset from the catalog (existing snapshots stay valid)."""
+        with self._lock:
+            if name not in self._datasets:
+                raise CatalogError(f"no dataset named {name!r} to drop")
+            del self._datasets[name]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Dataset:
+        """The dataset registered under ``name`` (raises :class:`CatalogError`)."""
+        with self._lock:
+            dataset = self._datasets.get(name)
+        if dataset is None:
+            known = ", ".join(repr(n) for n in sorted(self.names())) or "none"
+            raise CatalogError(
+                f"no dataset named {name!r} in the catalog (registered: {known}); "
+                "call engine.register(name, relation) first"
+            )
+        return dataset
+
+    def peek(self, name: str) -> Optional[Dataset]:
+        """Like :meth:`get` but returns ``None`` for unknown names."""
+        with self._lock:
+            return self._datasets.get(name)
+
+    def __getitem__(self, name: str) -> Dataset:
+        return self.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._datasets
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._datasets)
+
+    def names(self) -> List[str]:
+        """Registered dataset names, sorted."""
+        with self._lock:
+            return sorted(self._datasets)
+
+    def versions(self) -> Dict[str, int]:
+        """Current ``name -> version`` map across the catalog."""
+        with self._lock:
+            return {name: ds.version for name, ds in self._datasets.items()}
+
+    # ------------------------------------------------------------------
+    # Mutation fan-out
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[Dataset], None]) -> None:
+        """Register an invalidation hook called after any dataset mutation.
+
+        Bound methods (the normal case: an engine's invalidation hook)
+        are referenced weakly, so subscribing never extends the
+        subscriber's lifetime; plain functions are held strongly.
+        """
+        ref: Callable[[], Optional[Callable[[Dataset], None]]]
+        if inspect.ismethod(callback):
+            ref = weakref.WeakMethod(callback)
+        else:
+            ref = lambda: callback  # noqa: E731 - uniform deref shape
+        with self._lock:
+            if any(existing() == callback for existing in self._subscribers):
+                return
+            self._subscribers.append(ref)
+
+    def _fan_out(self, dataset: Dataset) -> None:
+        with self._lock:
+            callbacks = [ref() for ref in self._subscribers]
+            if any(cb is None for cb in callbacks):  # prune dead subscribers
+                self._subscribers = [
+                    ref for ref, cb in zip(self._subscribers, callbacks) if cb is not None
+                ]
+        for callback in callbacks:
+            if callback is not None:
+                callback(dataset)
+
+    def __repr__(self) -> str:
+        versions = self.versions()
+        inner = ", ".join(f"{n}@v{v}" for n, v in sorted(versions.items()))
+        return f"<Catalog {len(versions)} datasets: {inner}>"

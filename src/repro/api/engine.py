@@ -17,14 +17,43 @@ Sec. 2.3 (``engine.query(r1, r2, r3).hop("dest", "source")...``).
 way) or :func:`choose_cascade_algorithm` (m-way), cost models over the
 plans' exact cardinality statistics instead of the seed's hard-wired
 defaults.
+
+The engine is also the serving front-end over a
+:class:`~repro.api.catalog.Catalog` of named, versioned datasets:
+
+* ``engine.register(name, relation)`` names an input; string names are
+  accepted anywhere a :class:`Relation` is
+  (``engine.query("hotels", "flights")``);
+* plan and result caches are keyed by ``(name, version)`` tokens for
+  registered datasets (content fingerprints for anonymous relations),
+  so a dataset mutation invalidates exactly the entries built over the
+  old snapshot — ``cache_info()`` reports hits/misses/evictions/
+  invalidations for both caches;
+* ``engine.execute_many(requests, max_workers=N)`` fans a batch out
+  over a thread pool; all engine entry points are safe for concurrent
+  callers;
+* ``engine.prepare(...)`` returns a
+  :class:`~repro.api.handle.QueryHandle` that re-executes cheaply
+  against the latest dataset versions and reports freshness.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.cartesian import run_cartesian
 from ..core.cascade import (
@@ -42,12 +71,15 @@ from ..core.progressive import ksjq_progressive
 from ..core.result import FindKResult, KSJQResult, QueryResult
 from ..errors import AlgorithmError, ParameterError
 from ..relational.aggregates import AggregateFunction, get_aggregate
+from ..relational.dataset import Dataset
 from ..relational.relation import Relation
+from .catalog import Catalog
 from .spec import QuerySpec
 
 __all__ = [
     "Engine",
     "ExplainReport",
+    "CacheStats",
     "PlanCacheStats",
     "choose_algorithm",
     "choose_cascade_algorithm",
@@ -220,12 +252,17 @@ class ExplainReport:
 
 
 @dataclass
-class PlanCacheStats:
-    """Counters of the engine's plan cache activity."""
+class CacheStats:
+    """Counters of one engine cache (plan or result).
+
+    ``invalidations`` counts entries dropped because a registered
+    dataset they were built over mutated to a new version.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     @property
     def requests(self) -> int:
@@ -236,8 +273,13 @@ class PlanCacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "requests": self.requests,
         }
+
+
+#: Backwards-compatible alias (pre-1.2 name of :class:`CacheStats`).
+PlanCacheStats = CacheStats
 
 
 class Engine:
@@ -249,6 +291,16 @@ class Engine:
         Capacity of the LRU plan cache. ``0`` disables caching (every
         query prepares a fresh plan — useful for benchmarking the full
         pipeline).
+    catalog:
+        The :class:`Catalog` of named datasets this engine serves. A
+        private catalog is created when omitted; pass a shared one to
+        serve the same datasets from several engines (each subscribes
+        for invalidation).
+    max_results:
+        Capacity of the opt-in LRU *result* cache. ``0`` (default)
+        disables it; when enabled, ``execute`` answers repeat queries
+        over unchanged inputs without touching the algorithms, and
+        dataset mutations invalidate exactly the affected entries.
 
     Usage::
 
@@ -260,14 +312,101 @@ class Engine:
         # m-way cascade (Sec. 2.3): three legs chained on named columns.
         chain = engine.query(leg1, leg2, leg3).hop("dst", "src").hop("dst", "src")
         result = chain.aggregate("sum").k(7).run()
+
+        # Named, versioned datasets: register once, query by name.
+        engine.register("hotels", hotels)
+        engine.register("flights", flights)
+        result = engine.query("hotels", "flights").k(5).run()
+        engine.catalog["hotels"].insert_rows([...])   # invalidates caches
+
+    All entry points are thread-safe; ``execute_many`` fans a request
+    batch out over a thread pool.
     """
 
-    def __init__(self, max_plans: int = 32) -> None:
+    def __init__(
+        self,
+        max_plans: int = 32,
+        catalog: Optional[Catalog] = None,
+        max_results: int = 0,
+    ) -> None:
         if max_plans < 0:
             raise AlgorithmError(f"max_plans must be >= 0, got {max_plans}")
+        if max_results < 0:
+            raise AlgorithmError(f"max_results must be >= 0, got {max_results}")
         self.max_plans = max_plans
+        self.max_results = max_results
+        self._catalog = catalog if catalog is not None else Catalog()
+        self._catalog.subscribe(self._on_dataset_mutated)
+        self._lock = threading.RLock()
         self._plans: "OrderedDict[Tuple, object]" = OrderedDict()
-        self.cache_stats = PlanCacheStats()
+        self._results: "OrderedDict[Tuple, QueryResult]" = OrderedDict()
+        self.cache_stats = CacheStats()
+        self.result_stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Catalog: named, versioned inputs
+    # ------------------------------------------------------------------
+    @property
+    def catalog(self) -> Catalog:
+        """The catalog of named datasets this engine serves."""
+        return self._catalog
+
+    def register(self, name: str, data: Union[Relation, Dataset]) -> Dataset:
+        """Register ``data`` under ``name`` so queries can use the name.
+
+        Delegates to :meth:`Catalog.register`: re-registering identical
+        content is a no-op (caches stay warm); new content bumps the
+        dataset version and invalidates the affected cache entries.
+        """
+        return self._catalog.register(name, data)
+
+    def _resolve(self, obj) -> Tuple[Relation, Tuple]:
+        """One query input -> ``(relation snapshot, cache token)``.
+
+        Registered datasets (by name or handle) resolve to cheap
+        ``("ds", name, uid, version)`` tokens — no content hashing, a
+        mutation changes the token, and the process-unique ``uid``
+        keeps a dropped-and-re-registered name from colliding with its
+        predecessor's cache entries. Anonymous relations keep the
+        content-fingerprint keying, so equal-content relation objects
+        still share cache entries. A :class:`Dataset` handle that is
+        *not* this engine's registered dataset of that name falls back
+        to content keying (its versions are not comparable to ours).
+        """
+        if isinstance(obj, str):
+            dataset = self._catalog.get(obj)
+            relation, version = dataset.snapshot()  # atomic pair
+            return relation, ("ds", dataset.name, dataset.uid, version)
+        if isinstance(obj, Dataset):
+            relation, version = obj.snapshot()
+            if self._catalog.peek(obj.name) is obj:
+                return relation, ("ds", obj.name, obj.uid, version)
+            return relation, ("rel", relation.fingerprint())
+        if isinstance(obj, Relation):
+            return obj, ("rel", obj.fingerprint())
+        raise ParameterError(
+            f"query inputs must be Relation, Dataset or registered name, "
+            f"got {type(obj).__name__}"
+        )
+
+    def _resolve_all(self, inputs: Sequence) -> Tuple[Tuple[Relation, ...], Tuple]:
+        resolved = [self._resolve(obj) for obj in inputs]
+        return (
+            tuple(rel for rel, _ in resolved),
+            tuple(tok for _, tok in resolved),
+        )
+
+    def _on_dataset_mutated(self, dataset: Dataset) -> None:
+        """Catalog hook: drop exactly the cache entries keyed on an old
+        version of the mutated dataset (current-version entries stay)."""
+        uid, version = dataset.uid, dataset.version
+        with self._lock:
+            for key in [k for k in self._plans if _stale(k[1], uid, version)]:
+                del self._plans[key]
+                self.cache_stats.invalidations += 1
+            for key in [k for k in self._results if _stale(k[1], uid, version)]:
+                del self._results[key]
+                self.result_stats.invalidations += 1
 
     # ------------------------------------------------------------------
     # Plan cache
@@ -282,15 +421,26 @@ class Engine:
         return get_aggregate(aggregate).name
 
     def _cached(self, key: Tuple, factory: Callable[[], object]):
-        """LRU lookup-or-build shared by two-way and cascade plans."""
-        cached = self._plans.get(key)
-        if cached is not None:
-            self.cache_stats.hits += 1
-            self._plans.move_to_end(key)
-            return cached
-        self.cache_stats.misses += 1
+        """LRU lookup-or-build shared by two-way and cascade plans.
+
+        The build runs outside the lock (it can be expensive); when two
+        threads race to build one key, the first insert wins and the
+        loser's plan is discarded — both count one miss.
+        """
+        with self._lock:
+            cached = self._plans.get(key)
+            if cached is not None:
+                self.cache_stats.hits += 1
+                self._plans.move_to_end(key)
+                return cached
+            self.cache_stats.misses += 1
         plan = factory()
-        if self.max_plans > 0:
+        if self.max_plans <= 0:
+            return plan
+        with self._lock:
+            existing = self._plans.get(key)
+            if existing is not None:
+                return existing
             self._plans[key] = plan
             while len(self._plans) > self.max_plans:
                 self._plans.popitem(last=False)
@@ -299,16 +449,18 @@ class Engine:
 
     def plan(
         self,
-        left: Relation,
-        right: Relation,
+        left: Union[Relation, Dataset, str],
+        right: Union[Relation, Dataset, str],
         join: str = "equality",
         aggregate=None,
         theta=None,
     ) -> JoinPlan:
-        """A (cached) :class:`JoinPlan` for one relation pair + join config.
+        """A (cached) :class:`JoinPlan` for one input pair + join config.
 
-        Plans are keyed by the relations' content fingerprints, so two
-        equal-content relation objects share a cache entry, and any
+        Inputs may be relations, datasets, or registered names. Plans
+        over registered datasets are keyed by ``(name, version)``;
+        anonymous relations key by content fingerprint, so two
+        equal-content relation objects share a cache entry and any
         memoized structure computed by one query (the joined view, the
         group indexes) is reused by the next.
         """
@@ -316,9 +468,13 @@ class Engine:
             from ..relational.join import normalize_theta
 
             theta = normalize_theta(theta)
+        (left_rel, left_tok), (right_rel, right_tok) = (
+            self._resolve(left),
+            self._resolve(right),
+        )
         key = (
-            left.fingerprint(),
-            right.fingerprint(),
+            "2way",
+            (left_tok, right_tok),
             join,
             self._agg_key(aggregate),
             theta or (),
@@ -326,8 +482,8 @@ class Engine:
         return self._cached(
             key,
             lambda: JoinPlan(
-                left,
-                right,
+                left_rel,
+                right_rel,
                 kind=join,
                 aggregate=aggregate,
                 theta=theta if theta else None,
@@ -336,51 +492,57 @@ class Engine:
 
     def cascade_plan(
         self,
-        relations: Sequence[Relation],
+        relations: Sequence[Union[Relation, Dataset, str]],
         hops=None,
         aggregate=None,
     ) -> CascadePlan:
-        """A (cached) :class:`CascadePlan` for one relation chain + hops.
+        """A (cached) :class:`CascadePlan` for one input chain + hops.
 
-        Keyed like :meth:`plan`: content fingerprints of every relation
-        in order, plus the normalized hop tuple and aggregate, so the
-        memoized chain set / pruning of one cascade query is reused by
-        the next.
+        Keyed like :meth:`plan`: version tokens (or content
+        fingerprints) of every input in order, plus the normalized hop
+        tuple and aggregate, so the memoized chain set / pruning of one
+        cascade query is reused by the next.
         """
         from ..core.cascade import normalize_hops
 
-        relations = tuple(relations)
-        if len(relations) < 2:
+        inputs = tuple(relations)
+        if len(inputs) < 2:
             # CascadePlan raises the canonical error; don't cache it.
-            return CascadePlan(relations, hops=hops, aggregate=aggregate)
-        hop_specs = normalize_hops(len(relations), hops if hops else None)
-        key = (
-            tuple(rel.fingerprint() for rel in relations),
-            "cascade",
-            self._agg_key(aggregate),
-            hop_specs,
-        )
+            rels = tuple(self._resolve(obj)[0] for obj in inputs)
+            return CascadePlan(rels, hops=hops, aggregate=aggregate)
+        rels, tokens = self._resolve_all(inputs)
+        hop_specs = normalize_hops(len(rels), hops if hops else None)
+        key = ("cascade", tokens, self._agg_key(aggregate), hop_specs)
         return self._cached(
             key,
-            lambda: CascadePlan(relations, hops=hop_specs, aggregate=aggregate),
+            lambda: CascadePlan(rels, hops=hop_specs, aggregate=aggregate),
         )
 
-    def cache_info(self) -> Dict[str, int]:
-        """Cache counters plus current size/capacity."""
-        info = self.cache_stats.as_dict()
-        info["size"] = len(self._plans)
-        info["capacity"] = self.max_plans
+    def cache_info(self) -> Dict[str, object]:
+        """Counters + size/capacity of the plan cache, and — under the
+        ``"results"`` key — of the result cache."""
+        with self._lock:
+            info: Dict[str, object] = self.cache_stats.as_dict()
+            info["size"] = len(self._plans)
+            info["capacity"] = self.max_plans
+            results = self.result_stats.as_dict()
+            results["size"] = len(self._results)
+            results["capacity"] = self.max_results
+            info["results"] = results
         return info
 
     def clear_cache(self) -> None:
-        """Drop every cached plan (counters are kept)."""
-        self._plans.clear()
+        """Drop every cached plan and result (counters are kept)."""
+        with self._lock:
+            self._plans.clear()
+            self._results.clear()
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def query(self, *relations: Relation) -> "QueryBuilder":
-        """Start a fluent query over a chain of two or more relations."""
+    def query(self, *relations: Union[Relation, Dataset, str]) -> "QueryBuilder":
+        """Start a fluent query over a chain of two or more inputs
+        (relations, datasets, or registered names)."""
         from .builder import QueryBuilder
 
         return QueryBuilder(self, *relations)
@@ -396,39 +558,146 @@ class Engine:
             return tuple(args[:-1]), args[-1]
         return tuple(args), spec
 
-    def _bind(self, relations: Tuple[Relation, ...], spec: QuerySpec):
-        """Resolve the (cached) plan a spec runs against."""
+    def _bind(self, inputs: Tuple, spec: QuerySpec):
+        """Resolve the (cached) plan a spec runs against; inputs may be
+        relations, datasets, or registered names."""
         if spec.join == "cascade":
             return self.cascade_plan(
-                relations, hops=spec.hops, aggregate=spec.aggregate
+                inputs, hops=spec.hops, aggregate=spec.aggregate
             )
-        if len(relations) != 2:
+        if len(inputs) != 2:
             raise ParameterError(
                 f"a {spec.join!r} join spec takes exactly two relations, got "
-                f"{len(relations)}; use QuerySpec.for_cascade (join='cascade') "
+                f"{len(inputs)}; use QuerySpec.for_cascade (join='cascade') "
                 "for m-way chains"
             )
-        return self.plan(relations[0], relations[1], *_plan_args(spec))
+        return self.plan(inputs[0], inputs[1], *_plan_args(spec))
+
+    def versions(self, *inputs) -> Tuple:
+        """Current cache tokens of a query's inputs (used for freshness
+        checks by :class:`~repro.api.handle.QueryHandle`)."""
+        return self._resolve_all(inputs)[1]
 
     def execute(self, *args, spec: Optional[QuerySpec] = None, plan=None) -> QueryResult:
-        """Run a spec over relations, reusing a cached plan when one matches.
+        """Run a spec over inputs, reusing cached plans/results that match.
 
         Call as ``execute(r1, r2, spec)`` (two-way) or
         ``execute(r1, ..., rn, spec)`` / ``execute(*relations, spec=spec)``
-        (cascade). ``plan`` overrides the cache (used by the legacy
-        facade's ``plan=`` argument); the result carries the spec and
-        plan as provenance.
+        (cascade); any input may be a registered dataset name. ``plan``
+        overrides the caches (used by the legacy facade's ``plan=``
+        argument); the result carries the spec and plan as provenance.
+
+        With ``max_results > 0``, a repeat of an identical spec over
+        inputs at unchanged versions returns the cached result object
+        without running any algorithm.
         """
-        relations, spec = self._split_args(args, spec)
-        if plan is None:
-            plan = self._bind(relations, spec)
+        inputs, spec = self._split_args(args, spec)
+        if plan is not None:
+            return self._run(plan, spec).with_provenance(spec, plan)
+
+        tokens: Optional[Tuple] = None
+        if self.max_results > 0:
+            tokens = self._resolve_all(inputs)[1]
+            result_key = ("result", tokens, spec)
+            with self._lock:
+                hit = self._results.get(result_key)
+                if hit is not None:
+                    self.result_stats.hits += 1
+                    self._results.move_to_end(result_key)
+                    return hit
+                self.result_stats.misses += 1
+
+        plan = self._bind(inputs, spec)
+        result = self._run(plan, spec).with_provenance(spec, plan)
+
+        if tokens is not None:
+            result_key = ("result", tokens, spec)
+            with self._lock:
+                self._results[result_key] = result
+                self._results.move_to_end(result_key)
+                while len(self._results) > self.max_results:
+                    self._results.popitem(last=False)
+                    self.result_stats.evictions += 1
+        return result
+
+    def _run(self, plan, spec: QuerySpec) -> QueryResult:
         if isinstance(plan, CascadePlan):
-            result: QueryResult = self._run_cascade(plan, spec)
-        elif spec.problem == "ksjq":
-            result = self._run_ksjq(plan, spec)
-        else:
-            result = self._run_find_k(plan, spec)
-        return result.with_provenance(spec, plan)
+            return self._run_cascade(plan, spec)
+        if spec.problem == "ksjq":
+            return self._run_ksjq(plan, spec)
+        return self._run_find_k(plan, spec)
+
+    def execute_many(
+        self,
+        requests: Sequence,
+        max_workers: int = 4,
+        return_exceptions: bool = False,
+    ) -> List:
+        """Execute a batch of queries, fanning out over a thread pool.
+
+        Each request is either a tuple/list of :meth:`execute` arguments
+        — inputs followed by a :class:`QuerySpec`, e.g.
+        ``("hotels", "flights", spec)`` — or a configured
+        :class:`~repro.api.builder.QueryBuilder`. Results come back in
+        request order and are identical to executing the batch serially
+        (the caches and plans are shared safely across workers).
+
+        ``max_workers <= 1`` runs the batch serially on the calling
+        thread. With ``return_exceptions=True`` a failing request yields
+        its exception object in the result list instead of aborting the
+        batch.
+        """
+        prepared = [self._coerce_request(req) for req in requests]
+        if max_workers is None or max_workers <= 1 or len(prepared) <= 1:
+            out: List = []
+            for inputs, spec in prepared:
+                try:
+                    out.append(self.execute(*inputs, spec=spec))
+                except Exception as exc:  # noqa: BLE001 - batched fan-out
+                    if not return_exceptions:
+                        raise
+                    out.append(exc)
+            return out
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(self.execute, *inputs, spec=spec)
+                for inputs, spec in prepared
+            ]
+            out = []
+            for future in futures:
+                try:
+                    out.append(future.result())
+                except Exception as exc:  # noqa: BLE001 - batched fan-out
+                    if not return_exceptions:
+                        raise
+                    out.append(exc)
+            return out
+
+    def _coerce_request(self, request) -> Tuple[Tuple, QuerySpec]:
+        """One ``execute_many`` request -> ``(inputs, spec)``."""
+        from .builder import QueryBuilder
+
+        if isinstance(request, QueryBuilder):
+            return request._relations, request.spec()
+        if isinstance(request, (tuple, list)):
+            return self._split_args(tuple(request), None)
+        raise ParameterError(
+            "each request must be a (inputs..., QuerySpec) tuple or a "
+            f"QueryBuilder, got {type(request).__name__}"
+        )
+
+    def prepare(self, *args, spec: Optional[QuerySpec] = None) -> "QueryHandle":
+        """A re-executable :class:`~repro.api.handle.QueryHandle`.
+
+        Call as ``prepare(r1, r2, spec)`` / ``prepare("hotels",
+        "flights", spec=spec)``. The handle re-executes cheaply against
+        the *latest* dataset versions and reports whether its cached
+        result is still fresh.
+        """
+        from .handle import QueryHandle
+
+        inputs, spec = self._split_args(args, spec)
+        return QueryHandle(self, inputs, spec)
 
     def _run_ksjq(self, plan: JoinPlan, spec: QuerySpec) -> KSJQResult:
         algorithm = spec.algorithm
@@ -577,3 +846,11 @@ class Engine:
 def _plan_args(spec: QuerySpec) -> Tuple[str, Optional[str], Tuple]:
     """(join, aggregate, theta) positional args for :meth:`Engine.plan`."""
     return spec.join, spec.aggregate, spec.theta
+
+
+def _stale(tokens: Tuple, uid: int, version: int) -> bool:
+    """Does a cache key's token tuple reference an old version of the
+    dataset identified by ``uid``?"""
+    return any(
+        tok[0] == "ds" and tok[2] == uid and tok[3] != version for tok in tokens
+    )

@@ -270,6 +270,42 @@ class QuerySpec:
         """A copy with fields replaced (re-validated)."""
         return replace(self, **changes)
 
+    def fingerprint(self) -> str:
+        """Stable short hex digest identifying this spec's semantics.
+
+        Derived from every semantic field, with aggregates rendered by
+        *name* (a custom :class:`AggregateFunction` would otherwise
+        repr with a per-process memory address), so equal specs share a
+        fingerprint across processes — suitable for logs, artifact
+        names and cache observability. Engines key in-process caches on
+        the spec object itself (exact hashing); the fingerprint is the
+        durable, human-exchangeable identity.
+        """
+        import hashlib
+
+        aggregate = (
+            self.aggregate.name
+            if isinstance(self.aggregate, AggregateFunction)
+            else self.aggregate
+        )
+        payload = "|".join(
+            str(part)
+            for part in (
+                self.problem,
+                self.join,
+                aggregate,
+                [str(c) for c in self.theta],
+                [h.describe() for h in self.hops],
+                self.k,
+                self.delta,
+                self.algorithm,
+                self.method,
+                self.objective,
+                self.mode,
+            )
+        )
+        return hashlib.sha1(payload.encode()).hexdigest()[:16]
+
     def plan_key(self) -> Tuple:
         """The part of the spec that determines join preparation.
 

@@ -10,6 +10,8 @@ dominator-based runs are guaranteed to answer the same query.
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -128,6 +130,10 @@ class JoinPlan:
         self._left_theta = None
         self._right_theta = None
         self._stats: Optional[PlanStats] = None
+        # Cached plans are shared by every concurrent Engine.execute
+        # caller, so lazy builds are guarded (double-checked) by a
+        # reentrant lock: derived structures are built exactly once.
+        self._memo_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def params(self, k: int) -> KSJQParams:
@@ -146,18 +152,40 @@ class JoinPlan:
     # ------------------------------------------------------------------
     # Memoized derived structures
     # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content digest of the plan: inputs plus join config.
+
+        Combines both relations' content fingerprints with the join
+        kind, aggregate and theta conditions, so two plans with equal
+        fingerprints answer every query identically. Engines use
+        version tokens (cheaper under mutation) for cache keys; the
+        fingerprint is the durable cross-process identity.
+        """
+        h = hashlib.sha1()
+        h.update(self.left.fingerprint().encode())
+        h.update(self.right.fingerprint().encode())
+        agg = self.aggregate.name if self.aggregate is not None else ""
+        h.update(f"|{self.kind}|{agg}|".encode())
+        for cond in self.theta_conditions:
+            h.update(str(cond).encode())
+        return h.hexdigest()
+
     def view(self) -> JoinedView:
         """The joined view (pair enumeration happens on first call)."""
         if self._view is None:
-            if self.kind == "equality":
-                pairs = equality_pairs(self.left_groups(), self.right_groups())
-            elif self.kind == "cartesian":
-                pairs = cartesian_pairs(len(self.left), len(self.right))
-            else:
-                from ..relational.join import theta_pairs
+            with self._memo_lock:
+                if self._view is None:
+                    if self.kind == "equality":
+                        pairs = equality_pairs(self.left_groups(), self.right_groups())
+                    elif self.kind == "cartesian":
+                        pairs = cartesian_pairs(len(self.left), len(self.right))
+                    else:
+                        from ..relational.join import theta_pairs
 
-                pairs = theta_pairs(self.left, self.right, self.theta_conditions)
-            self._view = JoinedView(self.left, self.right, pairs, aggregate=self.aggregate)
+                        pairs = theta_pairs(self.left, self.right, self.theta_conditions)
+                    self._view = JoinedView(
+                        self.left, self.right, pairs, aggregate=self.aggregate
+                    )
         return self._view
 
     def stats(self) -> PlanStats:
@@ -169,76 +197,87 @@ class JoinPlan:
         sorted-column binary search of :meth:`compatible_pair_count`.
         """
         if self._stats is None:
-            n1, n2 = len(self.left), len(self.right)
-            if self.kind == "equality":
-                left_sizes = self.left_groups().sizes()
-                right_sizes = self.right_groups().sizes()
-                shared = set(left_sizes) & set(right_sizes)
-                join_size = sum(left_sizes[key] * right_sizes[key] for key in shared)
-                cat_cost = sum(s * s for s in left_sizes.values()) + sum(
-                    s * s for s in right_sizes.values()
+            with self._memo_lock:
+                if self._stats is not None:
+                    return self._stats
+                n1, n2 = len(self.left), len(self.right)
+                if self.kind == "equality":
+                    left_sizes = self.left_groups().sizes()
+                    right_sizes = self.right_groups().sizes()
+                    shared = set(left_sizes) & set(right_sizes)
+                    join_size = sum(left_sizes[key] * right_sizes[key] for key in shared)
+                    cat_cost = sum(s * s for s in left_sizes.values()) + sum(
+                        s * s for s in right_sizes.values()
+                    )
+                    left_g, right_g, shared_g = (
+                        len(left_sizes),
+                        len(right_sizes),
+                        len(shared),
+                    )
+                elif self.kind == "cartesian":
+                    join_size = n1 * n2
+                    cat_cost = n1 * n1 + n2 * n2
+                    left_g = right_g = shared_g = 1 if (n1 and n2) else 0
+                else:
+                    join_size = self.compatible_pair_count(range(n1), range(n2))
+                    # Theta categorization probes each tuple's partner target
+                    # set; the quadratic bound is the honest proxy.
+                    cat_cost = n1 * n1 + n2 * n2
+                    left_g, right_g, shared_g = n1, n2, min(n1, n2)
+                self._stats = PlanStats(
+                    kind=self.kind,
+                    n_left=n1,
+                    n_right=n2,
+                    left_group_count=left_g,
+                    right_group_count=right_g,
+                    shared_group_count=shared_g,
+                    join_size=int(join_size),
+                    categorization_cost=int(cat_cost),
                 )
-                left_g, right_g, shared_g = (
-                    len(left_sizes),
-                    len(right_sizes),
-                    len(shared),
-                )
-            elif self.kind == "cartesian":
-                join_size = n1 * n2
-                cat_cost = n1 * n1 + n2 * n2
-                left_g = right_g = shared_g = 1 if (n1 and n2) else 0
-            else:
-                join_size = self.compatible_pair_count(range(n1), range(n2))
-                # Theta categorization probes each tuple's partner target
-                # set; the quadratic bound is the honest proxy.
-                cat_cost = n1 * n1 + n2 * n2
-                left_g, right_g, shared_g = n1, n2, min(n1, n2)
-            self._stats = PlanStats(
-                kind=self.kind,
-                n_left=n1,
-                n_right=n2,
-                left_group_count=left_g,
-                right_group_count=right_g,
-                shared_group_count=shared_g,
-                join_size=int(join_size),
-                categorization_cost=int(cat_cost),
-            )
         return self._stats
 
     def left_groups(self) -> GroupIndex:
         if self._left_groups is None:
-            self._left_groups = GroupIndex(self.left)
+            with self._memo_lock:
+                if self._left_groups is None:
+                    self._left_groups = GroupIndex(self.left)
         return self._left_groups
 
     def right_groups(self) -> GroupIndex:
         if self._right_groups is None:
-            self._right_groups = GroupIndex(self.right)
+            with self._memo_lock:
+                if self._right_groups is None:
+                    self._right_groups = GroupIndex(self.right)
         return self._right_groups
 
     def left_theta_index(self):
         if self._left_theta is None:
-            indexes = [
-                ThetaGroupIndex(self.left, cond.left_attr, cond.op, is_left=True)
-                for cond in self.theta_conditions
-            ]
-            self._left_theta = (
-                indexes[0]
-                if len(indexes) == 1
-                else ConjunctiveThetaIndex(indexes)
-            )
+            with self._memo_lock:
+                if self._left_theta is None:
+                    indexes = [
+                        ThetaGroupIndex(self.left, cond.left_attr, cond.op, is_left=True)
+                        for cond in self.theta_conditions
+                    ]
+                    self._left_theta = (
+                        indexes[0]
+                        if len(indexes) == 1
+                        else ConjunctiveThetaIndex(indexes)
+                    )
         return self._left_theta
 
     def right_theta_index(self):
         if self._right_theta is None:
-            indexes = [
-                ThetaGroupIndex(self.right, cond.right_attr, cond.op, is_left=False)
-                for cond in self.theta_conditions
-            ]
-            self._right_theta = (
-                indexes[0]
-                if len(indexes) == 1
-                else ConjunctiveThetaIndex(indexes)
-            )
+            with self._memo_lock:
+                if self._right_theta is None:
+                    indexes = [
+                        ThetaGroupIndex(self.right, cond.right_attr, cond.op, is_left=False)
+                        for cond in self.theta_conditions
+                    ]
+                    self._right_theta = (
+                        indexes[0]
+                        if len(indexes) == 1
+                        else ConjunctiveThetaIndex(indexes)
+                    )
         return self._right_theta
 
     # ------------------------------------------------------------------
@@ -470,6 +509,8 @@ class CascadePlan:
         self._pruned_candidates: Dict[int, tuple] = {}
         self._groups: Optional[List[Dict[tuple, List[int]]]] = None
         self._stats: Optional[CascadeStats] = None
+        # Shared by concurrent engine callers; see JoinPlan._memo_lock.
+        self._memo_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def params(self, k: int) -> CascadeParams:
@@ -487,39 +528,63 @@ class CascadePlan:
     # ------------------------------------------------------------------
     # Memoized derived structures
     # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content digest: relation chain + hops + aggregate.
+
+        The m-way counterpart of :meth:`JoinPlan.fingerprint`.
+        """
+        h = hashlib.sha1()
+        for rel in self.relations:
+            h.update(rel.fingerprint().encode())
+        agg = self.aggregate.name if self.aggregate is not None else ""
+        h.update(f"|cascade|{agg}|".encode())
+        for hop in self.hops:
+            h.update(hop.describe().encode())
+        return h.hexdigest()
+
     def chains(self) -> np.ndarray:
         """The full (s x m) chain set (enumerated on first call)."""
         if self._chains is None:
-            from .cascade import cascade_chains
+            with self._memo_lock:
+                if self._chains is None:
+                    from .cascade import cascade_chains
 
-            self._chains = cascade_chains(self.relations, self.hops)
+                    self._chains = cascade_chains(self.relations, self.hops)
         return self._chains
 
     def oriented(self) -> np.ndarray:
         """Oriented joined matrix of every chain, cached."""
         if self._oriented is None:
-            from .cascade import cascade_oriented
+            with self._memo_lock:
+                if self._oriented is None:
+                    from .cascade import cascade_oriented
 
-            self._oriented = cascade_oriented(self.relations, self.chains(), self.aggregate)
+                    self._oriented = cascade_oriented(
+                        self.relations, self.chains(), self.aggregate
+                    )
         return self._oriented
 
     def sorted_oriented(self) -> np.ndarray:
         """The oriented matrix pre-sorted for early-exit dominance checks."""
         if self._sorted is None:
-            from .verify import sort_rows_for_early_exit
+            with self._memo_lock:
+                if self._sorted is None:
+                    from .verify import sort_rows_for_early_exit
 
-            self._sorted = sort_rows_for_early_exit(self.oriented())
+                    self._sorted = sort_rows_for_early_exit(self.oriented())
         return self._sorted
 
     def connector_group_list(self) -> List[Dict[tuple, List[int]]]:
         """Per-relation Theorem-4 connector groups (k-independent), cached."""
         if self._groups is None:
-            from .cascade import connector_groups
+            with self._memo_lock:
+                if self._groups is None:
+                    from .cascade import connector_groups
 
-            self._groups = [
-                connector_groups(self.relations, self.hops, i)
-                for i in range(len(self.relations))
-            ]
+                    self._groups = [
+                        connector_groups(self.relations, self.hops, i)
+                        for i in range(len(self.relations))
+                    ]
         return self._groups
 
     def pruned_keep(self, k: int):
@@ -530,18 +595,20 @@ class CascadePlan:
         queries (or a stream after a run) prune once.
         """
         if k not in self._pruned:
-            from .cascade import prune_rows
+            with self._memo_lock:
+                if k not in self._pruned:
+                    from .cascade import prune_rows
 
-            keep = prune_rows(
-                self.relations,
-                self.hops,
-                k,
-                groups_per_relation=self.connector_group_list(),
-            )
-            pruned = sum(
-                len(rel) - len(rows) for rel, rows in zip(self.relations, keep)
-            )
-            self._pruned[k] = (keep, pruned)
+                    keep = prune_rows(
+                        self.relations,
+                        self.hops,
+                        k,
+                        groups_per_relation=self.connector_group_list(),
+                    )
+                    pruned = sum(
+                        len(rel) - len(rows) for rel, rows in zip(self.relations, keep)
+                    )
+                    self._pruned[k] = (keep, pruned)
         return self._pruned[k]
 
     def pruned_candidates(self, k: int):
@@ -551,53 +618,61 @@ class CascadePlan:
         repeated pruned query through a cached plan is verification-only.
         """
         if k not in self._pruned_candidates:
-            from .cascade import cascade_chains, cascade_oriented
+            with self._memo_lock:
+                if k not in self._pruned_candidates:
+                    from .cascade import cascade_chains, cascade_oriented
 
-            keep, _ = self.pruned_keep(k)
-            candidates = cascade_chains(self.relations, self.hops, keep=keep)
-            matrix = cascade_oriented(self.relations, candidates, self.aggregate)
-            self._pruned_candidates[k] = (candidates, matrix)
+                    keep, _ = self.pruned_keep(k)
+                    candidates = cascade_chains(self.relations, self.hops, keep=keep)
+                    matrix = cascade_oriented(self.relations, candidates, self.aggregate)
+                    self._pruned_candidates[k] = (candidates, matrix)
         return self._pruned_candidates[k]
 
     def stats(self) -> CascadeStats:
         """Exact chain-count statistics without materializing the chains."""
         if self._stats is None:
-            from .cascade import hop_side_values, theta_weight_sums
-
-            relations, hops = self.relations, self.hops
-            weights = np.ones(len(relations[-1]), dtype=np.float64)
-            for idx in range(len(hops) - 1, -1, -1):
-                left_rel, right_rel, hop = relations[idx], relations[idx + 1], hops[idx]
-                if hop.kind == "cartesian":
-                    weights = np.full(len(left_rel), float(weights.sum()))
-                elif hop.kind == "theta":
-                    weights = theta_weight_sums(left_rel, right_rel, hop, weights)
-                else:
-                    right_values = hop_side_values(right_rel, hop, "right")
-                    sums: Dict[object, float] = {}
-                    for row, value in enumerate(right_values):
-                        sums[value] = sums.get(value, 0.0) + float(weights[row])
-                    left_values = hop_side_values(left_rel, hop, "left")
-                    weights = np.asarray(
-                        [sums.get(value, 0.0) for value in left_values],
-                        dtype=np.float64,
-                    )
-            join_size = int(round(float(weights.sum())))
-
-            # Theorem-4 grouping cost: squared connector-group sizes,
-            # over exactly the (cached) groups the pruning pass uses.
-            cat_cost = sum(
-                len(rows) * len(rows)
-                for groups in self.connector_group_list()
-                for rows in groups.values()
-            )
-            self._stats = CascadeStats(
-                kind=self.kind,
-                base_sizes=tuple(len(rel) for rel in relations),
-                join_size=join_size,
-                categorization_cost=int(cat_cost),
-            )
+            with self._memo_lock:
+                if self._stats is not None:
+                    return self._stats
+                self._stats = self._compute_stats()
         return self._stats
+
+    def _compute_stats(self) -> CascadeStats:
+        from .cascade import hop_side_values, theta_weight_sums
+
+        relations, hops = self.relations, self.hops
+        weights = np.ones(len(relations[-1]), dtype=np.float64)
+        for idx in range(len(hops) - 1, -1, -1):
+            left_rel, right_rel, hop = relations[idx], relations[idx + 1], hops[idx]
+            if hop.kind == "cartesian":
+                weights = np.full(len(left_rel), float(weights.sum()))
+            elif hop.kind == "theta":
+                weights = theta_weight_sums(left_rel, right_rel, hop, weights)
+            else:
+                right_values = hop_side_values(right_rel, hop, "right")
+                sums: Dict[object, float] = {}
+                for row, value in enumerate(right_values):
+                    sums[value] = sums.get(value, 0.0) + float(weights[row])
+                left_values = hop_side_values(left_rel, hop, "left")
+                weights = np.asarray(
+                    [sums.get(value, 0.0) for value in left_values],
+                    dtype=np.float64,
+                )
+        join_size = int(round(float(weights.sum())))
+
+        # Theorem-4 grouping cost: squared connector-group sizes,
+        # over exactly the (cached) groups the pruning pass uses.
+        cat_cost = sum(
+            len(rows) * len(rows)
+            for groups in self.connector_group_list()
+            for rows in groups.values()
+        )
+        return CascadeStats(
+            kind=self.kind,
+            base_sizes=tuple(len(rel) for rel in relations),
+            join_size=join_size,
+            categorization_cost=int(cat_cost),
+        )
 
     def __repr__(self) -> str:
         agg = self.aggregate.name if self.aggregate else None

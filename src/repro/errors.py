@@ -14,6 +14,7 @@ __all__ = [
     "ParameterError",
     "AggregateError",
     "AlgorithmError",
+    "CatalogError",
     "ReproWarning",
     "SoundnessWarning",
 ]
@@ -58,6 +59,14 @@ class AggregateError(ReproError):
 
 class AlgorithmError(ReproError):
     """An algorithm was invoked on inputs it does not support."""
+
+
+class CatalogError(ReproError):
+    """A catalog lookup or registration failed.
+
+    Raised when a query names a dataset that was never registered, or
+    when a registration conflicts with an existing entry.
+    """
 
 
 class ReproWarning(UserWarning):

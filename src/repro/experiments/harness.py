@@ -2,10 +2,26 @@
 
 The harness turns an :class:`~repro.experiments.spec.ExperimentSpec`
 into :class:`RunRecord` rows — one per (sweep point, series letter) —
-by generating the dataset at the configured scale, building a fresh
-:class:`~repro.core.plan.JoinPlan` per run (so no caching leaks across
-algorithms), executing the algorithm and recording the component
-timings the paper plots.
+by generating the dataset at the configured scale, executing the
+algorithm through a shared :class:`~repro.api.Engine` and recording the
+component timings the paper plots.
+
+Caching design
+--------------
+All executions route through one module-shared engine
+(:func:`harness_engine`); each sweep point's relations are registered
+as named datasets, so figure *reruns* regenerate identical content, the
+catalog keeps the dataset versions unchanged, and untimed bookkeeping
+(the exact joined-size statistics) is answered from the plan cache.
+
+*Measured* cells are different: every reported component breakdown must
+include that algorithm's own join-preparation work (the paper's figures
+compare exactly that), so each measured run executes against a fresh,
+cold :class:`~repro.core.plan.JoinPlan` passed explicitly to
+``engine.execute(..., plan=...)`` — which bypasses the plan cache by
+contract. Reported timings are always the algorithm-internal
+:class:`~repro.core.timing.TimingBreakdown`, never the wall-clock of an
+engine call, so a cache hit can never masquerade as algorithm speed.
 
 Faithful mode is used throughout, matching the paper;
 :class:`~repro.errors.SoundnessWarning` is suppressed here because the
@@ -18,7 +34,8 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..core.find_k import find_k_at_least_delta
+from ..api.engine import Engine
+from ..api.spec import QuerySpec
 from ..core.plan import JoinPlan
 from ..core.timing import TimingBreakdown
 from ..datagen.flights import make_flight_relations
@@ -29,7 +46,29 @@ from .config import Scale, scale_from_env
 from .figures import get_figure
 from .spec import FINDK_METHODS, KSJQ_ALGORITHMS, ExperimentSpec, SweepPoint
 
-__all__ = ["RunRecord", "SpecResult", "run_figure", "run_spec", "build_point_relations"]
+__all__ = [
+    "RunRecord",
+    "SpecResult",
+    "harness_engine",
+    "run_figure",
+    "run_spec",
+    "build_point_relations",
+]
+
+_ENGINE: Optional[Engine] = None
+
+
+def harness_engine() -> Engine:
+    """The shared engine every figure run executes through.
+
+    Holds the catalog of per-sweep-point datasets and the plan cache
+    answering untimed joined-size statistics; capacity is sized for the
+    full figure set so a rerun of any figure stays warm.
+    """
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = Engine(max_plans=64)
+    return _ENGINE
 
 
 @dataclass(frozen=True)
@@ -96,22 +135,47 @@ def build_point_relations(
 
 
 def _fresh_plan(left: Relation, right: Relation, point: SweepPoint) -> JoinPlan:
+    """A cold plan for one measured cell (never the cached one — every
+    algorithm must pay its own join preparation in the timings)."""
     return JoinPlan(left, right, kind="equality", aggregate=point.aggregate)
 
 
-def _joined_size(plan: JoinPlan) -> int:
-    return plan.compatible_pair_count(range(len(plan.left)), range(len(plan.right)))
+def _point_spec(spec: ExperimentSpec, point: SweepPoint, letter: str, delta: int):
+    """The QuerySpec one (sweep point, series letter) cell executes."""
+    if spec.kind == "ksjq":
+        return QuerySpec.for_ksjq(
+            k=point.k,
+            algorithm=KSJQ_ALGORITHMS[letter],
+            mode="faithful",
+            aggregate=point.aggregate,
+        )
+    return QuerySpec.for_find_k(
+        delta=delta, method=FINDK_METHODS[letter], aggregate=point.aggregate
+    )
+
+
+def _retain_only_figure(engine: Engine, figure: str) -> None:
+    """Drop other figures' datasets from the harness catalog.
+
+    Keeps memory bounded to one figure's sweep (a full-set run would
+    otherwise pin every generated relation for the process lifetime)
+    while preserving the warm-cache rerun of the *same* figure, which
+    is the interactive loop that matters. Dropped datasets' plan-cache
+    entries can never be hit again (tokens are uid-scoped) and roll out
+    via LRU.
+    """
+    prefix = f"{figure}:"
+    for name in engine.catalog.names():
+        if not name.startswith(prefix):
+            engine.catalog.drop(name)
 
 
 def run_spec(spec: ExperimentSpec, scale: Optional[Scale] = None) -> SpecResult:
     """Execute one figure spec; returns records plus skipped points."""
     scale = scale or scale_from_env()
     result = SpecResult(spec=spec, scale=scale)
-    from ..core.dominator import run_dominator
-    from ..core.grouping import run_grouping
-    from ..core.naive import run_naive
-
-    runners = {"grouping": run_grouping, "dominator": run_dominator}
+    engine = harness_engine()
+    _retain_only_figure(engine, spec.figure)
 
     for point in spec.points:
         scaled_n = scale.n(point.n) if point.dataset is None else point.n
@@ -123,30 +187,32 @@ def run_spec(spec: ExperimentSpec, scale: Optional[Scale] = None) -> SpecResult:
             continue
         left, right, n = build_point_relations(point, scale)
 
+        # Named datasets: a rerun regenerates identical content, so the
+        # register is a version-preserving no-op and the cached plan
+        # below answers the joined-size statistic without re-enumerating.
+        prefix = f"{spec.figure}:{point.label}"
+        engine.register(f"{prefix}:left", left)
+        engine.register(f"{prefix}:right", right)
+        joined = engine.plan(
+            f"{prefix}:left", f"{prefix}:right", aggregate=point.aggregate
+        ).stats().join_size
+
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", SoundnessWarning)
             for letter in spec.series:
+                cell_spec = _point_spec(
+                    spec, point, letter,
+                    scale.delta(point.delta) if point.delta else 0,
+                )
                 timings = TimingBreakdown()
                 value = 0
-                joined = 0
                 for _ in range(scale.repeats):
-                    plan = _fresh_plan(left, right, point)
-                    joined = _joined_size(plan)
-                    if spec.kind == "ksjq":
-                        algorithm = KSJQ_ALGORITHMS[letter]
-                        if algorithm == "naive":
-                            res = run_naive(plan, point.k)
-                        else:
-                            res = runners[algorithm](plan, point.k, mode="faithful")
-                        timings = timings + res.timings
-                        value = res.count
-                    else:
-                        method = FINDK_METHODS[letter]
-                        res = find_k_at_least_delta(
-                            plan, scale.delta(point.delta), method=method
-                        )
-                        timings = timings + res.timings
-                        value = res.k
+                    res = engine.execute(
+                        left, right, cell_spec,
+                        plan=_fresh_plan(left, right, point),
+                    )
+                    timings = timings + res.timings
+                    value = res.count if spec.kind == "ksjq" else res.k
                 result.records.append(
                     RunRecord(
                         figure=spec.figure,

@@ -18,6 +18,7 @@ from .aggregates import (
     register_aggregate,
 )
 from .csvio import read_csv, write_csv
+from .dataset import Dataset
 from .groups import GroupIndex, ThetaGroupIndex, ThetaOp
 from .join import (
     HopSpec,
@@ -35,6 +36,7 @@ from .schema import AttributeSpec, Preference, RelationSchema, Role
 __all__ = [
     "AggregateFunction",
     "AttributeSpec",
+    "Dataset",
     "GroupIndex",
     "HopSpec",
     "JoinedLayout",

@@ -1,0 +1,178 @@
+"""Named, versioned datasets: the mutable handle over immutable relations.
+
+A :class:`Relation` is immutable by design — every KSJQ structure
+(joined views, group indexes, categorizations) is memoized against its
+content. A :class:`Dataset` is the serving-layer complement: a *named*
+handle holding the current relation snapshot plus a monotone version
+counter. Mutators are copy-on-write: ``insert_rows`` / ``delete_rows``
+/ ``replace`` build a brand-new :class:`Relation` (existing snapshots,
+and any plan built over them, stay valid forever) and bump the version.
+
+Engines key their plan/result caches on ``(name, version)`` tokens, so
+a mutation invalidates exactly the cache entries that referenced the
+old snapshot — see :class:`repro.api.Catalog` for the registry and
+:class:`repro.api.Engine` for the cache wiring. Listeners subscribed
+via :meth:`Dataset.subscribe` are notified after every version bump,
+which is how mutations propagate to engine caches eagerly.
+
+All methods are thread-safe; :meth:`snapshot` returns a consistent
+``(relation, version)`` pair for lock-free downstream use.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SchemaError
+from .relation import Relation
+
+__all__ = ["Dataset"]
+
+# Process-unique dataset ids: versions are monotone *within* one
+# Dataset, so cache tokens also carry the uid — a dataset dropped from
+# a catalog and re-registered under the same name can never collide
+# with cache entries built over its predecessor.
+_UIDS = itertools.count(1)
+
+
+class Dataset:
+    """A named, versioned, copy-on-write wrapper around a :class:`Relation`.
+
+    Parameters
+    ----------
+    name:
+        The catalog name of the dataset (stable across versions).
+    relation:
+        The initial snapshot.
+    version:
+        Starting version (defaults to 1; bumped by every mutator).
+    """
+
+    def __init__(self, name: str, relation: Relation, version: int = 1) -> None:
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"dataset name must be a non-empty string, got {name!r}")
+        if not isinstance(relation, Relation):
+            raise SchemaError(
+                f"dataset {name!r} needs a Relation, got {type(relation).__name__}"
+            )
+        self.name = name
+        self.uid = next(_UIDS)
+        self._lock = threading.RLock()
+        self._relation = relation
+        self._version = int(version)
+        self._listeners: List[Callable[["Dataset"], None]] = []
+
+    # ------------------------------------------------------------------
+    # Snapshot access
+    # ------------------------------------------------------------------
+    @property
+    def relation(self) -> Relation:
+        """The current (immutable) relation snapshot."""
+        with self._lock:
+            return self._relation
+
+    @property
+    def version(self) -> int:
+        """Monotone version counter; bumped by every mutation."""
+        with self._lock:
+            return self._version
+
+    def snapshot(self) -> Tuple[Relation, int]:
+        """A consistent ``(relation, version)`` pair (one lock acquisition)."""
+        with self._lock:
+            return self._relation, self._version
+
+    def token(self) -> Tuple[str, int, int]:
+        """``(name, uid, version)`` — what engines key version-aware caches on.
+
+        ``uid`` is process-unique per :class:`Dataset` instance, so two
+        same-named datasets (e.g. across a catalog drop + re-register)
+        never share cache entries.
+        """
+        with self._lock:
+            return (self.name, self.uid, self._version)
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    # ------------------------------------------------------------------
+    # Mutation listeners
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[["Dataset"], None]) -> None:
+        """Register a callback invoked (with this dataset) after each mutation."""
+        with self._lock:
+            if callback not in self._listeners:
+                self._listeners.append(callback)
+
+    def _swap(self, relation: Relation) -> Relation:
+        """Install a new snapshot, bump the version, notify listeners."""
+        with self._lock:
+            self._relation = relation
+            self._version += 1
+            listeners = list(self._listeners)
+        # Notify outside the lock: listeners (engine invalidation hooks)
+        # take their own locks, and holding ours here risks deadlock.
+        for callback in listeners:
+            callback(self)
+        return relation
+
+    # ------------------------------------------------------------------
+    # Copy-on-write mutators
+    # ------------------------------------------------------------------
+    def insert_rows(self, records: Iterable[Mapping[str, object]]) -> Relation:
+        """Append tuples; returns the new snapshot (old snapshots unchanged).
+
+        ``records`` is an iterable of per-tuple dicts covering every
+        schema attribute, exactly as :meth:`Relation.from_records`
+        accepts. An empty iterable still bumps the version (the caller
+        asked for a write), keeping invalidation conservative.
+        """
+        records = list(records)
+        with self._lock:
+            base = self._relation
+            addition = Relation.from_records(base.schema, records, name=base.name)
+            columns = {}
+            for col in base.schema.names:
+                old, new = base.column(col), addition.column(col)
+                if isinstance(old, np.ndarray):
+                    columns[col] = np.concatenate([old, np.asarray(new, dtype=old.dtype)])
+                else:
+                    columns[col] = list(old) + list(new)
+            merged = Relation(base.schema, columns, name=base.name)
+            return self._swap(merged)
+
+    def delete_rows(self, rows: Sequence[int]) -> Relation:
+        """Drop tuples by row index; returns the new snapshot."""
+        with self._lock:
+            base = self._relation
+            drop = {int(r) for r in rows}
+            bad = [r for r in drop if r < 0 or r >= len(base)]
+            if bad:
+                raise SchemaError(
+                    f"dataset {self.name!r}: rows {sorted(bad)} out of range "
+                    f"[0, {len(base)})"
+                )
+            keep = [i for i in range(len(base)) if i not in drop]
+            return self._swap(base.take(keep))
+
+    def replace(self, relation: Relation) -> Relation:
+        """Swap in a whole new relation (schema may change); new snapshot."""
+        if not isinstance(relation, Relation):
+            raise SchemaError(
+                f"dataset {self.name!r}: replace() needs a Relation, "
+                f"got {type(relation).__name__}"
+            )
+        with self._lock:
+            return self._swap(relation)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        relation, version = self.snapshot()
+        return (
+            f"<Dataset {self.name!r} v{version}: {len(relation)} tuples, "
+            f"d={relation.d}>"
+        )

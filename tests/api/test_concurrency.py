@@ -1,0 +1,173 @@
+"""Concurrent front-end: execute_many fan-out and engine thread-safety."""
+
+import threading
+
+import pytest
+
+from repro.api import Engine, QuerySpec
+from repro.errors import ParameterError
+
+from ..helpers import make_random_pair
+
+
+@pytest.fixture
+def pair():
+    return make_random_pair(seed=21, n=16, d=4, g=3)
+
+
+def _mixed_requests(pair, other):
+    """A batch mixing named/anonymous inputs, ks, algorithms, and find_k."""
+    requests = []
+    for k in (5, 6, 7, 8):
+        requests.append(("L", "R", QuerySpec.for_ksjq(k=k)))
+        requests.append((pair[0], pair[1], QuerySpec.for_ksjq(k=k, algorithm="naive")))
+        requests.append(("L2", "R2", QuerySpec.for_ksjq(k=k, mode="exact")))
+    requests.append(("L", "R", QuerySpec.for_find_k(delta=3)))
+    requests.append(("L2", "R2", QuerySpec.for_find_k(delta=2, method="range")))
+    return requests
+
+
+def _comparable(result):
+    if hasattr(result, "pair_set"):
+        return result.pair_set()
+    return result.k  # FindKResult
+
+
+class TestExecuteMany:
+    def test_results_in_request_order(self, pair):
+        eng = Engine()
+        eng.register("L", pair[0])
+        eng.register("R", pair[1])
+        specs = [QuerySpec.for_ksjq(k=k) for k in (5, 6, 7)]
+        out = eng.execute_many([("L", "R", s) for s in specs], max_workers=3)
+        assert [r.spec for r in out] == specs
+
+    def test_serial_fallback_matches_parallel(self, pair):
+        other = make_random_pair(seed=22, n=12, d=4, g=2)
+        for eng_kwargs in ({}, {"max_results": 16}):
+            parallel_eng = Engine(**eng_kwargs)
+            serial_eng = Engine(**eng_kwargs)
+            for eng in (parallel_eng, serial_eng):
+                eng.register("L", pair[0])
+                eng.register("R", pair[1])
+                eng.register("L2", other[0])
+                eng.register("R2", other[1])
+            requests = _mixed_requests(pair, other)
+            parallel = parallel_eng.execute_many(requests, max_workers=8)
+            serial = serial_eng.execute_many(requests, max_workers=1)
+            assert [_comparable(r) for r in parallel] == [_comparable(r) for r in serial]
+
+    def test_stress_eight_plus_workers_identical_to_serial(self, pair):
+        """The acceptance stress test: a large shared-engine batch on 8+
+        threads returns exactly the serial answers, repeatedly."""
+        other = make_random_pair(seed=22, n=12, d=4, g=2)
+        eng = Engine(max_results=32)
+        eng.register("L", pair[0])
+        eng.register("R", pair[1])
+        eng.register("L2", other[0])
+        eng.register("R2", other[1])
+        requests = _mixed_requests(pair, other) * 4  # 56 requests
+
+        serial = [
+            Engine().execute(
+                *(eng.catalog[x].relation if isinstance(x, str) else x for x in req[:-1]),
+                req[-1],
+            )
+            for req in requests
+        ]
+        expected = [_comparable(r) for r in serial]
+        for _ in range(3):  # repeat: later rounds run against warm caches
+            results = eng.execute_many(requests, max_workers=8)
+            assert [_comparable(r) for r in results] == expected
+
+    def test_accepts_builders(self, pair):
+        eng = Engine()
+        eng.register("L", pair[0])
+        eng.register("R", pair[1])
+        batch = [eng.query("L", "R").k(k) for k in (5, 6)]
+        out = eng.execute_many(batch, max_workers=2)
+        assert [r.spec.k for r in out] == [5, 6]
+
+    def test_exception_propagates_by_default(self, pair):
+        eng = Engine()
+        bad = ("missing", "also-missing", QuerySpec.for_ksjq(k=5))
+        with pytest.raises(Exception):
+            eng.execute_many([bad], max_workers=2)
+
+    def test_return_exceptions_keeps_batch_alive(self, pair):
+        eng = Engine()
+        eng.register("L", pair[0])
+        eng.register("R", pair[1])
+        good = ("L", "R", QuerySpec.for_ksjq(k=5))
+        bad = ("missing", "R", QuerySpec.for_ksjq(k=5))
+        out = eng.execute_many([good, bad, good], max_workers=4, return_exceptions=True)
+        assert out[0].pair_set() == out[2].pair_set()
+        assert isinstance(out[1], Exception)
+
+    def test_rejects_malformed_requests(self, pair):
+        with pytest.raises(ParameterError, match="request"):
+            Engine().execute_many(["not-a-request"], max_workers=2)
+
+
+class TestThreadSafety:
+    def test_concurrent_execute_shares_one_plan(self, pair):
+        """Many threads issuing the same query against a cold engine
+        produce identical answers; the cache ends at one entry."""
+        eng = Engine()
+        eng.register("L", pair[0])
+        eng.register("R", pair[1])
+        spec = QuerySpec.for_ksjq(k=6)
+        results, errors = [], []
+        barrier = threading.Barrier(10)
+
+        def worker():
+            try:
+                barrier.wait()
+                results.append(eng.execute("L", "R", spec))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        expected = Engine().execute(*pair, spec).pair_set()
+        assert all(r.pair_set() == expected for r in results)
+        assert eng.cache_info()["size"] == 1
+
+    def test_concurrent_mutation_and_query_stays_consistent(self, pair):
+        """Queries racing a mutator always see a consistent snapshot:
+        every answer equals the serial answer for one of the versions."""
+        eng = Engine()
+        ds = eng.register("L", pair[0])
+        eng.register("R", pair[1])
+        spec = QuerySpec.for_ksjq(k=6)
+        before = Engine().execute(ds.relation, pair[1], spec).pair_set()
+        extra = dict(pair[0].record(0))
+
+        answers, errors = [], []
+        start = threading.Barrier(5)
+
+        def querier():
+            try:
+                start.wait()
+                for _ in range(5):
+                    answers.append(eng.execute("L", "R", spec).pair_set())
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def mutator():
+            start.wait()
+            ds.insert_rows([extra])
+
+        threads = [threading.Thread(target=querier) for _ in range(4)]
+        threads.append(threading.Thread(target=mutator))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        after = Engine().execute(ds.relation, pair[1], spec).pair_set()
+        assert all(ans in (before, after) for ans in answers)

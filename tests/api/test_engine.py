@@ -82,6 +82,41 @@ class TestPlanCache:
         eng.query(*pair).k(5).run()
         assert eng.cache_info()["misses"] == 3
 
+    def test_lru_eviction_order_respects_recency(self, pair):
+        """Eviction drops the least-recently-*used* entry, not the
+        least-recently-inserted one: touching an old plan protects it."""
+        second = make_random_pair(seed=12, n=10, d=4, g=2)
+        third = make_random_pair(seed=13, n=10, d=4, g=2)
+        eng = Engine(max_plans=2)
+        eng.query(*pair).k(5).run()    # plan A
+        eng.query(*second).k(5).run()  # plan B
+        eng.query(*pair).k(6).run()    # touch A: B is now the LRU entry
+        eng.query(*third).k(5).run()   # plan C evicts B, not A
+        info = eng.cache_info()
+        assert info["evictions"] == 1 and info["size"] == 2
+        misses = info["misses"]
+        eng.query(*pair).k(7).run()    # A survived
+        eng.query(*third).k(6).run()   # C survived
+        assert eng.cache_info()["misses"] == misses
+        eng.query(*second).k(6).run()  # B was evicted: rebuild
+        assert eng.cache_info()["misses"] == misses + 1
+
+    def test_eviction_sequence_is_fifo_without_touches(self, pair):
+        """Untouched entries leave in insertion order as capacity rolls."""
+        pairs = [make_random_pair(seed=30 + i, n=8, d=4, g=2) for i in range(4)]
+        eng = Engine(max_plans=2)
+        for p in pairs:
+            eng.query(*p).k(5).run()
+        info = eng.cache_info()
+        assert info["evictions"] == 2 and info["size"] == 2
+        misses = info["misses"]
+        eng.query(*pairs[2]).k(6).run()  # two newest entries survived
+        eng.query(*pairs[3]).k(6).run()
+        assert eng.cache_info()["misses"] == misses
+        eng.query(*pairs[0]).k(6).run()  # the two oldest were evicted
+        eng.query(*pairs[1]).k(6).run()
+        assert eng.cache_info()["misses"] == misses + 2
+
     def test_zero_capacity_disables_caching(self, pair):
         eng = Engine(max_plans=0)
         eng.query(*pair).k(5).run()

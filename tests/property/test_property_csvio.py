@@ -1,0 +1,123 @@
+"""CSV round-trip property tests (hypothesis) for relational/csvio.py.
+
+``write_csv`` -> ``read_csv`` must be lossless for any well-formed
+relation: schema roles, preference directions and aggregate marks
+survive, skyline values round-trip exactly (including arbitrary finite
+floats, not just integer-valued ones), and join/payload columns come
+back with their values intact.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    Preference,
+    Relation,
+    RelationSchema,
+    Role,
+    read_csv,
+    write_csv,
+)
+
+# Finite floats round-trip through repr() -> float() exactly in Python;
+# NaN/inf are rejected by Relation itself, so exclude them here.
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+# Payload text that can never be mistaken for an integer literal by the
+# reader's int-sniffing (which is csvio's documented behaviour).
+payload_text = st.text(alphabet="abcxyz_-", min_size=1, max_size=8)
+
+
+@st.composite
+def schema_and_columns(draw):
+    """A random schema exercising every role/preference/aggregate combo,
+    plus matching column data."""
+    d = draw(st.integers(min_value=1, max_value=5))
+    n = draw(st.integers(min_value=0, max_value=12))
+    sky = [f"s{i}" for i in range(d)]
+    aggregate = [name for name in sky if draw(st.booleans())]
+    higher = [name for name in sky if draw(st.booleans())]
+    n_join = draw(st.integers(min_value=0, max_value=2))
+    n_payload = draw(st.integers(min_value=0, max_value=2))
+    join = [f"j{i}" for i in range(n_join)]
+    payload = [f"p{i}" for i in range(n_payload)]
+    schema = RelationSchema.build(
+        join=join,
+        skyline=sky,
+        aggregate=aggregate,
+        higher_is_better=higher,
+        payload=payload,
+    )
+    columns = {name: [draw(finite_floats) for _ in range(n)] for name in sky}
+    for name in join:
+        # Mix integer and string keys: both are csvio-representable.
+        if draw(st.booleans()):
+            columns[name] = [draw(st.integers(-1000, 1000)) for _ in range(n)]
+        else:
+            columns[name] = [draw(payload_text) for _ in range(n)]
+    for name in payload:
+        columns[name] = [draw(payload_text) for _ in range(n)]
+    return schema, columns
+
+
+@given(schema_and_columns())
+@settings(max_examples=60, deadline=None)
+def test_csv_roundtrip_is_lossless(tmp_path_factory, sc):
+    schema, columns = sc
+    relation = Relation(schema, columns, name="roundtrip")
+    path = tmp_path_factory.mktemp("csvio") / "relation.csv"
+
+    write_csv(relation, path)
+    back = read_csv(schema, path, name="roundtrip")
+
+    # Schema survives attribute by attribute: role, preference
+    # direction, and the aggregate mark.
+    assert list(back.schema.names) == list(schema.names)
+    for name in schema.names:
+        original, restored = schema[name], back.schema[name]
+        assert restored.role is original.role
+        assert restored.preference is original.preference
+        assert restored.aggregate == original.aggregate
+    assert list(back.schema.aggregate_names) == list(schema.aggregate_names)
+    assert back.schema.a == schema.a and back.schema.d == schema.d
+
+    # Values survive: exact float round-trip, join keys, payloads.
+    assert len(back) == len(relation)
+    assert back.records() == relation.records()
+    assert back.join_keys() == relation.join_keys()
+
+    # Derived structures agree too: orientation applies the same
+    # preference signs to the same values.
+    assert (back.oriented() == relation.oriented()).all()
+
+
+@given(schema_and_columns())
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_relation_fingerprint_is_stable(tmp_path_factory, sc):
+    """A lossless round-trip implies the content fingerprint — the
+    engine's anonymous-relation cache key — is preserved, except for
+    join/payload values whose python type the reader normalizes."""
+    schema, columns = sc
+    relation = Relation(schema, columns, name="fp")
+    only_csv_native_types = all(
+        spec.role is Role.SKYLINE or all(isinstance(v, (int, str)) for v in columns[name])
+        for name, spec in ((n, schema[n]) for n in schema.names)
+    )
+    path = tmp_path_factory.mktemp("csvio") / "relation.csv"
+    write_csv(relation, path)
+    back = read_csv(schema, path, name="fp")
+    if only_csv_native_types:
+        assert back.fingerprint() == relation.fingerprint()
+
+
+def test_preference_signs_apply_after_roundtrip(tmp_path_factory):
+    """Deterministic spot check: a higher-is-better attribute keeps its
+    orientation through the round-trip."""
+    schema = RelationSchema.build(join=["g"], skyline=["lo", "hi"],
+                                  higher_is_better=["hi"])
+    rel = Relation(schema, {"g": [1, 1], "lo": [1.5, 2.5], "hi": [3.25, 4.75]})
+    path = tmp_path_factory.mktemp("csvio") / "pref.csv"
+    write_csv(rel, path)
+    back = read_csv(schema, path)
+    assert back.schema["hi"].preference is Preference.HIGHER
+    assert list(back.oriented()[:, 1]) == [-3.25, -4.75]
