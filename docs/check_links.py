@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Markdown link check for the documentation suite.
+
+Scans every tracked ``*.md`` file in the repository for inline
+markdown links (``[text](target)``) and verifies that each **relative**
+target resolves to an existing file or directory (anchors are stripped;
+external ``http(s)``/``mailto`` links are not fetched). Exits non-zero
+listing every broken link, so CI fails when a doc page drifts from the
+files it references.
+
+Usage::
+
+    python docs/check_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "docs/_build", "bench-artifacts"}
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        rel = path.relative_to(root)
+        if any(str(rel).startswith(skip) for skip in SKIP_DIRS):
+            continue
+        yield path
+
+
+def check_file(root: Path, path: Path) -> list:
+    broken = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            broken.append(f"{path.relative_to(root)}:{line}: broken link -> {target}")
+    return broken
+
+
+def main() -> int:
+    default_root = Path(__file__).resolve().parent.parent
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else default_root
+    broken = []
+    checked = 0
+    for path in iter_markdown(root):
+        checked += 1
+        broken.extend(check_file(root, path))
+    if broken:
+        print(f"link check FAILED ({len(broken)} broken links in {checked} files):")
+        for item in broken:
+            print(f"  - {item}")
+        return 1
+    print(f"link check OK ({checked} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

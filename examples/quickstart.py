@@ -81,6 +81,20 @@ def main() -> None:
     print("R1 categorization (SS/SN/NN):", result.left_counts)
     print("R2 categorization (SS/SN/NN):", result.right_counts)
 
+    # The sharded parallel layer answers the same query byte-identically
+    # (parallelism= demands workers; "auto" lets the cost model decide —
+    # a join this small stays serial, as explain() reports).
+    parallel = (
+        engine.query(flights_from_a, flights_to_b)
+        .algorithm("parallel")
+        .parallelism(2)
+        .k(7)
+        .run()
+    )
+    assert parallel.pair_set() == result.pair_set()
+    print()
+    print("parallel path agrees:", parallel.count, "paths")
+
     # A second query over the same relations reuses the cached plan —
     # the join is prepared exactly once per (relations, join config).
     tuned = engine.query(flights_from_a, flights_to_b).find_k(delta=result.count)

@@ -87,6 +87,7 @@ from .core import (
     KSJQResult,
     PlanStats,
     QueryResult,
+    ShardPlan,
     TimingBreakdown,
     cascade_ksjq,
     cascade_progressive,
@@ -97,9 +98,11 @@ from .core import (
     ksjq_progressive,
     make_plan,
     run_cartesian,
+    run_cascade_parallel,
     run_dominator,
     run_grouping,
     run_naive,
+    run_parallel,
 )
 from .errors import (
     AggregateError,
@@ -125,7 +128,7 @@ from .relational import (
     ThetaOp,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AggregateError",
@@ -160,6 +163,7 @@ __all__ = [
     "ReproWarning",
     "Role",
     "SchemaError",
+    "ShardPlan",
     "SoundnessWarning",
     "ThetaCondition",
     "ThetaOp",
@@ -178,8 +182,10 @@ __all__ = [
     "ksjq_progressive",
     "make_plan",
     "run_cartesian",
+    "run_cascade_parallel",
     "run_dominator",
     "run_grouping",
     "run_naive",
+    "run_parallel",
     "__version__",
 ]

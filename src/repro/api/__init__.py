@@ -8,8 +8,9 @@ This package turns the paper's four query problems into a prepare-once
   objective);
 * :class:`Engine` — holds an LRU cache of join plans keyed by relation
   content fingerprints, resolves ``algorithm="auto"`` with a cost model
-  over plan cardinality statistics, and attaches spec/plan provenance
-  to every result;
+  over plan cardinality statistics (including the serial-vs-parallel
+  decision of :mod:`repro.core.parallel` when ``parallelism`` allows
+  workers), and attaches spec/plan provenance to every result;
 * :class:`QueryBuilder` — the fluent front end:
   ``engine.query(r1, r2).aggregate("sum").k(7).run()``;
 * :class:`ExplainReport` — what would run and why, without running it;

@@ -63,6 +63,7 @@ class QueryBuilder:
         self._mode = "faithful"
         self._method = "binary"
         self._objective = "at_least"
+        self._parallelism: object = "auto"
 
     # ------------------------------------------------------------------
     # Configuration (each returns self)
@@ -131,6 +132,18 @@ class QueryBuilder:
         self._mode = mode
         return self
 
+    def parallelism(self, parallelism) -> "QueryBuilder":
+        """Sharded parallel execution: ``"auto"`` (default) or workers.
+
+        ``"auto"`` lets the engine's cost model decide serial-vs-parallel
+        from the plan's cardinality statistics; an integer demands that
+        many shard workers for the parallel path (``1`` forces serial).
+        See :mod:`repro.core.parallel` and the engine's ``explain()``
+        report for the decision actually taken.
+        """
+        self._parallelism = parallelism
+        return self
+
     def method(self, method: str) -> "QueryBuilder":
         """find-k search method: ``"binary"``, ``"range"`` or ``"naive"``."""
         self._method = method
@@ -196,6 +209,7 @@ class QueryBuilder:
                     algorithm=self._algorithm,
                     aggregate=self._aggregate,
                     mode=self._mode,
+                    parallelism=self._parallelism,
                 )
             return QuerySpec.for_ksjq(
                 k=self._k,
@@ -204,6 +218,7 @@ class QueryBuilder:
                 join=join,
                 aggregate=self._aggregate,
                 theta=theta,
+                parallelism=self._parallelism,
             )
         if self._delta is not None:
             if cascade:
@@ -220,6 +235,7 @@ class QueryBuilder:
                 join=join,
                 aggregate=self._aggregate,
                 theta=theta,
+                parallelism=self._parallelism,
             )
         raise ParameterError("set .k(...) or .delta(...) before executing a query")
 

@@ -16,7 +16,12 @@ Sec. 2.3 (``engine.query(r1, r2, r3).hop("dest", "source")...``).
 ``algorithm="auto"`` is resolved here by :func:`choose_algorithm` (two
 way) or :func:`choose_cascade_algorithm` (m-way), cost models over the
 plans' exact cardinality statistics instead of the seed's hard-wired
-defaults.
+defaults. The same cost model decides **serial versus sharded
+parallel** execution: when the spec's ``parallelism`` admits workers
+(``"auto"`` on a multi-core machine, or an explicit worker count), the
+sharded two-phase path of :mod:`repro.core.parallel` competes on cost
+with the serial algorithms, and ``explain()`` reports the
+:class:`~repro.core.parallel.ShardPlan` that would run.
 
 The engine is also the serving front-end over a
 :class:`~repro.api.catalog.Catalog` of named, versioned datasets:
@@ -66,6 +71,14 @@ from ..core.dominator import run_dominator
 from ..core.find_k import find_k_at_least_delta, find_k_at_most_delta
 from ..core.grouping import run_grouping
 from ..core.naive import run_naive
+from ..core.parallel import (
+    WORKER_SPAWN_COST,
+    ShardPlan,
+    batch_workers,
+    plan_shards,
+    run_cascade_parallel,
+    run_parallel,
+)
 from ..core.plan import CascadePlan, CascadeStats, JoinPlan, PlanStats
 from ..core.progressive import ksjq_progressive
 from ..core.result import FindKResult, KSJQResult, QueryResult
@@ -89,8 +102,20 @@ __all__ = [
 # ----------------------------------------------------------------------
 # Cost-based algorithm choice
 # ----------------------------------------------------------------------
+def _parallel_cost(join_size: float, workers: int) -> float:
+    """Estimated cost of the sharded path at a given worker count.
+
+    Per-shard candidate generation is ``(J/W)^2`` comparisons on each of
+    ``W`` concurrent workers plus a sub-quadratic cross-shard merge, so
+    the wall-clock estimate is ``J^2/W^2 + J*sqrt(J)/W``, charged a
+    spawn overhead per worker.
+    """
+    J, W = join_size, float(workers)
+    return WORKER_SPAWN_COST * W + (J * J) / (W * W) + J * math.sqrt(J) / W
+
+
 def choose_algorithm(
-    plan: JoinPlan, mode: str = "faithful"
+    plan: JoinPlan, mode: str = "faithful", workers: int = 1
 ) -> Tuple[str, Dict[str, float], str]:
     """Pick the cheapest applicable algorithm for a two-way plan.
 
@@ -106,23 +131,32 @@ def choose_algorithm(
       generate dominators, with verification against per-cell dominators
       only: ``2C + J * mean_cell``;
     * ``cartesian`` — fate-table only, no verification: ``C + J``
-      (cartesian join kind only, where it is always chosen).
+      (cartesian join kind only, where it is always chosen);
+    * ``parallel`` — the sharded two-phase path (candidate generation
+      per shard + cross-shard verification), considered only when
+      ``workers > 1``: ``spawn*W + J^2/W^2 + J*sqrt(J)/W``.
 
-    Feasibility trumps cost: a non-strictly-monotone aggregate forces
-    ``naive`` (the pruning proofs need strict monotonicity), and in
-    faithful mode with ``a >= 2`` the always-exact ``naive`` is excluded
-    so auto stays within the paper-faithful answer family.
+    Feasibility trumps cost: a non-strictly-monotone aggregate restricts
+    the choice to the exact algorithms (``naive``, and ``parallel`` when
+    workers are available — both work on the materialized joined view
+    and never rely on monotonicity), and in faithful mode with ``a >= 2``
+    the always-exact ``naive``/``parallel`` are excluded so auto stays
+    within the paper-faithful answer family.
     """
     stats = plan.stats()
     J = float(stats.join_size)
     C = float(stats.categorization_cost)
 
     if plan.aggregate is not None and not plan.aggregate.strictly_monotone:
+        costs = {"naive": J * J}
+        if workers > 1:
+            costs["parallel"] = _parallel_cost(J, workers)
+        chosen = min(costs, key=lambda name: (costs[name], name))
         return (
-            "naive",
-            {"naive": J * J},
+            chosen,
+            costs,
             f"aggregate {plan.aggregate.name!r} is not strictly monotone; "
-            "only the naive algorithm is exact",
+            "only the exact joined-view algorithms apply",
         )
 
     if plan.kind == "cartesian":
@@ -139,21 +173,26 @@ def choose_algorithm(
         "dominator": 2.0 * C + J * stats.mean_cell_size,
     }
     a = plan.left.schema.a
-    if mode == "exact" or a < 2:
+    exact_family_ok = mode == "exact" or a < 2
+    if exact_family_ok:
         costs["naive"] = J * J
+        if workers > 1:
+            costs["parallel"] = _parallel_cost(J, workers)
     chosen = min(costs, key=lambda name: (costs[name], name))
     reason = (
         f"cheapest estimated cost over join size {stats.join_size} "
         f"({stats.shared_group_count} shared groups, categorization cost "
         f"{stats.categorization_cost})"
     )
-    if "naive" not in costs:
-        reason += "; naive excluded: faithful mode with a >= 2 aggregates"
+    if not exact_family_ok:
+        reason += (
+            "; naive/parallel excluded: faithful mode with a >= 2 aggregates"
+        )
     return chosen, costs, reason
 
 
 def choose_cascade_algorithm(
-    plan: CascadePlan, mode: str = "faithful"
+    plan: CascadePlan, mode: str = "faithful", workers: int = 1
 ) -> Tuple[str, Dict[str, float], str]:
     """Pick the cheapest applicable algorithm for an m-way cascade plan.
 
@@ -163,24 +202,34 @@ def choose_cascade_algorithm(
 
     * ``naive`` — every chain against the full chain set: ``S^2``;
     * ``pruned`` — per-relation Theorem-4 pruning plus sub-quadratic
-      verification of the surviving candidates: ``C + S*sqrt(S)``.
+      verification of the surviving candidates: ``C + S*sqrt(S)``;
+    * ``parallel`` — the sharded two-phase path over the chain set,
+      considered only when ``workers > 1``.
 
-    A non-strictly-monotone aggregate forces ``naive`` (the m-way
-    substitution proof needs strict monotonicity). Both algorithms are
-    exact, so ``mode`` never constrains the choice.
+    A non-strictly-monotone aggregate restricts the choice to the exact
+    chain-set algorithms — ``naive``, and ``parallel`` when workers are
+    available (the m-way substitution proof behind ``pruned`` needs
+    strict monotonicity; the direct algorithms do not). All cascade
+    algorithms are exact, so ``mode`` never constrains the choice.
     """
     stats = plan.stats()
     S = float(stats.join_size)
     C = float(stats.categorization_cost)
 
     if plan.aggregate is not None and not plan.aggregate.strictly_monotone:
+        costs = {"naive": S * S}
+        if workers > 1:
+            costs["parallel"] = _parallel_cost(S, workers)
+        chosen = min(costs, key=lambda name: (costs[name], name))
         return (
-            "naive",
-            {"naive": S * S},
+            chosen,
+            costs,
             f"aggregate {plan.aggregate.name!r} is not strictly monotone; "
-            "only the naive cascade is exact",
+            "only the exact chain-set cascades apply",
         )
     costs = {"naive": S * S, "pruned": C + S * math.sqrt(S)}
+    if workers > 1:
+        costs["parallel"] = _parallel_cost(S, workers)
     chosen = min(costs, key=lambda name: (costs[name], name))
     reason = (
         f"cheapest estimated cost over {stats.join_size} chains across "
@@ -211,6 +260,11 @@ class ExplainReport:
         :class:`~repro.core.plan.CascadeStats` for cascades.
     cache_hit:
         Whether the plan came from the engine's cache.
+    shards:
+        The :class:`~repro.core.parallel.ShardPlan` the execution layer
+        would use (``None`` for find-k specs, whose probe evaluations
+        run serially). Only consulted by the ``auto``/``parallel``
+        algorithms; explicitly requested serial algorithms ignore it.
     """
 
     spec: QuerySpec
@@ -219,6 +273,7 @@ class ExplainReport:
     costs: Dict[str, float] = field(default_factory=dict)
     stats: Optional[Union[PlanStats, CascadeStats]] = None
     cache_hit: bool = False
+    shards: Optional[ShardPlan] = None
 
     def _plan_line(self) -> str:
         line = f"plan: {'cache hit' if self.cache_hit else 'prepared'}"
@@ -237,6 +292,7 @@ class ExplainReport:
         return line
 
     def summary(self) -> str:
+        """Multi-line human-readable rendering of the whole report."""
         lines = [
             f"query: {self.spec.describe()}",
             self._plan_line(),
@@ -248,6 +304,15 @@ class ExplainReport:
                 "estimated costs: "
                 + ", ".join(f"{name}={cost:,.0f}" for name, cost in ranked)
             )
+        if self.shards is not None:
+            if self.shards.is_parallel and self.algorithm != "parallel":
+                lines.append(
+                    f"execution: serial — {self.algorithm} chosen over the "
+                    f"parallel path ({self.shards.workers} workers were "
+                    "available)"
+                )
+            else:
+                lines.append(f"execution: {self.shards.describe()}")
         return "\n".join(lines)
 
 
@@ -308,6 +373,10 @@ class Engine:
         result = engine.query(r1, r2).aggregate("sum").k(7).run()
         tuned = engine.query(r1, r2).aggregate("sum").find_k(delta=100)
         print(engine.query(r1, r2).aggregate("sum").k(7).explain().summary())
+
+        # Sharded parallel execution (exact; byte-identical across
+        # worker counts). "auto" lets the cost model decide.
+        result = engine.query(r1, r2).aggregate("sum").parallelism(4).k(7).run()
 
         # m-way cascade (Sec. 2.3): three legs chained on named columns.
         chain = engine.query(leg1, leg2, leg3).hop("dst", "src").hop("dst", "src")
@@ -598,20 +667,25 @@ class Engine:
         tokens: Optional[Tuple] = None
         if self.max_results > 0:
             tokens = self._resolve_all(inputs)[1]
-            result_key = ("result", tokens, spec)
+            result_key = ("result", tokens, self._result_cache_spec(spec))
             with self._lock:
                 hit = self._results.get(result_key)
                 if hit is not None:
                     self.result_stats.hits += 1
                     self._results.move_to_end(result_key)
-                    return hit
+                    if hit.spec == spec:
+                        return hit
+                    # The key collapses parallelism for explicit
+                    # algorithms (identical answers); provenance must
+                    # still report the spec this caller asked for.
+                    return hit.with_provenance(spec, hit.source)
                 self.result_stats.misses += 1
 
         plan = self._bind(inputs, spec)
         result = self._run(plan, spec).with_provenance(spec, plan)
 
         if tokens is not None:
-            result_key = ("result", tokens, spec)
+            result_key = ("result", tokens, self._result_cache_spec(spec))
             with self._lock:
                 self._results[result_key] = result
                 self._results.move_to_end(result_key)
@@ -619,6 +693,25 @@ class Engine:
                     self._results.popitem(last=False)
                     self.result_stats.evictions += 1
         return result
+
+    @staticmethod
+    def _result_cache_spec(spec: QuerySpec) -> QuerySpec:
+        """The spec identity used by the *result* cache.
+
+        ``parallelism`` never changes the answer of an explicitly
+        chosen algorithm (the parallel path is shard-count invariant;
+        serial algorithms and find-k ignore the knob entirely), so it
+        is collapsed there — a w=2 result answers a w=4 repeat instead
+        of fragmenting the bounded LRU. Under ``algorithm="auto"`` the
+        worker budget can steer the *choice* between answer families
+        (faithful grouping vs the exact parallel path), so auto specs
+        keep their parallelism in the key.
+        """
+        if spec.problem == "ksjq" and spec.algorithm == "auto":
+            return spec
+        if spec.parallelism == "auto":
+            return spec
+        return spec.replace(parallelism="auto")
 
     def _run(self, plan, spec: QuerySpec) -> QueryResult:
         if isinstance(plan, CascadePlan):
@@ -646,6 +739,12 @@ class Engine:
         thread. With ``return_exceptions=True`` a failing request yields
         its exception object in the result list instead of aborting the
         batch.
+
+        Per-query ``parallelism`` composes without oversubscription:
+        queries executed inside the batch resolve their shard-worker
+        count against their fair share of the CPUs
+        (:func:`repro.core.parallel.batch_workers`), so N batch lanes of
+        parallel queries never stack N full worker pools.
         """
         prepared = [self._coerce_request(req) for req in requests]
         if max_workers is None or max_workers <= 1 or len(prepared) <= 1:
@@ -658,9 +757,15 @@ class Engine:
                         raise
                     out.append(exc)
             return out
+        lanes = min(max_workers, len(prepared))
+
+        def lane_execute(inputs, spec):
+            with batch_workers(lanes):
+                return self.execute(*inputs, spec=spec)
+
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             futures = [
-                pool.submit(self.execute, *inputs, spec=spec)
+                pool.submit(lane_execute, inputs, spec)
                 for inputs, spec in prepared
             ]
             out = []
@@ -701,8 +806,18 @@ class Engine:
 
     def _run_ksjq(self, plan: JoinPlan, spec: QuerySpec) -> KSJQResult:
         algorithm = spec.algorithm
+        shards: Optional[ShardPlan] = None
+        if algorithm in ("auto", "parallel"):
+            stats = plan.stats()
+            shards = plan_shards(
+                stats.join_size, spec.parallelism, stats.joined_width
+            )
         if algorithm == "auto":
-            algorithm, _, _ = choose_algorithm(plan, spec.mode)
+            algorithm, _, _ = choose_algorithm(
+                plan, spec.mode, workers=shards.workers
+            )
+        if algorithm == "parallel":
+            return run_parallel(plan, spec.k, shards=shards)
         if algorithm == "naive":
             return run_naive(plan, spec.k)
         if algorithm == "grouping":
@@ -718,8 +833,18 @@ class Engine:
                 "fixed k over a cascade instead"
             )
         algorithm = spec.algorithm
+        shards: Optional[ShardPlan] = None
+        if algorithm in ("auto", "parallel"):
+            stats = plan.stats()
+            shards = plan_shards(
+                stats.join_size, spec.parallelism, stats.joined_width
+            )
         if algorithm == "auto":
-            algorithm, _, _ = choose_cascade_algorithm(plan, spec.mode)
+            algorithm, _, _ = choose_cascade_algorithm(
+                plan, spec.mode, workers=shards.workers
+            )
+        if algorithm == "parallel":
+            return run_cascade_parallel(plan, spec.k, shards=shards)
         if algorithm == "naive":
             return run_cascade_naive(plan, spec.k)
         return run_cascade_pruned(plan, spec.k)
@@ -776,12 +901,22 @@ class Engine:
             plan = self._bind(relations, spec)
             cache_hit = self.cache_stats.hits > hits_before
         stats = plan.stats()
+        shards = (
+            plan_shards(stats.join_size, spec.parallelism, stats.joined_width)
+            if spec.problem == "ksjq"
+            else None
+        )
+        workers = shards.workers if shards is not None else 1
         if isinstance(plan, CascadePlan):
             if spec.algorithm == "auto":
-                algorithm, costs, reason = choose_cascade_algorithm(plan, spec.mode)
+                algorithm, costs, reason = choose_cascade_algorithm(
+                    plan, spec.mode, workers=workers
+                )
             else:
                 algorithm = spec.algorithm
-                _, costs, _ = choose_cascade_algorithm(plan, spec.mode)
+                _, costs, _ = choose_cascade_algorithm(
+                    plan, spec.mode, workers=workers
+                )
                 reason = "explicitly requested"
             return ExplainReport(
                 spec=spec,
@@ -790,13 +925,16 @@ class Engine:
                 costs=costs,
                 stats=stats,
                 cache_hit=cache_hit,
+                shards=shards,
             )
         if spec.problem == "ksjq":
             if spec.algorithm == "auto":
-                algorithm, costs, reason = choose_algorithm(plan, spec.mode)
+                algorithm, costs, reason = choose_algorithm(
+                    plan, spec.mode, workers=workers
+                )
             else:
                 algorithm = spec.algorithm
-                _, costs, _ = choose_algorithm(plan, spec.mode)
+                _, costs, _ = choose_algorithm(plan, spec.mode, workers=workers)
                 reason = "explicitly requested"
             return ExplainReport(
                 spec=spec,
@@ -805,6 +943,7 @@ class Engine:
                 costs=costs,
                 stats=stats,
                 cache_hit=cache_hit,
+                shards=shards,
             )
         # find_k: cost = expected number of probe points per method.
         d1, d2 = plan.left.schema.d, plan.right.schema.d

@@ -102,11 +102,33 @@ class QueryHandle:
 
     def refresh(self) -> QueryResult:
         """The current answer: the cached result when still fresh,
-        otherwise a re-execution against the latest versions."""
+        otherwise a re-execution against the latest versions.
+
+        Returns
+        -------
+        QueryResult
+            A result guaranteed to reflect the inputs' current versions.
+        """
         if self.is_fresh():
             assert self._result is not None
             return self._result
         return self.execute()
+
+    def explain(self):
+        """What executing this handle *now* would do, without doing it.
+
+        Delegates to :meth:`Engine.explain` against the latest dataset
+        versions, so the report reflects the plan-cache state and the
+        serial-vs-parallel shard decision the next :meth:`execute` or
+        :meth:`refresh` would actually take.
+
+        Returns
+        -------
+        ExplainReport
+            Algorithm choice, cost estimates, plan statistics, and the
+            shard plan of the execution layer.
+        """
+        return self._engine.explain(*self._inputs, spec=self.spec)
 
     def __repr__(self) -> str:
         names = []

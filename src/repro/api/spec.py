@@ -40,7 +40,7 @@ __all__ = [
     "OBJECTIVES",
 ]
 
-ALGORITHMS = ("auto", "grouping", "dominator", "naive", "cartesian")
+ALGORITHMS = ("auto", "grouping", "dominator", "naive", "cartesian", "parallel")
 JOIN_KINDS = ("equality", "cartesian", "theta", "cascade")
 MODES = ("faithful", "exact")
 FIND_K_METHODS = ("binary", "range", "naive")
@@ -69,6 +69,7 @@ class QuerySpec:
     method: str = "binary"
     objective: str = "at_least"
     mode: str = "faithful"
+    parallelism: object = "auto"
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -80,6 +81,14 @@ class QuerySpec:
             raise JoinError(f"unknown join kind {self.join!r}")
         if self.mode not in MODES:
             raise AlgorithmError(f"unknown mode {self.mode!r} (use 'faithful' or 'exact')")
+        par = self.parallelism
+        if par != "auto" and (
+            isinstance(par, bool) or not isinstance(par, int) or par < 1
+        ):
+            raise ParameterError(
+                f"parallelism must be 'auto' or a positive integer worker "
+                f"count, got {par!r}"
+            )
 
         # Normalize theta to a hashable tuple of conditions.
         theta = self.theta
@@ -202,8 +211,15 @@ class QuerySpec:
         join: str = "equality",
         aggregate=None,
         theta=None,
+        parallelism: object = "auto",
     ) -> "QuerySpec":
-        """Spec for Problems 1-2 (skyline join at a fixed k)."""
+        """Spec for Problems 1-2 (skyline join at a fixed k).
+
+        ``parallelism`` selects the sharded execution layer
+        (:mod:`repro.core.parallel`): ``"auto"`` lets the engine decide
+        serial-vs-parallel by cost, an integer demands that many
+        workers for the parallel path.
+        """
         return cls(
             problem="ksjq",
             join=join,
@@ -212,6 +228,7 @@ class QuerySpec:
             k=k,
             algorithm=algorithm,
             mode=mode,
+            parallelism=parallelism,
         )
 
     @classmethod
@@ -222,6 +239,7 @@ class QuerySpec:
         algorithm: str = "auto",
         aggregate=None,
         mode: str = "faithful",
+        parallelism: object = "auto",
     ) -> "QuerySpec":
         """Spec for an m-way cascade KSJQ (paper Sec. 2.3).
 
@@ -240,6 +258,7 @@ class QuerySpec:
             k=k,
             algorithm=algorithm,
             mode=mode,
+            parallelism=parallelism,
         )
 
     @classmethod
@@ -252,8 +271,15 @@ class QuerySpec:
         join: str = "equality",
         aggregate=None,
         theta=None,
+        parallelism: object = "auto",
     ) -> "QuerySpec":
-        """Spec for Problems 3-4 (tune k from a cardinality target)."""
+        """Spec for Problems 3-4 (tune k from a cardinality target).
+
+        ``parallelism`` is accepted for interface symmetry but the
+        find-k searches run their probe evaluations serially (the
+        paper's bound computations are sequential by nature); it is
+        validated and carried, not acted on.
+        """
         return cls(
             problem="find_k",
             join=join,
@@ -263,6 +289,7 @@ class QuerySpec:
             method=method,
             objective=objective,
             mode=mode,
+            parallelism=parallelism,
         )
 
     # ------------------------------------------------------------------
@@ -302,6 +329,7 @@ class QuerySpec:
                 self.method,
                 self.objective,
                 self.mode,
+                self.parallelism,
             )
         )
         return hashlib.sha1(payload.encode()).hexdigest()[:16]
@@ -333,4 +361,6 @@ class QuerySpec:
             parts.append(f"method={self.method}")
             parts.append(f"objective={self.objective}")
         parts.append(f"mode={self.mode}")
+        if self.parallelism != "auto":
+            parts.append(f"parallelism={self.parallelism}")
         return ", ".join(parts)

@@ -28,6 +28,14 @@ from .dominator import run_dominator
 from .find_k import find_k_at_least_delta, find_k_at_most_delta
 from .grouping import run_grouping
 from .naive import run_naive
+from .parallel import (
+    ShardPlan,
+    batch_workers,
+    plan_shards,
+    run_cascade_parallel,
+    run_parallel,
+    shard_bounds,
+)
 from .params import CascadeParams, KSJQParams
 from .plan import CascadePlan, CascadeStats, JoinPlan, PlanStats
 from .progressive import ksjq_progressive
@@ -56,7 +64,9 @@ __all__ = [
     "PhaseClock",
     "PlanStats",
     "QueryResult",
+    "ShardPlan",
     "TimingBreakdown",
+    "batch_workers",
     "cascade_ksjq",
     "cascade_progressive",
     "categorize",
@@ -68,12 +78,16 @@ __all__ = [
     "ksjq",
     "ksjq_progressive",
     "make_plan",
+    "plan_shards",
     "run_cartesian",
     "run_cascade_naive",
+    "run_cascade_parallel",
     "run_cascade_pruned",
     "run_dominator",
     "run_grouping",
     "run_naive",
+    "run_parallel",
+    "shard_bounds",
     "target_rows_exact",
     "target_rows_paper",
 ]

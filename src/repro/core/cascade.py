@@ -83,7 +83,7 @@ __all__ = [
     "run_cascade_pruned",
 ]
 
-CASCADE_ALGORITHMS = ("auto", "naive", "pruned")
+CASCADE_ALGORITHMS = ("auto", "naive", "pruned", "parallel")
 
 
 @dataclass(frozen=True)
@@ -462,8 +462,9 @@ def cascade_progressive(
         algorithm, _, _ = choose_cascade_algorithm(plan)
     if algorithm not in ("naive", "pruned"):
         raise ParameterError(
-            f"unknown cascade algorithm {algorithm!r}; choose from "
-            f"{CASCADE_ALGORITHMS}"
+            f"progressive cascades support 'naive' and 'pruned', got "
+            f"{algorithm!r}; the sharded parallel path decides candidates "
+            "in bulk and does not stream"
         )
     if algorithm == "pruned":
         plan.require_strict_aggregate("pruned")
@@ -531,6 +532,7 @@ def cascade_ksjq(
     aggregate=None,
     algorithm: str = "pruned",
     engine=None,
+    parallelism="auto",
 ) -> CascadeResult:
     """m-way k-dominant skyline join over a cascaded join graph.
 
@@ -539,14 +541,17 @@ def cascade_ksjq(
     every parameter is validated *before* any chain is enumerated, and
     repeated calls over equal-content relations reuse the engine's
     cached :class:`~repro.core.plan.CascadePlan`. ``algorithm`` is
-    ``"pruned"`` (default), ``"naive"``, or ``"auto"`` (cost-based
-    choice over the plan's chain statistics).
+    ``"pruned"`` (default), ``"naive"``, ``"parallel"`` (the sharded
+    chain-set path of :mod:`repro.core.parallel`), or ``"auto"``
+    (cost-based choice over the plan's chain statistics);
+    ``parallelism`` is ``"auto"`` or a shard-worker count.
     """
     from ..api.spec import QuerySpec
     from .query import default_engine
 
     spec = QuerySpec.for_cascade(
-        k=k, hops=hops, aggregate=aggregate, algorithm=algorithm
+        k=k, hops=hops, aggregate=aggregate, algorithm=algorithm,
+        parallelism=parallelism,
     )
     eng = engine if engine is not None else default_engine()
     return eng.execute(*relations, spec=spec)

@@ -1,0 +1,440 @@
+"""Sharded parallel execution of KSJQ and cascade queries.
+
+The scalability figures are bounded by one candidate-generation pass
+over the joined view. This module partitions that pass: the joined
+candidate space — the outer (left) relation's share of the joined
+view for two-way joins, the first hop's share of the chain set for
+cascades — is split into contiguous **shards**, each shard generates
+its local skyline candidates independently (a worker per shard), and a
+mandatory **cross-shard verification** pass closes the merge.
+
+The verification pass is not an optimization detail but a correctness
+requirement: k-dominance is *non-transitive* (paper Sec. 2.2), so a
+tuple eliminated inside one shard may still k-dominate a candidate
+that survived another shard. Merged candidates are therefore re-checked
+against **all** rows of every shard — the full joined matrix, not just
+the surviving candidates — using the vectorized block kernels of
+:mod:`repro.skyline.dominance` (:func:`~repro.skyline.dominance.k_dominated_any`
+over the stacked shard matrices). Because that second scan is exact,
+the answer is independent of the shard count: ``parallelism ∈ {1, 2,
+4, ...}`` all return byte-identical result sets, equal to the naïve
+(ground-truth) algorithm.
+
+Executor choice follows the shard size: large shards amortize a
+``ProcessPoolExecutor`` (fork/spawn + pickling one shard each); small
+shards fall back to a thread pool, where the block kernels still
+overlap because numpy releases the GIL inside large comparison loops;
+one shard (or one worker) runs inline. :func:`plan_shards` makes that
+decision from the plan's exact cardinality statistics and is what
+``Engine.explain`` reports.
+
+``Engine.execute_many`` composes with per-query parallelism through
+:func:`batch_workers`: while a batch fans out over N threads, each
+query's auto-resolved worker count is capped to its fair share of the
+machine so the batch never oversubscribes the CPUs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..skyline.dominance import k_dominated_any
+from ..skyline.kdominant import k_dominant_candidates_block
+from .result import KSJQResult
+from .timing import PhaseClock
+from .verify import sort_rows_for_early_exit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cascade import CascadeResult
+    from .plan import CascadePlan, JoinPlan
+
+__all__ = [
+    "ShardPlan",
+    "plan_shards",
+    "shard_bounds",
+    "available_cpus",
+    "batch_workers",
+    "run_parallel",
+    "run_cascade_parallel",
+    "AUTO_MIN_ROWS",
+    "PROCESS_MIN_SHARD_ELEMENTS",
+    "WORKER_SPAWN_COST",
+]
+
+#: Below this many candidate rows, ``parallelism="auto"`` stays serial:
+#: worker spawn + shard pickling would outweigh the saved scan time.
+AUTO_MIN_ROWS = 8192
+
+#: Shards whose matrix payload (rows x joined attributes) reaches this
+#: many elements use a process pool; smaller shards use threads (numpy
+#: releases the GIL inside the block kernels, and threads avoid the
+#: fork + pickle cost that small shards cannot repay).
+PROCESS_MIN_SHARD_ELEMENTS = 262_144
+
+#: Joined width assumed when the caller cannot supply one.
+DEFAULT_WIDTH = 8
+
+#: Abstract cost of spawning one worker, in the same dominance-comparison
+#: units as :func:`repro.api.engine.choose_algorithm`'s estimates.
+WORKER_SPAWN_COST = 2_000_000
+
+#: Most workers ``parallelism="auto"`` will ever choose.
+AUTO_MAX_WORKERS = 8
+
+_batch_local = threading.local()
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@contextmanager
+def batch_workers(count: int) -> Iterator[None]:
+    """Mark the current thread as one of ``count`` concurrent batch lanes.
+
+    Used by ``Engine.execute_many``: queries executed inside this
+    context have their resolved per-query worker count capped to
+    ``max(1, cpus // count)`` by :func:`plan_shards`, so a batch of
+    parallel queries shares the machine instead of oversubscribing it.
+    """
+    previous = getattr(_batch_local, "count", 1)
+    _batch_local.count = max(1, int(count))
+    try:
+        yield
+    finally:
+        _batch_local.count = previous
+
+
+def _batch_lane_count() -> int:
+    return getattr(_batch_local, "count", 1)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How one query's candidate generation is partitioned and executed.
+
+    Attributes
+    ----------
+    workers:
+        Worker (and shard) count; ``1`` means serial execution.
+    n_rows:
+        Candidate rows being sharded (the joined size / chain count).
+    executor:
+        ``"process"``, ``"thread"`` or ``"serial"``.
+    reason:
+        Human-readable justification of the decision (reported by
+        ``Engine.explain``).
+    """
+
+    workers: int
+    n_rows: int
+    executor: str
+    reason: str
+
+    @property
+    def n_shards(self) -> int:
+        """Shard count (one shard per worker)."""
+        return self.workers
+
+    @property
+    def is_parallel(self) -> bool:
+        """Does this plan fan out at all?"""
+        return self.workers > 1
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        if not self.is_parallel:
+            return f"serial — {self.reason}"
+        return (
+            f"{self.workers} {self.executor} workers over {self.n_shards} "
+            f"shards of ~{self.n_rows // max(1, self.n_shards)} rows — "
+            f"{self.reason}"
+        )
+
+
+def shard_bounds(n_rows: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` ranges splitting ``n_rows`` evenly.
+
+    Returns at most ``n_shards`` non-empty ranges (fewer when there are
+    fewer rows than shards), sizes differing by at most one row.
+    """
+    n_shards = max(1, min(n_shards, n_rows)) if n_rows else 1
+    base, extra = divmod(n_rows, n_shards)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(n_shards):
+        stop = start + base + (1 if i < extra else 0)
+        if stop > start:
+            bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def plan_shards(
+    n_rows: int, parallelism: object = "auto", width: int = 0
+) -> ShardPlan:
+    """Decide serial-vs-sharded execution for ``n_rows`` candidate rows.
+
+    ``parallelism="auto"`` is the cost-based path: stay serial below
+    :data:`AUTO_MIN_ROWS` or on a single-CPU machine, otherwise use up
+    to :data:`AUTO_MAX_WORKERS` workers, never more than the CPUs
+    available to this query's batch lane (see :func:`batch_workers`).
+    An explicit integer demands that many workers (still capped by the
+    batch-lane budget so ``execute_many`` cannot oversubscribe).
+
+    The executor kind follows the shard payload: process pool once a
+    shard's matrix (rows x ``width`` joined attributes — the engine
+    passes ``PlanStats.joined_width``; :data:`DEFAULT_WIDTH` when
+    unknown) reaches :data:`PROCESS_MIN_SHARD_ELEMENTS`, thread pool
+    below.
+    """
+    budget = max(1, available_cpus() // _batch_lane_count())
+    if parallelism == "auto":
+        if n_rows < AUTO_MIN_ROWS:
+            return ShardPlan(
+                1, n_rows, "serial",
+                f"joined size {n_rows} below parallel threshold {AUTO_MIN_ROWS}",
+            )
+        workers = min(AUTO_MAX_WORKERS, budget)
+        if workers <= 1:
+            return ShardPlan(
+                1, n_rows, "serial",
+                "no spare CPUs for this query "
+                f"({available_cpus()} available / {_batch_lane_count()} batch lanes)",
+            )
+        reason = f"auto: {workers} of {available_cpus()} CPUs"
+    else:
+        requested = int(parallelism)
+        workers = min(requested, budget) if _batch_lane_count() > 1 else requested
+        if workers <= 1:
+            if requested > 1:
+                return ShardPlan(
+                    1, n_rows, "serial",
+                    f"parallelism={requested} capped to CPU budget {budget} "
+                    f"by {_batch_lane_count()} batch lanes",
+                )
+            return ShardPlan(1, n_rows, "serial", "parallelism=1 requested")
+        reason = f"parallelism={requested} requested"
+    workers = max(1, min(workers, n_rows)) if n_rows else 1
+    if workers <= 1:
+        return ShardPlan(1, n_rows, "serial", f"only {n_rows} candidate rows")
+    shard_elements = (n_rows // workers) * max(1, width or DEFAULT_WIDTH)
+    executor = "process" if shard_elements >= PROCESS_MIN_SHARD_ELEMENTS else "thread"
+    return ShardPlan(workers, n_rows, executor, reason)
+
+
+# ----------------------------------------------------------------------
+# Worker functions (module-level so ProcessPoolExecutor can pickle them)
+# ----------------------------------------------------------------------
+#: Large read-only payloads (the sorted full matrix of the verification
+#: pass) stashed by key so fork-based process workers inherit them as
+#: copy-on-write pages — and thread workers read them directly — instead
+#: of pickling one full copy per task. Keys are process-unique, so
+#: concurrent queries (``execute_many`` lanes) never collide.
+_SHARED_PAYLOADS: Dict[int, np.ndarray] = {}
+_shared_keys = itertools.count()
+
+
+def _shard_candidates(args: Tuple[np.ndarray, int, int]) -> np.ndarray:
+    """Phase 1, one shard: local candidate superset, as global indices."""
+    shard_matrix, offset, k = args
+    return k_dominant_candidates_block(shard_matrix, k) + offset
+
+
+def _verify_chunk(args: Tuple[int, np.ndarray, int]) -> np.ndarray:
+    """Phase 2, one candidate chunk: dominated flags vs the full data
+    (looked up in :data:`_SHARED_PAYLOADS` — inherited via fork for
+    process workers, shared memory for threads)."""
+    payload_key, vectors, k = args
+    return k_dominated_any(_SHARED_PAYLOADS[payload_key], vectors, k)
+
+
+@contextmanager
+def _shared_payload(matrix: np.ndarray) -> Iterator[int]:
+    """Register ``matrix`` under a fresh key for the duration of a pass."""
+    key = next(_shared_keys)
+    _SHARED_PAYLOADS[key] = matrix
+    try:
+        yield key
+    finally:
+        _SHARED_PAYLOADS.pop(key, None)
+
+
+def _fork_context():
+    """The fork start method, or ``None`` where unavailable (Windows,
+    macOS default spawn without fork support)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return None
+
+
+def _map_tasks(
+    fn: Callable[[tuple], np.ndarray],
+    tasks: Sequence[tuple],
+    shards: ShardPlan,
+    needs_shared_state: bool = False,
+) -> List[np.ndarray]:
+    """Run ``fn`` over ``tasks`` on the shard plan's executor.
+
+    Results come back in task order, and exceptions raised by ``fn``
+    propagate. Pool-level failures degrade to threads instead of
+    failing the query: a process pool that cannot start or fork its
+    workers (``OSError`` — workers spawn lazily inside ``map``, so
+    fork failures surface there, not in the constructor), or whose
+    workers are killed (``BrokenProcessPool``); the tasks are pure, so
+    re-running them on threads is safe. ``needs_shared_state`` marks
+    functions reading :data:`_SHARED_PAYLOADS`; they require
+    fork-inherited memory, so on platforms without fork they run on
+    threads. Processes are also only used from the main thread:
+    forking while sibling batch-lane threads run (``execute_many``)
+    risks inheriting locks held mid-operation, so lane queries use
+    threads.
+    """
+    if not shards.is_parallel or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    workers = min(shards.workers, len(tasks))
+    on_main_thread = threading.current_thread() is threading.main_thread()
+    if shards.executor == "process" and on_main_thread:
+        context = _fork_context() if needs_shared_state else None
+        if not needs_shared_state or context is not None:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers, mp_context=context
+                ) as pool:
+                    return list(pool.map(fn, tasks))
+            except (OSError, BrokenProcessPool):
+                pass  # workers could not fork or were killed: degrade
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, tasks))
+
+
+def _sharded_skyline(
+    matrix: np.ndarray, k: int, shards: ShardPlan, clock: PhaseClock
+) -> Tuple[np.ndarray, int]:
+    """The two-phase partition-and-merge skyline over ``matrix``.
+
+    Phase 1 ("grouping" clock phase): per-shard local candidate
+    generation. Phase 2 ("remaining"): cross-shard verification of the
+    merged candidates against all rows. Returns ``(sorted surviving row
+    indices, number of candidates verified)``.
+    """
+    n = matrix.shape[0]
+    with clock.phase("grouping"):
+        bounds = shard_bounds(n, shards.n_shards)
+        locals_ = _map_tasks(
+            _shard_candidates,
+            [(matrix[start:stop], start, k) for start, stop in bounds],
+            shards,
+        )
+        candidates = (
+            np.sort(np.concatenate(locals_)) if locals_ else np.empty(0, dtype=np.intp)
+        )
+    with clock.phase("remaining"):
+        if candidates.size == 0:
+            return candidates, 0
+        # Cross-shard merge: every candidate re-checked against ALL
+        # rows (k-dominance is non-transitive — locally eliminated rows
+        # still eliminate), with strong rows stacked first for early
+        # exit. The sorted matrix travels to workers as fork-inherited
+        # shared state, not one pickled copy per chunk.
+        sorted_matrix = sort_rows_for_early_exit(matrix)
+        chunk_bounds = shard_bounds(candidates.size, shards.n_shards)
+        with _shared_payload(sorted_matrix) as payload_key:
+            dominated = np.concatenate(
+                _map_tasks(
+                    _verify_chunk,
+                    [
+                        (payload_key, matrix[candidates[start:stop]], k)
+                        for start, stop in chunk_bounds
+                    ],
+                    shards,
+                    needs_shared_state=True,
+                )
+            )
+        return candidates[~dominated], int(candidates.size)
+
+
+# ----------------------------------------------------------------------
+# Plan-based runners (consumed by repro.api.Engine)
+# ----------------------------------------------------------------------
+def run_parallel(
+    plan: "JoinPlan", k: int, shards: Optional[ShardPlan] = None
+) -> KSJQResult:
+    """Sharded two-way KSJQ over a prepared join plan.
+
+    Exact for every join kind and any aggregate (like the naïve
+    algorithm, it works on the materialized joined view and never
+    relies on monotonicity), and shard-count independent: the result is
+    byte-identical across ``parallelism`` settings.
+
+    Parameters
+    ----------
+    plan:
+        The prepared two-way join.
+    k:
+        Dominance threshold (validated against the schemas).
+    shards:
+        Execution decision from :func:`plan_shards`; defaults to the
+        auto decision for the plan's joined size.
+    """
+    params = plan.params(k)
+    clock = PhaseClock()
+    with clock.phase("join"):
+        view = plan.view()
+        matrix = view.oriented()
+    if shards is None:
+        shards = plan_shards(matrix.shape[0], "auto", matrix.shape[1])
+    keep, checked = _sharded_skyline(matrix, k, shards, clock)
+    return KSJQResult(
+        algorithm="parallel",
+        mode="exact",
+        params=params,
+        pairs=view.pairs[keep],
+        timings=clock.freeze(),
+        checked=checked,
+    )
+
+
+def run_cascade_parallel(
+    plan: "CascadePlan", k: int, shards: Optional[ShardPlan] = None
+) -> "CascadeResult":
+    """Sharded m-way cascade KSJQ over a prepared cascade plan.
+
+    Chains are enumerated first-relation-major, so sharding the chain
+    matrix into contiguous ranges partitions the cascade by its *first
+    hop*: each worker owns one slice of the first relation's chains.
+    Exact for any aggregate; byte-identical across shard counts.
+    """
+    from .cascade import CascadeResult
+
+    plan.params(k)
+    clock = PhaseClock()
+    with clock.phase("join"):
+        all_chains = plan.chains()
+        matrix = plan.oriented()
+    if shards is None:
+        shards = plan_shards(matrix.shape[0], "auto", matrix.shape[1])
+    keep, _ = _sharded_skyline(matrix, k, shards, clock)
+    return CascadeResult(
+        k=k,
+        chains=all_chains[keep],
+        total_chains=int(all_chains.shape[0]),
+        pruned_rows=0,
+        algorithm="parallel",
+        timings=clock.freeze(),
+    )

@@ -44,6 +44,10 @@ class PlanStats:
     is an abstract cost in units of pairwise dominance comparisons: the
     SS/SN/NN categorization compares every tuple against its group, so
     it scales with the sum of squared group sizes on both sides.
+    ``joined_width`` is the number of joined skyline attributes
+    ``l1 + l2 + a`` — together with ``join_size`` it sizes the joined
+    matrix that the sharded parallel path partitions
+    (:func:`repro.core.parallel.plan_shards`).
     """
 
     kind: str
@@ -54,6 +58,7 @@ class PlanStats:
     shared_group_count: int
     join_size: int
     categorization_cost: int
+    joined_width: int = 0
 
     @property
     def mean_cell_size(self) -> float:
@@ -72,6 +77,7 @@ class PlanStats:
             "shared_group_count": self.shared_group_count,
             "join_size": self.join_size,
             "categorization_cost": self.categorization_cost,
+            "joined_width": self.joined_width,
         }
 
 
@@ -233,6 +239,11 @@ class JoinPlan:
                     shared_group_count=shared_g,
                     join_size=int(join_size),
                     categorization_cost=int(cat_cost),
+                    joined_width=(
+                        self.left.schema.l
+                        + self.right.schema.l
+                        + self.left.schema.a
+                    ),
                 )
         return self._stats
 
@@ -443,6 +454,7 @@ class CascadeStats:
     base_sizes: Tuple[int, ...]
     join_size: int
     categorization_cost: int
+    joined_width: int = 0
 
     @property
     def n_relations(self) -> int:
@@ -456,6 +468,7 @@ class CascadeStats:
             "n_relations": self.n_relations,
             "join_size": self.join_size,
             "categorization_cost": self.categorization_cost,
+            "joined_width": self.joined_width,
         }
 
 
@@ -672,6 +685,9 @@ class CascadePlan:
             base_sizes=tuple(len(rel) for rel in relations),
             join_size=join_size,
             categorization_cost=int(cat_cost),
+            joined_width=(
+                sum(rel.schema.l for rel in relations) + relations[0].schema.a
+            ),
         )
 
     def __repr__(self) -> str:

@@ -82,6 +82,7 @@ def ksjq(
     theta=None,
     plan: Optional[JoinPlan] = None,
     engine=None,
+    parallelism="auto",
 ) -> KSJQResult:
     """Answer a k-dominant skyline join query (Problems 1-2).
 
@@ -116,6 +117,10 @@ def ksjq(
     engine:
         The :class:`repro.api.Engine` to run on; defaults to the shared
         module engine (so repeated calls reuse cached plans).
+    parallelism:
+        ``"auto"`` (cost model decides serial-vs-sharded execution) or
+        an explicit shard-worker count for the parallel path; see
+        :mod:`repro.core.parallel`.
     """
     from ..api.spec import QuerySpec
 
@@ -124,7 +129,13 @@ def ksjq(
     # Spec construction validates algorithm/mode/join/k up front, before
     # any join preparation happens.
     spec = QuerySpec.for_ksjq(
-        k=k, algorithm=algorithm, mode=mode, join=join, aggregate=aggregate, theta=theta
+        k=k,
+        algorithm=algorithm,
+        mode=mode,
+        join=join,
+        aggregate=aggregate,
+        theta=theta,
+        parallelism=parallelism,
     )
     eng = engine if engine is not None else default_engine()
     return eng.execute(left, right, spec, plan=plan)

@@ -13,12 +13,15 @@ from .dominance import (
     dominates,
     dominator_rows,
     is_k_dominated,
+    k_dominated_any,
     k_dominates,
     k_dominator_mask,
     strict_any,
 )
 from .kdominant import (
+    k_dominant_candidates_block,
     k_dominant_skyline,
+    k_dominant_skyline_block,
     k_dominant_skyline_naive,
     k_dominant_skyline_osa,
     k_dominant_skyline_tsa,
@@ -29,10 +32,13 @@ __all__ = [
     "dominates",
     "dominator_rows",
     "is_k_dominated",
+    "k_dominant_candidates_block",
     "k_dominant_skyline",
+    "k_dominant_skyline_block",
     "k_dominant_skyline_naive",
     "k_dominant_skyline_osa",
     "k_dominant_skyline_tsa",
+    "k_dominated_any",
     "k_dominates",
     "k_dominator_mask",
     "skyline",

@@ -34,8 +34,15 @@ __all__ = [
     "strict_any",
     "k_dominator_mask",
     "is_k_dominated",
+    "k_dominated_any",
     "dominator_rows",
 ]
+
+#: Element budget of one broadcast temporary in :func:`k_dominated_any`
+#: (vectors x rows x attributes). 2^22 bools is a ~4 MiB comparison
+#: block — big enough to amortize numpy dispatch, small enough to stay
+#: cache- and fork-friendly when several workers run concurrently.
+_BLOCK_ELEMENT_BUDGET = 1 << 22
 
 
 def dominates(u: np.ndarray, v: np.ndarray) -> bool:
@@ -108,6 +115,71 @@ def is_k_dominated(
         if mask.any():
             return True
     return False
+
+
+def k_dominated_any(
+    matrix: np.ndarray,
+    vectors: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """Per-vector flag: is each of ``vectors`` k-dominated by any row of
+    ``matrix``?
+
+    The many-versus-matrix counterpart of :func:`is_k_dominated`: the
+    comparison runs as blocked 3-D broadcasts (vector block x row block
+    x attributes) instead of one Python-level loop per vector, and
+    vectors leave the working set as soon as a dominator is found.
+    Rows of ``matrix`` are visited in order, so presorting it with
+    :func:`repro.core.verify.sort_rows_for_early_exit` puts strong rows
+    first and most vectors are decided within the first blocks.
+
+    A vector that is itself a row of ``matrix`` needs no exclusion
+    index: a tuple is never strictly better than itself, and duplicated
+    attribute vectors legitimately do not dominate each other.
+
+    Parameters
+    ----------
+    matrix:
+        (n x d) oriented candidate-dominator matrix.
+    vectors:
+        (m x d) oriented vectors to test.
+    k:
+        Dominance threshold.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean array of length ``m``; ``True`` marks dominated vectors.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    vectors = np.asarray(vectors, dtype=np.float64)
+    m, n = vectors.shape[0], matrix.shape[0]
+    out = np.zeros(m, dtype=bool)
+    if m == 0 or n == 0:
+        return out
+    d = matrix.shape[1]
+    # Chunk the vector axis so that even at the 64-row block floor the
+    # broadcast temporaries stay within the element budget; within each
+    # chunk the row-block size then adapts upward as vectors are decided.
+    vec_chunk = max(1, _BLOCK_ELEMENT_BUDGET // (64 * d))
+    for chunk_start in range(0, m, vec_chunk):
+        undecided = np.arange(
+            chunk_start, min(chunk_start + vec_chunk, m), dtype=np.intp
+        )
+        start = 0
+        while start < n and undecided.size:
+            block = max(64, _BLOCK_ELEMENT_BUDGET // max(1, undecided.size * d))
+            rows = matrix[start : start + block]
+            vecs = vectors[undecided]
+            le = rows[None, :, :] <= vecs[:, None, :]
+            lt = rows[None, :, :] < vecs[:, None, :]
+            dominated = (
+                (le.sum(axis=2) >= k) & lt.any(axis=2)
+            ).any(axis=1)
+            out[undecided[dominated]] = True
+            undecided = undecided[~dominated]
+            start += rows.shape[0]
+    return out
 
 
 def dominator_rows(

@@ -32,14 +32,20 @@ All return sorted row indices of the k-dominant skyline members.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from ..errors import ParameterError
-from .dominance import is_k_dominated
+from .dominance import is_k_dominated, k_dominated_any
 
-__all__ = ["k_dominant_skyline_naive", "k_dominant_skyline_tsa", "k_dominant_skyline"]
+__all__ = [
+    "k_dominant_skyline_naive",
+    "k_dominant_skyline_tsa",
+    "k_dominant_candidates_block",
+    "k_dominant_skyline_block",
+    "k_dominant_skyline",
+]
 
 
 def _validate(matrix: np.ndarray, k: int) -> np.ndarray:
@@ -103,6 +109,76 @@ def k_dominant_skyline_tsa(matrix: np.ndarray, k: int, presort: bool = True) -> 
     return sorted(out)
 
 
+def k_dominant_candidates_block(
+    matrix: np.ndarray,
+    k: int,
+    block: int = 512,
+    order: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Scan-1 candidate generation, vectorized over row *blocks*.
+
+    The block-kernel variant of the TSA first scan: rows are visited in
+    attribute-sum order in blocks of ``block``, each block is tested
+    against the accumulated candidate set in one broadcast
+    (:func:`~repro.skyline.dominance.k_dominated_any`), survivors join
+    the set, and candidates k-dominated by a block's survivors are
+    evicted to keep the working set small.
+
+    Rejections are sound (the rejecting candidate is a real tuple), but
+    rows *within* one block are never compared against each other, so
+    the returned set is a **superset** of the k-dominant skyline — the
+    cheap-to-produce candidate list that a second scan against the full
+    data must close, exactly as in the classic TSA (and, sharded, in
+    :mod:`repro.core.parallel`).
+
+    ``order`` optionally supplies a precomputed attribute-sum visit
+    order, so callers that also presort for the second scan pay one
+    argsort in total. Returns sorted row indices of the candidate
+    superset.
+    """
+    matrix = _validate(matrix, k)
+    n = matrix.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    if order is None:
+        order = np.argsort(matrix.sum(axis=1), kind="stable")
+    cand_idx = np.empty(0, dtype=np.intp)
+    for start in range(0, n, block):
+        rows_idx = order[start : start + block]
+        rows = matrix[rows_idx]
+        if cand_idx.size:
+            rejected = k_dominated_any(matrix[cand_idx], rows, k)
+            rows_idx = rows_idx[~rejected]
+            rows = rows[~rejected]
+        if rows_idx.size and cand_idx.size:
+            evicted = k_dominated_any(rows, matrix[cand_idx], k)
+            cand_idx = cand_idx[~evicted]
+        cand_idx = np.concatenate([cand_idx, rows_idx])
+    cand_idx.sort()
+    return cand_idx
+
+
+def k_dominant_skyline_block(matrix: np.ndarray, k: int, block: int = 512) -> List[int]:
+    """Two-scan k-dominant skyline over vectorized block kernels.
+
+    Answer-equivalent to :func:`k_dominant_skyline_tsa` (both are
+    exact), but both scans run as matrix-block broadcasts instead of
+    per-row Python loops: scan 1 is
+    :func:`k_dominant_candidates_block`, scan 2 re-verifies every
+    candidate against the complete dataset with
+    :func:`~repro.skyline.dominance.k_dominated_any`.
+    """
+    matrix = _validate(matrix, k)
+    # One argsort serves both scans: the visit order of scan 1 and the
+    # strong-rows-first layout that gives scan 2 its early exits.
+    order = np.argsort(matrix.sum(axis=1), kind="stable")
+    candidates = k_dominant_candidates_block(matrix, k, block=block, order=order)
+    if candidates.size == 0:
+        return []
+    dominated = k_dominated_any(matrix[order], matrix[candidates], k)
+    return [int(c) for c in candidates[~dominated]]
+
+
 def k_dominant_skyline_osa(matrix: np.ndarray, k: int) -> List[int]:
     """One-Scan Algorithm for the k-dominant skyline."""
     matrix = _validate(matrix, k)
@@ -155,13 +231,16 @@ def k_dominant_skyline_osa(matrix: np.ndarray, k: int) -> List[int]:
 
 
 def k_dominant_skyline(matrix: np.ndarray, k: int, method: str = "tsa") -> List[int]:
-    """Compute the k-dominant skyline; ``method`` in {"tsa", "osa", "naive"}."""
+    """Compute the k-dominant skyline; ``method`` in {"tsa", "osa", "block",
+    "naive"}."""
     if method == "tsa":
         return k_dominant_skyline_tsa(matrix, k)
     if method == "osa":
         return k_dominant_skyline_osa(matrix, k)
+    if method == "block":
+        return k_dominant_skyline_block(matrix, k)
     if method == "naive":
         return k_dominant_skyline_naive(matrix, k)
     raise ParameterError(
-        f"unknown k-dominant method {method!r} (use 'tsa', 'osa' or 'naive')"
+        f"unknown k-dominant method {method!r} (use 'tsa', 'osa', 'block' or 'naive')"
     )
