@@ -39,7 +39,6 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import Dict, Optional, Tuple
 
 
 def calibration_seconds(repeats: int = 3) -> float:
@@ -68,7 +67,7 @@ def calibration_seconds(repeats: int = 3) -> float:
     return best
 
 
-def figure_totals(path: Path) -> Tuple[float, Optional[float]]:
+def figure_totals(path: Path) -> tuple[float, float | None]:
     """``(summed elapsed seconds, recorded calibration)`` of one BENCH_*.json."""
     payload = json.loads(path.read_text())
     total = sum(float(cell["elapsed"]) for cell in payload.get("results", []))
@@ -76,7 +75,7 @@ def figure_totals(path: Path) -> Tuple[float, Optional[float]]:
     return total, float(calibration) if calibration else None
 
 
-def load_dir(directory: Path) -> Dict[str, Path]:
+def load_dir(directory: Path) -> dict[str, Path]:
     return {p.stem[len("BENCH_"):]: p for p in sorted(directory.glob("BENCH_*.json"))}
 
 

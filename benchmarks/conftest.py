@@ -28,7 +28,6 @@ from __future__ import annotations
 import json
 import os
 import warnings
-from typing import Dict, List, Optional
 
 import pytest
 
@@ -47,8 +46,8 @@ ENGINE = Engine(max_plans=0)
 _ALGOS = {"G": "grouping", "D": "dominator", "N": "naive"}
 _METHODS = {"B": "binary", "R": "range", "N": "naive"}
 
-_pair_cache: Dict[tuple, tuple] = {}
-_artifact_records: Dict[str, List[dict]] = {}
+_pair_cache: dict[tuple, tuple] = {}
+_artifact_records: dict[str, list[dict]] = {}
 
 
 def _figure_id(fullname: str) -> str:
@@ -132,7 +131,7 @@ def flights():
     return _pair_cache[key]
 
 
-def run_ksjq(letter: str, left, right, k: int, aggregate: Optional[str]):
+def run_ksjq(letter: str, left, right, k: int, aggregate: str | None):
     """One full algorithm execution, including plan construction."""
     return (
         ENGINE.query(left, right)
@@ -143,7 +142,7 @@ def run_ksjq(letter: str, left, right, k: int, aggregate: Optional[str]):
     )
 
 
-def run_findk(letter: str, left, right, delta: int, aggregate: Optional[str] = None):
+def run_findk(letter: str, left, right, delta: int, aggregate: str | None = None):
     return (
         ENGINE.query(left, right)
         .aggregate(aggregate)
@@ -217,7 +216,7 @@ def make_cascade_legs(n_per_leg: int, m: int = 3, a: int = 1, seed: int = 7):
     return _pair_cache[key]
 
 
-def bench_cascade(benchmark, algorithm: str, legs, k: int, aggregate: Optional[str]):
+def bench_cascade(benchmark, algorithm: str, legs, k: int, aggregate: str | None):
     """Benchmark one m-way cascade cell through the engine."""
 
     def run():

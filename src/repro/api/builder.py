@@ -20,7 +20,8 @@ explain the same query.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple, Union, TYPE_CHECKING
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Union
 
 from ..core.result import FindKResult, KSJQResult
 from ..errors import JoinError, ParameterError
@@ -30,6 +31,7 @@ from ..relational.relation import Relation
 from .spec import QuerySpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .._typing import AggregateLike, ThetaLike
     from .engine import Engine, ExplainReport
     from .handle import QueryHandle
 
@@ -52,23 +54,23 @@ class QueryBuilder:
                 f"query() needs at least two relations, got {len(relations)}"
             )
         self._engine = engine
-        self._relations: Tuple[QueryInput, ...] = tuple(relations)
+        self._relations: tuple[QueryInput, ...] = tuple(relations)
         self._join = "equality"
-        self._theta = None
-        self._hops: List[HopSpec] = []
-        self._aggregate = None
-        self._k: Optional[int] = None
-        self._delta: Optional[int] = None
+        self._theta: ThetaLike | None = None
+        self._hops: list[HopSpec] = []
+        self._aggregate: AggregateLike | None = None
+        self._k: int | None = None
+        self._delta: int | None = None
         self._algorithm = "auto"
         self._mode = "faithful"
         self._method = "binary"
         self._objective = "at_least"
-        self._parallelism: object = "auto"
+        self._parallelism: int | str = "auto"
 
     # ------------------------------------------------------------------
     # Configuration (each returns self)
     # ------------------------------------------------------------------
-    def join(self, kind: str, theta=None) -> "QueryBuilder":
+    def join(self, kind: str, theta: ThetaLike | None = None) -> "QueryBuilder":
         """Two-way join kind: ``"equality"`` (default), ``"cartesian"``,
         or ``"theta"`` with one condition or a conjunction list. For
         chains of three or more relations use :meth:`hop` /
@@ -79,8 +81,8 @@ class QueryBuilder:
 
     def hop(
         self,
-        left_column: Optional[str] = None,
-        right_column: Optional[str] = None,
+        left_column: str | None = None,
+        right_column: str | None = None,
     ) -> "QueryBuilder":
         """Append one equality hop of the join graph.
 
@@ -92,7 +94,7 @@ class QueryBuilder:
         self._hops.append(HopSpec.on_columns(left_column, right_column))
         return self
 
-    def theta(self, conditions) -> "QueryBuilder":
+    def theta(self, conditions: ThetaLike) -> "QueryBuilder":
         """Theta condition(s) for the next hop of the join graph.
 
         On a two-relation query with no explicit hops this is shorthand
@@ -106,7 +108,7 @@ class QueryBuilder:
         self._hops.append(HopSpec.on_theta(conditions))
         return self
 
-    def aggregate(self, aggregate) -> "QueryBuilder":
+    def aggregate(self, aggregate: AggregateLike) -> "QueryBuilder":
         """Aggregate function (registry name or object) for schemas
         with aggregate attributes."""
         self._aggregate = aggregate
@@ -132,7 +134,7 @@ class QueryBuilder:
         self._mode = mode
         return self
 
-    def parallelism(self, parallelism) -> "QueryBuilder":
+    def parallelism(self, parallelism: int | str) -> "QueryBuilder":
         """Sharded parallel execution: ``"auto"`` (default) or workers.
 
         ``"auto"`` lets the engine's cost model decide serial-vs-parallel
@@ -171,7 +173,7 @@ class QueryBuilder:
             )
         return True
 
-    def _hop_tuple(self) -> Tuple[HopSpec, ...]:
+    def _hop_tuple(self) -> tuple[HopSpec, ...]:
         m = len(self._relations)
         if self._hops and len(self._hops) != m - 1:
             raise JoinError(
@@ -242,7 +244,7 @@ class QueryBuilder:
     # ------------------------------------------------------------------
     # Terminals
     # ------------------------------------------------------------------
-    def run(self, k: Optional[int] = None) -> KSJQResult:
+    def run(self, k: int | None = None) -> KSJQResult:
         """Execute the skyline join (Problems 1-2, or an m-way cascade)."""
         if k is not None:
             self._k = k
@@ -252,9 +254,9 @@ class QueryBuilder:
 
     def find_k(
         self,
-        delta: Optional[int] = None,
-        method: Optional[str] = None,
-        objective: Optional[str] = None,
+        delta: int | None = None,
+        method: str | None = None,
+        objective: str | None = None,
     ) -> FindKResult:
         """Tune k from a cardinality target (Problems 3-4)."""
         if delta is not None:
@@ -271,7 +273,7 @@ class QueryBuilder:
         finally:
             self._k = k_backup
 
-    def stream(self, k: Optional[int] = None) -> Iterator[Tuple[int, ...]]:
+    def stream(self, k: int | None = None) -> Iterator[tuple[int, ...]]:
         """Progressive skyline tuples (guaranteed "yes" tuples first)."""
         if k is not None:
             self._k = k
@@ -292,7 +294,7 @@ class QueryBuilder:
         """
         return self._engine.prepare(*self._relations, spec=self.spec())
 
-    def to_records(self, k: Optional[int] = None) -> List[dict]:
+    def to_records(self, k: int | None = None) -> list[dict]:
         """Convenience: run and materialize the answer as dicts."""
         return self.run(k=k).to_records()
 

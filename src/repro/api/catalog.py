@@ -23,30 +23,40 @@ from __future__ import annotations
 import inspect
 import threading
 import weakref
-from typing import Callable, Dict, Iterator, List, Optional, Union
+from typing import TYPE_CHECKING
 
 from ..errors import CatalogError
 from ..relational.dataset import Dataset
 from ..relational.relation import Relation
 
+if TYPE_CHECKING:
+    from collections.abc import Callable, Iterator
+
 __all__ = ["Catalog"]
 
 
 class Catalog:
-    """Thread-safe name -> :class:`Dataset` registry with mutation fan-out."""
+    """Thread-safe name -> :class:`Dataset` registry with mutation fan-out.
+
+    Lock order: ``Catalog._lock`` may be held while taking
+    ``Dataset._lock`` (e.g. :meth:`versions`), never the reverse —
+    datasets notify listeners only after releasing their own lock.
+
+    # guarded-by: _lock: _datasets, _subscribers
+    """
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
-        self._datasets: Dict[str, Dataset] = {}
+        self._datasets: dict[str, Dataset] = {}
         # Bound-method subscribers (engine invalidation hooks) are held
         # weakly: a shared catalog must not keep every engine that ever
         # subscribed — and its caches — alive forever.
-        self._subscribers: List[Callable[[], Optional[Callable[[Dataset], None]]]] = []
+        self._subscribers: list[Callable[[], Callable[[Dataset], None] | None]] = []
 
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
-    def register(self, name: str, data: Union[Relation, Dataset]) -> Dataset:
+    def register(self, name: str, data: Relation | Dataset) -> Dataset:
         """Register (or refresh) a named dataset; returns its handle.
 
         ``data`` may be a :class:`Relation` or an existing
@@ -105,7 +115,7 @@ class Catalog:
             )
         return dataset
 
-    def peek(self, name: str) -> Optional[Dataset]:
+    def peek(self, name: str) -> Dataset | None:
         """Like :meth:`get` but returns ``None`` for unknown names."""
         with self._lock:
             return self._datasets.get(name)
@@ -124,12 +134,12 @@ class Catalog:
         with self._lock:
             return len(self._datasets)
 
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         """Registered dataset names, sorted."""
         with self._lock:
             return sorted(self._datasets)
 
-    def versions(self) -> Dict[str, int]:
+    def versions(self) -> dict[str, int]:
         """Current ``name -> version`` map across the catalog."""
         with self._lock:
             return {name: ds.version for name, ds in self._datasets.items()}
@@ -144,7 +154,7 @@ class Catalog:
         are referenced weakly, so subscribing never extends the
         subscriber's lifetime; plain functions are held strongly.
         """
-        ref: Callable[[], Optional[Callable[[Dataset], None]]]
+        ref: Callable[[], Callable[[Dataset], None] | None]
         if inspect.ismethod(callback):
             ref = weakref.WeakMethod(callback)
         else:

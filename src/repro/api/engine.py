@@ -47,18 +47,10 @@ from __future__ import annotations
 import math
 import threading
 from collections import OrderedDict
+from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import (
-    Callable,
-    Dict,
-    Iterator,
-    List,
-    Optional,
-    Sequence,
-    Tuple,
-    Union,
-)
+from typing import TYPE_CHECKING, cast
 
 from ..core.cartesian import run_cartesian
 from ..core.cascade import (
@@ -89,6 +81,12 @@ from ..relational.relation import Relation
 from .catalog import Catalog
 from .spec import QuerySpec
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .._typing import AggregateLike, HopsLike, ThetaLike
+    from ..relational.join import ThetaCondition
+    from .builder import QueryBuilder, QueryInput
+    from .handle import QueryHandle
+
 __all__ = [
     "Engine",
     "ExplainReport",
@@ -116,7 +114,7 @@ def _parallel_cost(join_size: float, workers: int) -> float:
 
 def choose_algorithm(
     plan: JoinPlan, mode: str = "faithful", workers: int = 1
-) -> Tuple[str, Dict[str, float], str]:
+) -> tuple[str, dict[str, float], str]:
     """Pick the cheapest applicable algorithm for a two-way plan.
 
     Returns ``(algorithm, costs, reason)`` where ``costs`` maps every
@@ -168,7 +166,7 @@ def choose_algorithm(
             "verification",
         )
 
-    costs: Dict[str, float] = {
+    costs: dict[str, float] = {
         "grouping": C + J * math.sqrt(J),
         "dominator": 2.0 * C + J * stats.mean_cell_size,
     }
@@ -193,7 +191,7 @@ def choose_algorithm(
 
 def choose_cascade_algorithm(
     plan: CascadePlan, mode: str = "faithful", workers: int = 1
-) -> Tuple[str, Dict[str, float], str]:
+) -> tuple[str, dict[str, float], str]:
     """Pick the cheapest applicable algorithm for an m-way cascade plan.
 
     The m-way analogue of :func:`choose_algorithm` over
@@ -270,10 +268,10 @@ class ExplainReport:
     spec: QuerySpec
     algorithm: str
     reason: str
-    costs: Dict[str, float] = field(default_factory=dict)
-    stats: Optional[Union[PlanStats, CascadeStats]] = None
+    costs: dict[str, float] = field(default_factory=dict)
+    stats: PlanStats | CascadeStats | None = None
     cache_hit: bool = False
-    shards: Optional[ShardPlan] = None
+    shards: ShardPlan | None = None
 
     def _plan_line(self) -> str:
         line = f"plan: {'cache hit' if self.cache_hit else 'prepared'}"
@@ -333,7 +331,7 @@ class CacheStats:
     def requests(self) -> int:
         return self.hits + self.misses
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> dict[str, int]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -390,12 +388,16 @@ class Engine:
 
     All entry points are thread-safe; ``execute_many`` fans a request
     batch out over a thread pool.
+
+    Concurrency contract (checked by the repo linter's R2 rule):
+
+    # guarded-by: _lock: _plans, _results, cache_stats, result_stats
     """
 
     def __init__(
         self,
         max_plans: int = 32,
-        catalog: Optional[Catalog] = None,
+        catalog: Catalog | None = None,
         max_results: int = 0,
     ) -> None:
         if max_plans < 0:
@@ -407,8 +409,8 @@ class Engine:
         self._catalog = catalog if catalog is not None else Catalog()
         self._catalog.subscribe(self._on_dataset_mutated)
         self._lock = threading.RLock()
-        self._plans: "OrderedDict[Tuple, object]" = OrderedDict()
-        self._results: "OrderedDict[Tuple, QueryResult]" = OrderedDict()
+        self._plans: OrderedDict[tuple[object, ...], object] = OrderedDict()
+        self._results: OrderedDict[tuple[object, ...], QueryResult] = OrderedDict()
         self.cache_stats = CacheStats()
         self.result_stats = CacheStats()
 
@@ -420,7 +422,7 @@ class Engine:
         """The catalog of named datasets this engine serves."""
         return self._catalog
 
-    def register(self, name: str, data: Union[Relation, Dataset]) -> Dataset:
+    def register(self, name: str, data: Relation | Dataset) -> Dataset:
         """Register ``data`` under ``name`` so queries can use the name.
 
         Delegates to :meth:`Catalog.register`: re-registering identical
@@ -429,7 +431,9 @@ class Engine:
         """
         return self._catalog.register(name, data)
 
-    def _resolve(self, obj) -> Tuple[Relation, Tuple]:
+    def _resolve(
+        self, obj: Relation | Dataset | str
+    ) -> tuple[Relation, tuple[object, ...]]:
         """One query input -> ``(relation snapshot, cache token)``.
 
         Registered datasets (by name or handle) resolve to cheap
@@ -458,7 +462,9 @@ class Engine:
             f"got {type(obj).__name__}"
         )
 
-    def _resolve_all(self, inputs: Sequence) -> Tuple[Tuple[Relation, ...], Tuple]:
+    def _resolve_all(
+        self, inputs: Sequence[Relation | Dataset | str]
+    ) -> tuple[tuple[Relation, ...], tuple[tuple[object, ...], ...]]:
         resolved = [self._resolve(obj) for obj in inputs]
         return (
             tuple(rel for rel, _ in resolved),
@@ -481,7 +487,9 @@ class Engine:
     # Plan cache
     # ------------------------------------------------------------------
     @staticmethod
-    def _agg_key(aggregate):
+    def _agg_key(
+        aggregate: AggregateLike | None,
+    ) -> str | AggregateFunction | None:
         # Custom AggregateFunction objects key by value (frozen
         # dataclass) — collapsing them to their name would let a custom
         # function collide with the registry entry of the same name.
@@ -489,40 +497,45 @@ class Engine:
             return aggregate
         return get_aggregate(aggregate).name
 
-    def _cached(self, key: Tuple, factory: Callable[[], object]):
+    def _cached(
+        self, key: tuple[object, ...], factory: Callable[[], object]
+    ) -> tuple[object, bool]:
         """LRU lookup-or-build shared by two-way and cascade plans.
 
-        The build runs outside the lock (it can be expensive); when two
-        threads race to build one key, the first insert wins and the
-        loser's plan is discarded — both count one miss.
+        Returns ``(plan, cache_hit)`` — the flag is decided under the
+        same lock acquisition that serves the lookup, so concurrent
+        callers each get the truth about their own request. The build
+        runs outside the lock (it can be expensive); when two threads
+        race to build one key, the first insert wins and the loser's
+        plan is discarded — both count one miss.
         """
         with self._lock:
             cached = self._plans.get(key)
             if cached is not None:
                 self.cache_stats.hits += 1
                 self._plans.move_to_end(key)
-                return cached
+                return cached, True
             self.cache_stats.misses += 1
         plan = factory()
         if self.max_plans <= 0:
-            return plan
+            return plan, False
         with self._lock:
             existing = self._plans.get(key)
             if existing is not None:
-                return existing
+                return existing, False
             self._plans[key] = plan
             while len(self._plans) > self.max_plans:
                 self._plans.popitem(last=False)
                 self.cache_stats.evictions += 1
-        return plan
+        return plan, False
 
     def plan(
         self,
-        left: Union[Relation, Dataset, str],
-        right: Union[Relation, Dataset, str],
+        left: Relation | Dataset | str,
+        right: Relation | Dataset | str,
         join: str = "equality",
-        aggregate=None,
-        theta=None,
+        aggregate: AggregateLike | None = None,
+        theta: ThetaLike | None = None,
     ) -> JoinPlan:
         """A (cached) :class:`JoinPlan` for one input pair + join config.
 
@@ -533,6 +546,16 @@ class Engine:
         memoized structure computed by one query (the joined view, the
         group indexes) is reused by the next.
         """
+        return self._plan_with_hit(left, right, join, aggregate, theta)[0]
+
+    def _plan_with_hit(
+        self,
+        left: Relation | Dataset | str,
+        right: Relation | Dataset | str,
+        join: str = "equality",
+        aggregate: AggregateLike | None = None,
+        theta: ThetaLike | None = None,
+    ) -> tuple[JoinPlan, bool]:
         if theta is not None and not isinstance(theta, tuple):
             from ..relational.join import normalize_theta
 
@@ -548,7 +571,7 @@ class Engine:
             self._agg_key(aggregate),
             theta or (),
         )
-        return self._cached(
+        plan, hit = self._cached(
             key,
             lambda: JoinPlan(
                 left_rel,
@@ -558,12 +581,13 @@ class Engine:
                 theta=theta if theta else None,
             ),
         )
+        return cast("JoinPlan", plan), hit
 
     def cascade_plan(
         self,
-        relations: Sequence[Union[Relation, Dataset, str]],
-        hops=None,
-        aggregate=None,
+        relations: Sequence[Relation | Dataset | str],
+        hops: HopsLike = None,
+        aggregate: AggregateLike | None = None,
     ) -> CascadePlan:
         """A (cached) :class:`CascadePlan` for one input chain + hops.
 
@@ -572,26 +596,35 @@ class Engine:
         tuple and aggregate, so the memoized chain set / pruning of one
         cascade query is reused by the next.
         """
+        return self._cascade_plan_with_hit(relations, hops, aggregate)[0]
+
+    def _cascade_plan_with_hit(
+        self,
+        relations: Sequence[Relation | Dataset | str],
+        hops: HopsLike = None,
+        aggregate: AggregateLike | None = None,
+    ) -> tuple[CascadePlan, bool]:
         from ..core.cascade import normalize_hops
 
         inputs = tuple(relations)
         if len(inputs) < 2:
             # CascadePlan raises the canonical error; don't cache it.
             rels = tuple(self._resolve(obj)[0] for obj in inputs)
-            return CascadePlan(rels, hops=hops, aggregate=aggregate)
+            return CascadePlan(rels, hops=hops, aggregate=aggregate), False
         rels, tokens = self._resolve_all(inputs)
         hop_specs = normalize_hops(len(rels), hops if hops else None)
         key = ("cascade", tokens, self._agg_key(aggregate), hop_specs)
-        return self._cached(
+        plan, hit = self._cached(
             key,
             lambda: CascadePlan(rels, hops=hop_specs, aggregate=aggregate),
         )
+        return cast("CascadePlan", plan), hit
 
-    def cache_info(self) -> Dict[str, object]:
+    def cache_info(self) -> dict[str, object]:
         """Counters + size/capacity of the plan cache, and — under the
         ``"results"`` key — of the result cache."""
         with self._lock:
-            info: Dict[str, object] = self.cache_stats.as_dict()
+            info: dict[str, object] = self.cache_stats.as_dict()
             info["size"] = len(self._plans)
             info["capacity"] = self.max_plans
             results = self.result_stats.as_dict()
@@ -609,7 +642,7 @@ class Engine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def query(self, *relations: Union[Relation, Dataset, str]) -> "QueryBuilder":
+    def query(self, *relations: Relation | Dataset | str) -> "QueryBuilder":
         """Start a fluent query over a chain of two or more inputs
         (relations, datasets, or registered names)."""
         from .builder import QueryBuilder
@@ -617,21 +650,30 @@ class Engine:
         return QueryBuilder(self, *relations)
 
     @staticmethod
-    def _split_args(args, spec):
+    def _split_args(
+        args: tuple[object, ...], spec: QuerySpec | None
+    ) -> tuple[tuple[QueryInput, ...], QuerySpec]:
         """Unpack ``(r1, ..., rn, spec)`` positional calling conventions."""
         if spec is None:
             if not args or not isinstance(args[-1], QuerySpec):
                 raise ParameterError(
                     "pass a QuerySpec as the last positional argument or as spec=..."
                 )
-            return tuple(args[:-1]), args[-1]
-        return tuple(args), spec
+            return cast("tuple[QueryInput, ...]", tuple(args[:-1])), args[-1]
+        return cast("tuple[QueryInput, ...]", tuple(args)), spec
 
-    def _bind(self, inputs: Tuple, spec: QuerySpec):
+    def _bind(
+        self, inputs: tuple[QueryInput, ...], spec: QuerySpec
+    ) -> JoinPlan | CascadePlan:
         """Resolve the (cached) plan a spec runs against; inputs may be
         relations, datasets, or registered names."""
+        return self._bind_with_hit(inputs, spec)[0]
+
+    def _bind_with_hit(
+        self, inputs: tuple[QueryInput, ...], spec: QuerySpec
+    ) -> tuple[JoinPlan | CascadePlan, bool]:
         if spec.join == "cascade":
-            return self.cascade_plan(
+            return self._cascade_plan_with_hit(
                 inputs, hops=spec.hops, aggregate=spec.aggregate
             )
         if len(inputs) != 2:
@@ -640,14 +682,19 @@ class Engine:
                 f"{len(inputs)}; use QuerySpec.for_cascade (join='cascade') "
                 "for m-way chains"
             )
-        return self.plan(inputs[0], inputs[1], *_plan_args(spec))
+        return self._plan_with_hit(inputs[0], inputs[1], *_plan_args(spec))
 
-    def versions(self, *inputs) -> Tuple:
+    def versions(self, *inputs: QueryInput) -> tuple[object, ...]:
         """Current cache tokens of a query's inputs (used for freshness
         checks by :class:`~repro.api.handle.QueryHandle`)."""
         return self._resolve_all(inputs)[1]
 
-    def execute(self, *args, spec: Optional[QuerySpec] = None, plan=None) -> QueryResult:
+    def execute(
+        self,
+        *args: QueryInput | QuerySpec,
+        spec: QuerySpec | None = None,
+        plan: JoinPlan | CascadePlan | None = None,
+    ) -> QueryResult:
         """Run a spec over inputs, reusing cached plans/results that match.
 
         Call as ``execute(r1, r2, spec)`` (two-way) or
@@ -664,7 +711,7 @@ class Engine:
         if plan is not None:
             return self._run(plan, spec).with_provenance(spec, plan)
 
-        tokens: Optional[Tuple] = None
+        tokens: tuple[object, ...] | None = None
         if self.max_results > 0:
             tokens = self._resolve_all(inputs)[1]
             result_key = ("result", tokens, self._result_cache_spec(spec))
@@ -713,7 +760,7 @@ class Engine:
             return spec
         return spec.replace(parallelism="auto")
 
-    def _run(self, plan, spec: QuerySpec) -> QueryResult:
+    def _run(self, plan: JoinPlan | CascadePlan, spec: QuerySpec) -> QueryResult:
         if isinstance(plan, CascadePlan):
             return self._run_cascade(plan, spec)
         if spec.problem == "ksjq":
@@ -722,10 +769,10 @@ class Engine:
 
     def execute_many(
         self,
-        requests: Sequence,
-        max_workers: int = 4,
+        requests: Sequence[object],
+        max_workers: int | None = 4,
         return_exceptions: bool = False,
-    ) -> List:
+    ) -> list[QueryResult | Exception]:
         """Execute a batch of queries, fanning out over a thread pool.
 
         Each request is either a tuple/list of :meth:`execute` arguments
@@ -748,7 +795,7 @@ class Engine:
         """
         prepared = [self._coerce_request(req) for req in requests]
         if max_workers is None or max_workers <= 1 or len(prepared) <= 1:
-            out: List = []
+            out: list[QueryResult | Exception] = []
             for inputs, spec in prepared:
                 try:
                     out.append(self.execute(*inputs, spec=spec))
@@ -759,7 +806,9 @@ class Engine:
             return out
         lanes = min(max_workers, len(prepared))
 
-        def lane_execute(inputs, spec):
+        def lane_execute(
+            inputs: tuple[QueryInput, ...], spec: QuerySpec
+        ) -> QueryResult:
             with batch_workers(lanes):
                 return self.execute(*inputs, spec=spec)
 
@@ -768,7 +817,7 @@ class Engine:
                 pool.submit(lane_execute, inputs, spec)
                 for inputs, spec in prepared
             ]
-            out = []
+            out = []  # type: list[QueryResult | Exception]
             for future in futures:
                 try:
                     out.append(future.result())
@@ -778,7 +827,9 @@ class Engine:
                     out.append(exc)
             return out
 
-    def _coerce_request(self, request) -> Tuple[Tuple, QuerySpec]:
+    def _coerce_request(
+        self, request: object
+    ) -> tuple[tuple[QueryInput, ...], QuerySpec]:
         """One ``execute_many`` request -> ``(inputs, spec)``."""
         from .builder import QueryBuilder
 
@@ -791,7 +842,9 @@ class Engine:
             f"QueryBuilder, got {type(request).__name__}"
         )
 
-    def prepare(self, *args, spec: Optional[QuerySpec] = None) -> "QueryHandle":
+    def prepare(
+        self, *args: QueryInput | QuerySpec, spec: QuerySpec | None = None
+    ) -> "QueryHandle":
         """A re-executable :class:`~repro.api.handle.QueryHandle`.
 
         Call as ``prepare(r1, r2, spec)`` / ``prepare("hotels",
@@ -805,14 +858,16 @@ class Engine:
         return QueryHandle(self, inputs, spec)
 
     def _run_ksjq(self, plan: JoinPlan, spec: QuerySpec) -> KSJQResult:
+        assert spec.k is not None  # validated by QuerySpec.__post_init__
         algorithm = spec.algorithm
-        shards: Optional[ShardPlan] = None
+        shards: ShardPlan | None = None
         if algorithm in ("auto", "parallel"):
             stats = plan.stats()
             shards = plan_shards(
                 stats.join_size, spec.parallelism, stats.joined_width
             )
         if algorithm == "auto":
+            assert shards is not None
             algorithm, _, _ = choose_algorithm(
                 plan, spec.mode, workers=shards.workers
             )
@@ -832,14 +887,16 @@ class Engine:
                 "find_k is only defined over two-way joins; run ksjq at "
                 "fixed k over a cascade instead"
             )
+        assert spec.k is not None  # validated by QuerySpec.__post_init__
         algorithm = spec.algorithm
-        shards: Optional[ShardPlan] = None
+        shards: ShardPlan | None = None
         if algorithm in ("auto", "parallel"):
             stats = plan.stats()
             shards = plan_shards(
                 stats.join_size, spec.parallelism, stats.joined_width
             )
         if algorithm == "auto":
+            assert shards is not None
             algorithm, _, _ = choose_cascade_algorithm(
                 plan, spec.mode, workers=shards.workers
             )
@@ -850,6 +907,7 @@ class Engine:
         return run_cascade_pruned(plan, spec.k)
 
     def _run_find_k(self, plan: JoinPlan, spec: QuerySpec) -> FindKResult:
+        assert spec.delta is not None  # validated by QuerySpec.__post_init__
         if spec.objective == "at_least":
             return find_k_at_least_delta(
                 plan, spec.delta, method=spec.method, mode=spec.mode
@@ -859,8 +917,11 @@ class Engine:
         )
 
     def stream(
-        self, *args, spec: Optional[QuerySpec] = None, plan=None
-    ) -> Iterator[Tuple[int, ...]]:
+        self,
+        *args: QueryInput | QuerySpec,
+        spec: QuerySpec | None = None,
+        plan: JoinPlan | CascadePlan | None = None,
+    ) -> Iterator[tuple[int, ...]]:
         """Progressive results: yield skyline tuples as they are decided.
 
         Two-way specs wrap :func:`~repro.core.progressive.ksjq_progressive`
@@ -891,15 +952,16 @@ class Engine:
     # Explanation
     # ------------------------------------------------------------------
     def explain(
-        self, *args, spec: Optional[QuerySpec] = None, plan=None
+        self,
+        *args: QueryInput | QuerySpec,
+        spec: QuerySpec | None = None,
+        plan: JoinPlan | CascadePlan | None = None,
     ) -> ExplainReport:
         """Report the algorithm choice and cost estimates for a spec."""
         relations, spec = self._split_args(args, spec)
         cache_hit = False
         if plan is None:
-            hits_before = self.cache_stats.hits
-            plan = self._bind(relations, spec)
-            cache_hit = self.cache_stats.hits > hits_before
+            plan, cache_hit = self._bind_with_hit(relations, spec)
         stats = plan.stats()
         shards = (
             plan_shards(stats.join_size, spec.parallelism, stats.joined_width)
@@ -982,14 +1044,23 @@ class Engine:
         )
 
 
-def _plan_args(spec: QuerySpec) -> Tuple[str, Optional[str], Tuple]:
+def _plan_args(
+    spec: QuerySpec,
+) -> tuple[str, AggregateLike | None, tuple[ThetaCondition, ...]]:
     """(join, aggregate, theta) positional args for :meth:`Engine.plan`."""
     return spec.join, spec.aggregate, spec.theta
 
 
-def _stale(tokens: Tuple, uid: int, version: int) -> bool:
+def _stale(tokens: object, uid: int, version: int) -> bool:
     """Does a cache key's token tuple reference an old version of the
     dataset identified by ``uid``?"""
+    if not isinstance(tokens, tuple):
+        return False
     return any(
-        tok[0] == "ds" and tok[2] == uid and tok[3] != version for tok in tokens
+        isinstance(tok, tuple)
+        and len(tok) == 4
+        and tok[0] == "ds"
+        and tok[2] == uid
+        and tok[3] != version
+        for tok in tokens
     )

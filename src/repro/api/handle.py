@@ -27,14 +27,15 @@ Typical serving loop::
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from ..core.result import QueryResult
 from ..errors import ParameterError
 from .spec import QuerySpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from .engine import Engine
+    from .builder import QueryInput
+    from .engine import Engine, ExplainReport
 
 __all__ = ["QueryHandle"]
 
@@ -42,16 +43,18 @@ __all__ = ["QueryHandle"]
 class QueryHandle:
     """A prepared, version-aware query over an engine's datasets."""
 
-    def __init__(self, engine: "Engine", inputs: Tuple, spec: QuerySpec) -> None:
+    def __init__(
+        self, engine: "Engine", inputs: tuple[QueryInput, ...], spec: QuerySpec
+    ) -> None:
         if len(inputs) < 2:
             raise ParameterError(
                 f"prepare() needs at least two query inputs, got {len(inputs)}"
             )
         self._engine = engine
-        self._inputs: Tuple = tuple(inputs)
+        self._inputs: tuple[QueryInput, ...] = tuple(inputs)
         self.spec = spec
-        self._result: Optional[QueryResult] = None
-        self._executed_versions: Optional[Tuple] = None
+        self._result: QueryResult | None = None
+        self._executed_versions: tuple[object, ...] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -60,7 +63,7 @@ class QueryHandle:
         return self._engine
 
     @property
-    def last_result(self) -> Optional[QueryResult]:
+    def last_result(self) -> QueryResult | None:
         """The most recent result, or ``None`` before the first execution.
 
         May be stale — check :meth:`is_fresh`, or call :meth:`refresh`
@@ -68,7 +71,7 @@ class QueryHandle:
         """
         return self._result
 
-    def versions(self) -> Tuple:
+    def versions(self) -> tuple[object, ...]:
         """Current cache tokens of the handle's inputs.
 
         Registered datasets report ``("ds", name, version)``; anonymous
@@ -114,7 +117,7 @@ class QueryHandle:
             return self._result
         return self.execute()
 
-    def explain(self):
+    def explain(self) -> "ExplainReport":
         """What executing this handle *now* would do, without doing it.
 
         Delegates to :meth:`Engine.explain` against the latest dataset

@@ -23,12 +23,15 @@ value so engines can key caches and logs on them.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING
 
 from ..core.cascade import CASCADE_ALGORITHMS
 from ..errors import AggregateError, AlgorithmError, JoinError, ParameterError
 from ..relational.aggregates import AggregateFunction, get_aggregate
 from ..relational.join import HopSpec, ThetaCondition, normalize_theta
+
+if TYPE_CHECKING:
+    from .._typing import AggregateLike, HopsLike, ThetaLike
 
 __all__ = [
     "QuerySpec",
@@ -60,16 +63,16 @@ class QuerySpec:
 
     problem: str
     join: str = "equality"
-    aggregate: Optional[object] = None  # registry name, or a custom AggregateFunction
-    theta: Tuple[ThetaCondition, ...] = ()
-    hops: Tuple[HopSpec, ...] = ()
-    k: Optional[int] = None
-    delta: Optional[int] = None
+    aggregate: AggregateLike | None = None  # registry name, or custom function
+    theta: tuple[ThetaCondition, ...] = ()
+    hops: tuple[HopSpec, ...] = ()
+    k: int | None = None
+    delta: int | None = None
     algorithm: str = "auto"
     method: str = "binary"
     objective: str = "at_least"
     mode: str = "faithful"
-    parallelism: object = "auto"
+    parallelism: int | str = "auto"
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -209,9 +212,9 @@ class QuerySpec:
         algorithm: str = "auto",
         mode: str = "faithful",
         join: str = "equality",
-        aggregate=None,
-        theta=None,
-        parallelism: object = "auto",
+        aggregate: AggregateLike | None = None,
+        theta: ThetaLike | None = None,
+        parallelism: int | str = "auto",
     ) -> "QuerySpec":
         """Spec for Problems 1-2 (skyline join at a fixed k).
 
@@ -235,11 +238,11 @@ class QuerySpec:
     def for_cascade(
         cls,
         k: int,
-        hops=None,
+        hops: HopsLike = None,
         algorithm: str = "auto",
-        aggregate=None,
+        aggregate: AggregateLike | None = None,
         mode: str = "faithful",
-        parallelism: object = "auto",
+        parallelism: int | str = "auto",
     ) -> "QuerySpec":
         """Spec for an m-way cascade KSJQ (paper Sec. 2.3).
 
@@ -269,9 +272,9 @@ class QuerySpec:
         objective: str = "at_least",
         mode: str = "faithful",
         join: str = "equality",
-        aggregate=None,
-        theta=None,
-        parallelism: object = "auto",
+        aggregate: AggregateLike | None = None,
+        theta: ThetaLike | None = None,
+        parallelism: int | str = "auto",
     ) -> "QuerySpec":
         """Spec for Problems 3-4 (tune k from a cardinality target).
 
@@ -293,7 +296,7 @@ class QuerySpec:
         )
 
     # ------------------------------------------------------------------
-    def replace(self, **changes) -> "QuerySpec":
+    def replace(self, **changes: object) -> "QuerySpec":
         """A copy with fields replaced (re-validated)."""
         return replace(self, **changes)
 
@@ -334,7 +337,7 @@ class QuerySpec:
         )
         return hashlib.sha1(payload.encode()).hexdigest()[:16]
 
-    def plan_key(self) -> Tuple:
+    def plan_key(self) -> tuple[object, ...]:
         """The part of the spec that determines join preparation.
 
         Two specs with equal plan keys over the same relations can share

@@ -16,7 +16,6 @@ candidate cell, guarding the ``a >= 2`` aggregate corner case.
 
 from __future__ import annotations
 
-from typing import List
 
 
 from ..errors import AlgorithmError, JoinError
@@ -59,7 +58,7 @@ def run_cartesian(plan: JoinPlan, k: int, mode: str = "faithful") -> KSJQResult:
             vectors = vec_view.oriented_for_pairs(yes_pairs)
             left_cache = {}
             right_cache = {}
-            keep: List[int] = []
+            keep: list[int] = []
             for pos in range(yes_pairs.shape[0]):
                 u, v = int(yes_pairs[pos, 0]), int(yes_pairs[pos, 1])
                 if u not in left_cache:

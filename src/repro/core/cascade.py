@@ -43,17 +43,9 @@ relations reuse the engine's cached
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
-from typing import (
-    TYPE_CHECKING,
-    Any,
-    Dict,
-    Iterator,
-    List,
-    Optional,
-    Sequence,
-    Tuple,
-)
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -67,6 +59,10 @@ from .result import QueryResult
 from .timing import PhaseClock, TimingBreakdown
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from collections.abc import Callable
+
+    from .._typing import AggregateLike, FloatMatrix, FloatVector, HopsLike, IntMatrix, IntVector
+    from ..api.engine import Engine
     from .plan import CascadePlan
 
 __all__ = [
@@ -96,11 +92,11 @@ class Hop:
     public shorthand.
     """
 
-    left_column: Optional[str] = None
-    right_column: Optional[str] = None
+    left_column: str | None = None
+    right_column: str | None = None
 
 
-def normalize_hops(m: int, hops) -> Tuple[HopSpec, ...]:
+def normalize_hops(m: int, hops: HopsLike) -> tuple[HopSpec, ...]:
     """Coerce a hop sequence to ``m - 1`` :class:`HopSpec` objects.
 
     ``None`` selects composite-key equality for every hop. Individual
@@ -116,7 +112,9 @@ def normalize_hops(m: int, hops) -> Tuple[HopSpec, ...]:
     return specs
 
 
-def hop_side_values(relation: Relation, hop: HopSpec, side: str):
+def hop_side_values(
+    relation: Relation, hop: HopSpec, side: str
+) -> Sequence[object] | None:
     """Connector values of one relation for one side of a hop.
 
     Returns a per-row list of hashable values (rows sharing a value are
@@ -137,7 +135,7 @@ def hop_side_values(relation: Relation, hop: HopSpec, side: str):
 
 def connector_groups(
     relations: Sequence[Relation], hops: Sequence[HopSpec], i: int
-) -> Dict[tuple, List[int]]:
+) -> dict[tuple[object, object], list[int]]:
     """Rows of relation ``i`` grouped by their hop connector values.
 
     Two rows in one group are interchangeable within every chain (they
@@ -150,7 +148,7 @@ def connector_groups(
     outgoing = (
         hop_side_values(rel, hops[i], "left") if i < len(relations) - 1 else None
     )
-    groups: Dict[tuple, List[int]] = {}
+    groups: dict[tuple[object, object], list[int]] = {}
     for row in range(len(rel)):
         key = (
             incoming[row] if incoming is not None else None,
@@ -199,13 +197,13 @@ class CascadeResult(QueryResult):
     """Answer of an m-way cascade KSJQ."""
 
     k: int
-    chains: np.ndarray  # (s x m) array of skyline chains
+    chains: IntMatrix  # (s x m) array of skyline chains
     total_chains: int
     pruned_rows: int
     algorithm: str
     timings: TimingBreakdown = field(default_factory=TimingBreakdown)
-    spec: Optional[Any] = field(default=None, compare=False, repr=False)
-    source: Optional[Any] = field(default=None, compare=False, repr=False)
+    spec: Any | None = field(default=None, compare=False, repr=False)
+    source: Any | None = field(default=None, compare=False, repr=False)
 
     @property
     def count(self) -> int:
@@ -219,7 +217,7 @@ class CascadeResult(QueryResult):
         relations = getattr(source, "relations", source)
         return tuple(relations)
 
-    def to_records(self) -> List[Dict[str, object]]:
+    def to_records(self) -> list[dict[str, object]]:
         """Skyline chains as dicts: per-relation columns prefixed ``r{i}.``.
 
         Prefixes are one-based (``r1.``, ``r2.``, ...), matching the
@@ -228,9 +226,9 @@ class CascadeResult(QueryResult):
         :class:`repro.api.Engine`).
         """
         relations = self._source_relations()
-        records: List[Dict[str, object]] = []
+        records: list[dict[str, object]] = []
         for chain in self.chains:
-            rec: Dict[str, object] = {}
+            rec: dict[str, object] = {}
             for i, (rel, row) in enumerate(zip(relations, chain), start=1):
                 rec[f"r{i}._row"] = int(row)
                 for name, value in rel.record(int(row)).items():
@@ -243,8 +241,8 @@ def _partner_lookup(
     left_rel: Relation,
     right_rel: Relation,
     hop: HopSpec,
-    right_rows: np.ndarray,
-):
+    right_rows: IntMatrix,
+) -> Callable[[int], list[int]]:
     """``left_row -> list of compatible right rows`` for one hop."""
     if hop.kind == "cartesian":
         partners = [int(r) for r in right_rows]
@@ -259,9 +257,9 @@ def _partner_lookup(
             np.asarray(right_rel.column(c.right_attr), dtype=np.float64)[right_rows]
             for c in hop.theta
         ]
-        cache: Dict[int, List[int]] = {}
+        cache: dict[int, list[int]] = {}
 
-        def theta_partners(row: int) -> List[int]:
+        def theta_partners(row: int) -> list[int]:
             if row not in cache:
                 mask = theta_conjunction_mask(
                     hop.theta, [lvals[row] for lvals in left_cols], right_cols
@@ -273,18 +271,18 @@ def _partner_lookup(
 
     left_values = hop_side_values(left_rel, hop, "left")
     right_values = hop_side_values(right_rel, hop, "right")
-    groups: Dict[object, List[int]] = {}
+    groups: dict[object, list[int]] = {}
     for row in right_rows:
         groups.setdefault(right_values[int(row)], []).append(int(row))
-    empty: List[int] = []
+    empty: list[int] = []
     return lambda row: groups.get(left_values[row], empty)
 
 
 def cascade_chains(
     relations: Sequence[Relation],
-    hops=None,
-    keep: Optional[Sequence[np.ndarray]] = None,
-) -> np.ndarray:
+    hops: HopsLike = None,
+    keep: Sequence[IntMatrix] | None = None,
+) -> IntMatrix:
     """Enumerate join-compatible chains ``(i_1, ..., i_m)`` as an (s x m) array.
 
     ``hops`` accepts anything :func:`normalize_hops` does; ``keep``
@@ -302,7 +300,7 @@ def cascade_chains(
         partners_of = _partner_lookup(
             relations[idx], relations[idx + 1], hop, masks[idx + 1]
         )
-        out: List[np.ndarray] = []
+        out: list[IntVector] = []
         for chain in chains:
             for partner in partners_of(int(chain[-1])):
                 out.append(np.append(chain, partner))
@@ -316,9 +314,9 @@ def cascade_chains(
 
 def cascade_oriented(
     relations: Sequence[Relation],
-    chains: np.ndarray,
-    aggregate: Optional[AggregateFunction],
-) -> np.ndarray:
+    chains: IntMatrix,
+    aggregate: AggregateFunction | None,
+) -> FloatMatrix:
     """Oriented joined matrix: locals per relation + folded aggregates."""
     if chains.shape[0] == 0:
         width = sum(rel.schema.l for rel in relations) + relations[0].schema.a
@@ -326,6 +324,7 @@ def cascade_oriented(
     blocks = [rel.oriented_local()[chains[:, i]] for i, rel in enumerate(relations)]
     a = relations[0].schema.a
     if a:
+        assert aggregate is not None  # required by schemas with a > 0
         agg_names = list(relations[0].schema.aggregate_names)
         combined = relations[0].matrix[chains[:, 0]][
             :, relations[0].aggregate_column_indices()
@@ -346,8 +345,8 @@ def theta_weight_sums(
     left_rel: Relation,
     right_rel: Relation,
     hop: HopSpec,
-    weights: np.ndarray,
-) -> np.ndarray:
+    weights: FloatVector,
+) -> FloatVector:
     """Per-left-row sums of right-row ``weights`` over one theta hop.
 
     The chain-count DP building block for theta hops: with unit weights
@@ -444,7 +443,7 @@ def run_cascade_pruned(plan: "CascadePlan", k: int) -> CascadeResult:
 
 def cascade_progressive(
     plan: "CascadePlan", k: int, algorithm: str = "pruned"
-) -> Iterator[Tuple[int, ...]]:
+) -> Iterator[tuple[int, ...]]:
     """Yield skyline chains progressively (candidate order).
 
     Candidates — the Theorem-4 pruning survivors for ``algorithm=
@@ -469,7 +468,7 @@ def cascade_progressive(
     if algorithm == "pruned":
         plan.require_strict_aggregate("pruned")
 
-    def generate() -> Iterator[Tuple[int, ...]]:
+    def generate() -> Iterator[tuple[int, ...]]:
         if algorithm == "pruned":
             candidates, cand_matrix = plan.pruned_candidates(k)
         else:
@@ -486,8 +485,8 @@ def prune_rows(
     relations: Sequence[Relation],
     hops: Sequence[HopSpec],
     k: int,
-    groups_per_relation: Optional[Sequence[Dict[tuple, List[int]]]] = None,
-) -> List[np.ndarray]:
+    groups_per_relation: Sequence[dict[tuple[object, object], list[int]]] | None = None,
+) -> list[IntVector]:
     """Per-relation NN pruning (m-way Theorem 4).
 
     A row of relation i may be discarded when some other row shares
@@ -502,7 +501,7 @@ def prune_rows(
     sharer's partner set is identical and substitution stays valid.
     """
     total_locals = sum(rel.schema.l for rel in relations)
-    keep: List[np.ndarray] = []
+    keep: list[IntVector] = []
     for i, rel in enumerate(relations):
         k_prime = k - (total_locals - rel.schema.l)
         if k_prime < 1:
@@ -528,11 +527,11 @@ def prune_rows(
 def cascade_ksjq(
     relations: Sequence[Relation],
     k: int,
-    hops=None,
-    aggregate=None,
+    hops: HopsLike = None,
+    aggregate: AggregateLike | None = None,
     algorithm: str = "pruned",
-    engine=None,
-    parallelism="auto",
+    engine: Engine | None = None,
+    parallelism: int | str = "auto",
 ) -> CascadeResult:
     """m-way k-dominant skyline join over a cascaded join graph.
 

@@ -22,13 +22,18 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..relational.groups import GroupIndex, ThetaGroupIndex
 from ..relational.relation import Relation
 from ..skyline.dominance import is_k_dominated
+
+if TYPE_CHECKING:
+    from numpy.typing import NDArray
+
+    from .._typing import IntVector
 
 __all__ = ["Category", "Fate", "FATE_TABLE", "Categorization", "categorize", "categorize_theta"]
 
@@ -51,7 +56,7 @@ class Fate(enum.Enum):
 
 
 #: (left category, right category) -> fate of the joined tuple.
-FATE_TABLE: Dict[Tuple[Category, Category], Fate] = {
+FATE_TABLE: dict[tuple[Category, Category], Fate] = {
     (Category.SS, Category.SS): Fate.YES,
     (Category.SS, Category.SN): Fate.LIKELY,
     (Category.SN, Category.SS): Fate.LIKELY,
@@ -70,20 +75,20 @@ class Categorization:
 
     relation: Relation
     k_prime: int
-    labels: np.ndarray  # int8 array of Category values, one per row
+    labels: NDArray[np.int8]  # one Category value per row
 
     @property
-    def ss_rows(self) -> np.ndarray:
+    def ss_rows(self) -> IntVector:
         """Row indices labelled SS."""
         return np.flatnonzero(self.labels == Category.SS)
 
     @property
-    def sn_rows(self) -> np.ndarray:
+    def sn_rows(self) -> IntVector:
         """Row indices labelled SN."""
         return np.flatnonzero(self.labels == Category.SN)
 
     @property
-    def nn_rows(self) -> np.ndarray:
+    def nn_rows(self) -> IntVector:
         """Row indices labelled NN."""
         return np.flatnonzero(self.labels == Category.NN)
 
@@ -91,7 +96,7 @@ class Categorization:
         """Label of one row."""
         return Category(int(self.labels[row]))
 
-    def counts(self) -> Dict[str, int]:
+    def counts(self) -> dict[str, int]:
         """Category name -> number of rows."""
         return {
             "SS": int((self.labels == Category.SS).sum()),
@@ -103,7 +108,7 @@ class Categorization:
 def categorize(
     relation: Relation,
     k_prime: int,
-    group_index: Optional[GroupIndex] = None,
+    group_index: GroupIndex | None = None,
 ) -> Categorization:
     """Partition ``relation`` into SS/SN/NN under ``k_prime``-dominance.
 
@@ -118,7 +123,7 @@ def categorize(
     n = len(relation)
     labels = np.full(n, Category.NN, dtype=np.int8)
 
-    group_skyline: List[int] = []
+    group_skyline: list[int] = []
     for _key, rows in group_index.items():
         sub = matrix[rows]
         for pos, row in enumerate(rows):

@@ -18,18 +18,23 @@ Modes are as in :mod:`repro.core.grouping`.
 
 from __future__ import annotations
 
-from typing import List
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import AlgorithmError
 from ..skyline.dominance import is_k_dominated
+from .categorize import Categorization
 from .grouping import _vector_view, collect_cells, warn_if_unsound
 from .plan import JoinPlan
 from .result import KSJQResult
 from .targets import target_rows_exact, target_rows_paper
 from .timing import PhaseClock
 from .verify import sort_rows_for_early_exit
+
+if TYPE_CHECKING:
+    from .._typing import IntMatrix, IntVector
 
 __all__ = ["run_dominator"]
 
@@ -74,7 +79,7 @@ def run_dominator(plan: JoinPlan, k: int, mode: str = "faithful") -> KSJQResult:
                 for row in _candidate_rows(cat2)
             }
 
-    accepted: List[np.ndarray] = []
+    accepted: list[IntMatrix] = []
     checked = 0
     with clock.phase("remaining"):
         if mode == "faithful":
@@ -87,7 +92,7 @@ def run_dominator(plan: JoinPlan, k: int, mode: str = "faithful") -> KSJQResult:
             if cell_pairs.shape[0] == 0:
                 continue
             vectors = vec_view.oriented_for_pairs(cell_pairs)
-            keep: List[int] = []
+            keep: list[int] = []
             for pos in range(cell_pairs.shape[0]):
                 u, v = int(cell_pairs[pos, 0]), int(cell_pairs[pos, 1])
                 candidates = plan.compatible_pairs(left_dom[u], right_dom[v])
@@ -120,6 +125,6 @@ def run_dominator(plan: JoinPlan, k: int, mode: str = "faithful") -> KSJQResult:
     )
 
 
-def _candidate_rows(categorization) -> np.ndarray:
+def _candidate_rows(categorization: Categorization) -> IntVector:
     """Rows needing dominator sets: the SS and SN members (Algo 3)."""
     return np.concatenate([categorization.ss_rows, categorization.sn_rows])

@@ -26,7 +26,6 @@ reduction including both corner cases.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
 
 from ..errors import ParameterError
 from .grouping import run_grouping
@@ -52,10 +51,10 @@ class _FindKContext:
             raise ParameterError(
                 f"no valid k exists: k_min={self.k_min} > joined d={self.k_max}"
             )
-        self._bounds: Dict[int, Tuple[int, int]] = {}
-        self._counts: Dict[int, int] = {}
+        self._bounds: dict[int, tuple[int, int]] = {}
+        self._counts: dict[int, int] = {}
 
-    def bounds(self, k: int) -> Tuple[int, int]:
+    def bounds(self, k: int) -> tuple[int, int]:
         """(lower, upper) bounds on the skyline count at ``k`` (Sec. 6.9)."""
         if k not in self._bounds:
             params = self.plan.params(k)
@@ -104,7 +103,7 @@ def find_k_at_least_delta(
         raise ParameterError(f"unknown find-k method {method!r}")
     clock = PhaseClock()
     ctx = _FindKContext(plan, mode, clock)
-    steps: List[FindKStep] = []
+    steps: list[FindKStep] = []
 
     if method == "naive":
         k = _naive_search(ctx, delta, steps)
@@ -154,7 +153,7 @@ def find_k_at_most_delta(
 # ----------------------------------------------------------------------
 # Search strategies
 # ----------------------------------------------------------------------
-def _naive_search(ctx: _FindKContext, delta: int, steps: List[FindKStep]) -> int:
+def _naive_search(ctx: _FindKContext, delta: int, steps: list[FindKStep]) -> int:
     """Algorithm 4: linear scan with full evaluations."""
     k = ctx.k_min
     while k < ctx.k_max:
@@ -168,7 +167,7 @@ def _naive_search(ctx: _FindKContext, delta: int, steps: List[FindKStep]) -> int
     return ctx.k_max
 
 
-def _range_search(ctx: _FindKContext, delta: int, steps: List[FindKStep]) -> int:
+def _range_search(ctx: _FindKContext, delta: int, steps: list[FindKStep]) -> int:
     """Algorithm 5: linear scan short-circuited by categorization bounds."""
     k = ctx.k_min
     while k < ctx.k_max:
@@ -190,7 +189,7 @@ def _range_search(ctx: _FindKContext, delta: int, steps: List[FindKStep]) -> int
     return ctx.k_max
 
 
-def _binary_search(ctx: _FindKContext, delta: int, steps: List[FindKStep]) -> int:
+def _binary_search(ctx: _FindKContext, delta: int, steps: list[FindKStep]) -> int:
     """Algorithm 6: binary search over k with bound short-circuits.
 
     Deviation from the printed pseudocode (documented erratum): the

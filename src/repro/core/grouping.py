@@ -30,7 +30,8 @@ Modes:
 from __future__ import annotations
 
 import warnings
-from typing import Dict, List
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -44,6 +45,9 @@ from .result import KSJQResult
 from .targets import target_rows_exact, target_rows_paper
 from .timing import PhaseClock
 from .verify import sort_rows_for_early_exit
+
+if TYPE_CHECKING:
+    from .._typing import IntMatrix, IntVector
 
 __all__ = ["run_grouping", "warn_if_unsound", "collect_cells"]
 
@@ -70,7 +74,9 @@ def warn_if_unsound(mode: str, params: KSJQParams, algorithm: str) -> None:
         )
 
 
-def collect_cells(plan: JoinPlan, cat1: Categorization, cat2: Categorization) -> Dict[str, np.ndarray]:
+def collect_cells(
+    plan: JoinPlan, cat1: Categorization, cat2: Categorization
+) -> dict[str, IntMatrix]:
     """Enumerate joined pairs for the non-pruned fate cells."""
     return {
         "SS*SS": plan.compatible_pairs(cat1.ss_rows, cat2.ss_rows),
@@ -107,7 +113,7 @@ def run_grouping(plan: JoinPlan, k: int, mode: str = "faithful") -> KSJQResult:
         if mode == "faithful" and cells["SN*SN"].shape[0]:
             full_matrix = sort_rows_for_early_exit(plan.view().oriented())
 
-    accepted: List[np.ndarray] = []
+    accepted: list[IntMatrix] = []
     checked = 0
     with clock.phase("remaining"):
         if mode == "faithful":
@@ -152,9 +158,9 @@ def _verify_likely(
     plan: JoinPlan,
     vec_view: JoinedView,
     params: KSJQParams,
-    cell_pairs: np.ndarray,
+    cell_pairs: IntMatrix,
     ss_side: str,
-    out: List[np.ndarray],
+    out: list[IntMatrix],
 ) -> int:
     """Check one "likely" cell against target-set joins (Algo 2 lines 8-9).
 
@@ -166,12 +172,12 @@ def _verify_likely(
     k = params.k
     vectors = vec_view.oriented_for_pairs(cell_pairs)
 
-    by_anchor: Dict[int, List[int]] = {}
+    by_anchor: dict[int, list[int]] = {}
     anchor_col = 0 if ss_side == "left" else 1
     for pos in range(cell_pairs.shape[0]):
         by_anchor.setdefault(int(cell_pairs[pos, anchor_col]), []).append(pos)
 
-    keep: List[int] = []
+    keep: list[int] = []
     for anchor, positions in by_anchor.items():
         if ss_side == "left":
             targets = target_rows_paper(plan.left, anchor, params.k1_prime)
@@ -194,20 +200,20 @@ def _verify_exact(
     plan: JoinPlan,
     vec_view: JoinedView,
     params: KSJQParams,
-    cells: Dict[str, np.ndarray],
-    out: List[np.ndarray],
+    cells: dict[str, IntMatrix],
+    out: list[IntMatrix],
 ) -> int:
     """Exact mode: verify every candidate cell with complete target sets."""
     k = params.k
-    left_cache: Dict[int, np.ndarray] = {}
-    right_cache: Dict[int, np.ndarray] = {}
+    left_cache: dict[int, IntVector] = {}
+    right_cache: dict[int, IntVector] = {}
     checked = 0
     for name in ("SS*SS", "SS*SN", "SN*SS", "SN*SN"):
         cell_pairs = cells[name]
         if cell_pairs.shape[0] == 0:
             continue
         vectors = vec_view.oriented_for_pairs(cell_pairs)
-        keep: List[int] = []
+        keep: list[int] = []
         for pos in range(cell_pairs.shape[0]):
             u, v = int(cell_pairs[pos, 0]), int(cell_pairs[pos, 1])
             if u not in left_cache:

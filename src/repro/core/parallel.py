@@ -36,6 +36,8 @@ machine so the batch never oversubscribes the CPUs.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterator, Sequence
+
 import itertools
 import multiprocessing
 import os
@@ -44,7 +46,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -54,7 +56,8 @@ from .result import KSJQResult
 from .timing import PhaseClock
 from .verify import sort_rows_for_early_exit
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+if TYPE_CHECKING:
+    from .._typing import BoolVector, FloatMatrix, IntVector  # pragma: no cover - import cycle guard
     from .cascade import CascadeResult
     from .plan import CascadePlan, JoinPlan
 
@@ -166,7 +169,7 @@ class ShardPlan:
         )
 
 
-def shard_bounds(n_rows: int, n_shards: int) -> List[Tuple[int, int]]:
+def shard_bounds(n_rows: int, n_shards: int) -> list[tuple[int, int]]:
     """Contiguous ``[start, stop)`` ranges splitting ``n_rows`` evenly.
 
     Returns at most ``n_shards`` non-empty ranges (fewer when there are
@@ -174,7 +177,7 @@ def shard_bounds(n_rows: int, n_shards: int) -> List[Tuple[int, int]]:
     """
     n_shards = max(1, min(n_shards, n_rows)) if n_rows else 1
     base, extra = divmod(n_rows, n_shards)
-    bounds: List[Tuple[int, int]] = []
+    bounds: list[tuple[int, int]] = []
     start = 0
     for i in range(n_shards):
         stop = start + base + (1 if i < extra else 0)
@@ -245,17 +248,17 @@ def plan_shards(
 #: copy-on-write pages — and thread workers read them directly — instead
 #: of pickling one full copy per task. Keys are process-unique, so
 #: concurrent queries (``execute_many`` lanes) never collide.
-_SHARED_PAYLOADS: Dict[int, np.ndarray] = {}
+_SHARED_PAYLOADS: dict[int, FloatMatrix] = {}
 _shared_keys = itertools.count()
 
 
-def _shard_candidates(args: Tuple[np.ndarray, int, int]) -> np.ndarray:
+def _shard_candidates(args: tuple[IntVector, int, int]) -> IntVector:
     """Phase 1, one shard: local candidate superset, as global indices."""
     shard_matrix, offset, k = args
     return k_dominant_candidates_block(shard_matrix, k) + offset
 
 
-def _verify_chunk(args: Tuple[int, np.ndarray, int]) -> np.ndarray:
+def _verify_chunk(args: tuple[int, IntVector, int]) -> BoolVector:
     """Phase 2, one candidate chunk: dominated flags vs the full data
     (looked up in :data:`_SHARED_PAYLOADS` — inherited via fork for
     process workers, shared memory for threads)."""
@@ -264,7 +267,7 @@ def _verify_chunk(args: Tuple[int, np.ndarray, int]) -> np.ndarray:
 
 
 @contextmanager
-def _shared_payload(matrix: np.ndarray) -> Iterator[int]:
+def _shared_payload(matrix: FloatMatrix) -> Iterator[int]:
     """Register ``matrix`` under a fresh key for the duration of a pass."""
     key = next(_shared_keys)
     _SHARED_PAYLOADS[key] = matrix
@@ -274,7 +277,7 @@ def _shared_payload(matrix: np.ndarray) -> Iterator[int]:
         _SHARED_PAYLOADS.pop(key, None)
 
 
-def _fork_context():
+def _fork_context() -> multiprocessing.context.BaseContext | None:
     """The fork start method, or ``None`` where unavailable (Windows,
     macOS default spawn without fork support)."""
     try:
@@ -288,7 +291,7 @@ def _map_tasks(
     tasks: Sequence[tuple],
     shards: ShardPlan,
     needs_shared_state: bool = False,
-) -> List[np.ndarray]:
+) -> list[np.ndarray]:
     """Run ``fn`` over ``tasks`` on the shard plan's executor.
 
     Results come back in task order, and exceptions raised by ``fn``
@@ -324,8 +327,8 @@ def _map_tasks(
 
 
 def _sharded_skyline(
-    matrix: np.ndarray, k: int, shards: ShardPlan, clock: PhaseClock
-) -> Tuple[np.ndarray, int]:
+    matrix: FloatMatrix, k: int, shards: ShardPlan, clock: PhaseClock
+) -> tuple[IntVector, int]:
     """The two-phase partition-and-merge skyline over ``matrix``.
 
     Phase 1 ("grouping" clock phase): per-shard local candidate
@@ -373,7 +376,7 @@ def _sharded_skyline(
 # Plan-based runners (consumed by repro.api.Engine)
 # ----------------------------------------------------------------------
 def run_parallel(
-    plan: "JoinPlan", k: int, shards: Optional[ShardPlan] = None
+    plan: "JoinPlan", k: int, shards: ShardPlan | None = None
 ) -> KSJQResult:
     """Sharded two-way KSJQ over a prepared join plan.
 
@@ -411,7 +414,7 @@ def run_parallel(
 
 
 def run_cascade_parallel(
-    plan: "CascadePlan", k: int, shards: Optional[ShardPlan] = None
+    plan: "CascadePlan", k: int, shards: ShardPlan | None = None
 ) -> "CascadeResult":
     """Sharded m-way cascade KSJQ over a prepared cascade plan.
 

@@ -19,8 +19,9 @@ least one preferred attribute.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from dataclasses import dataclass
-from typing import Sequence, Tuple
 
 from ..errors import ParameterError
 from ..relational.schema import RelationSchema
@@ -129,7 +130,7 @@ class CascadeParams:
     """
 
     k: int
-    ds: Tuple[int, ...]
+    ds: tuple[int, ...]
     a: int
 
     def __post_init__(self) -> None:
@@ -166,7 +167,7 @@ class CascadeParams:
         return len(self.ds)
 
     @property
-    def ls(self) -> Tuple[int, ...]:
+    def ls(self) -> tuple[int, ...]:
         """Local (non-aggregate) skyline attribute counts per relation."""
         return tuple(d - self.a for d in self.ds)
 

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import hashlib
 import threading
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, TypedDict
 
 import numpy as np
 
@@ -32,7 +33,50 @@ from ..relational.relation import Relation
 from .categorize import Categorization, categorize, categorize_theta
 from .params import CascadeParams, KSJQParams
 
-__all__ = ["JoinPlan", "PlanStats", "CascadePlan", "CascadeStats"]
+if TYPE_CHECKING:
+    from .._typing import (
+        AggregateLike,
+        FloatMatrix,
+        HopsLike,
+        IntMatrix,
+        IntVector,
+        JoinKey,
+        ThetaLike,
+    )
+
+__all__ = [
+    "JoinPlan",
+    "PlanStats",
+    "PlanStatsDict",
+    "CascadePlan",
+    "CascadeStats",
+    "CascadeStatsDict",
+]
+
+
+class PlanStatsDict(TypedDict):
+    """Serialized :class:`PlanStats` (``kind`` is a string, counts are ints)."""
+
+    kind: str
+    n_left: int
+    n_right: int
+    left_group_count: int
+    right_group_count: int
+    shared_group_count: int
+    join_size: int
+    categorization_cost: int
+    joined_width: int
+
+
+class CascadeStatsDict(TypedDict):
+    """Serialized :class:`CascadeStats`."""
+
+    kind: str
+    base_sizes: list[int]
+    n_relations: int
+    join_size: int
+    categorization_cost: int
+    joined_width: int
 
 
 @dataclass(frozen=True)
@@ -67,7 +111,7 @@ class PlanStats:
             return 0.0
         return self.join_size / self.shared_group_count
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> PlanStatsDict:
         return {
             "kind": self.kind,
             "n_left": self.n_left,
@@ -95,7 +139,15 @@ class JoinPlan:
         Aggregate function or registry name; required iff the schemas
         mark aggregate attributes.
     theta:
-        The :class:`ThetaCondition` for ``kind="theta"``.
+        The :class:`ThetaCondition` (or conjunction sequence) for
+        ``kind="theta"``.
+
+    Memoization contract (checked by the repo linter's R2 rule):
+    derived structures are built under double-checked locking, so the
+    lock-free fast-path *reads* are legal but every write must hold
+    ``_memo_lock``.
+
+    # guarded-by-writes: _memo_lock: _view, _left_groups, _right_groups, _left_theta, _right_theta, _stats
     """
 
     def __init__(
@@ -103,8 +155,8 @@ class JoinPlan:
         left: Relation,
         right: Relation,
         kind: str = "equality",
-        aggregate=None,
-        theta: Optional[ThetaCondition] = None,
+        aggregate: AggregateLike | None = None,
+        theta: ThetaLike | None = None,
     ) -> None:
         if kind not in ("equality", "cartesian", "theta"):
             raise JoinError(f"unknown join kind {kind!r}")
@@ -118,24 +170,24 @@ class JoinPlan:
         if theta is not None:
             from ..relational.join import normalize_theta
 
-            self.theta_conditions = normalize_theta(theta)
-            self.theta = self.theta_conditions[0]
+            self.theta_conditions: tuple[ThetaCondition, ...] = normalize_theta(theta)
+            self.theta: ThetaCondition | None = self.theta_conditions[0]
         else:
             self.theta_conditions = ()
             self.theta = None
         left.schema.validate_compatible_aggregates(right.schema)
         if left.schema.a and aggregate is None:
             raise JoinError("schemas declare aggregate attributes; pass aggregate=...")
-        self.aggregate: Optional[AggregateFunction] = (
+        self.aggregate: AggregateFunction | None = (
             get_aggregate(aggregate) if aggregate is not None else None
         )
 
-        self._view: Optional[JoinedView] = None
-        self._left_groups: Optional[GroupIndex] = None
-        self._right_groups: Optional[GroupIndex] = None
-        self._left_theta = None
-        self._right_theta = None
-        self._stats: Optional[PlanStats] = None
+        self._view: JoinedView | None = None
+        self._left_groups: GroupIndex | None = None
+        self._right_groups: GroupIndex | None = None
+        self._left_theta: ThetaGroupIndex | ConjunctiveThetaIndex | None = None
+        self._right_theta: ThetaGroupIndex | ConjunctiveThetaIndex | None = None
+        self._stats: PlanStats | None = None
         # Cached plans are shared by every concurrent Engine.execute
         # caller, so lazy builds are guarded (double-checked) by a
         # reentrant lock: derived structures are built exactly once.
@@ -261,7 +313,7 @@ class JoinPlan:
                     self._right_groups = GroupIndex(self.right)
         return self._right_groups
 
-    def left_theta_index(self):
+    def left_theta_index(self) -> ThetaGroupIndex | ConjunctiveThetaIndex:
         if self._left_theta is None:
             with self._memo_lock:
                 if self._left_theta is None:
@@ -276,7 +328,7 @@ class JoinPlan:
                     )
         return self._left_theta
 
-    def right_theta_index(self):
+    def right_theta_index(self) -> ThetaGroupIndex | ConjunctiveThetaIndex:
         if self._right_theta is None:
             with self._memo_lock:
                 if self._right_theta is None:
@@ -333,7 +385,7 @@ class JoinPlan:
     # ------------------------------------------------------------------
     def compatible_pairs(
         self, left_rows: Sequence[int], right_rows: Sequence[int]
-    ) -> np.ndarray:
+    ) -> IntMatrix:
         """Join-compatible pairs between two row subsets (m x 2)."""
         left_rows = np.asarray(list(left_rows), dtype=np.intp)
         right_rows = np.asarray(list(right_rows), dtype=np.intp)
@@ -343,7 +395,7 @@ class JoinPlan:
             return pairs_product(left_rows, right_rows)
         if self.kind == "equality":
             lkeys = self.left.join_keys()
-            by_key: Dict[tuple, List[int]] = {}
+            by_key: dict[JoinKey, list[int]] = {}
             for r in right_rows:
                 by_key.setdefault(self.right.join_key(int(r)), []).append(int(r))
             chunks = []
@@ -393,11 +445,11 @@ class JoinPlan:
         if self.kind == "cartesian":
             return int(left_rows.size) * int(right_rows.size)
         if self.kind == "equality":
-            left_counts: Dict[tuple, int] = {}
+            left_counts: dict[JoinKey, int] = {}
             for r in left_rows:
                 key = self.left.join_key(int(r))
                 left_counts[key] = left_counts.get(key, 0) + 1
-            right_counts: Dict[tuple, int] = {}
+            right_counts: dict[JoinKey, int] = {}
             for r in right_rows:
                 key = self.right.join_key(int(r))
                 right_counts[key] = right_counts.get(key, 0) + 1
@@ -451,7 +503,7 @@ class CascadeStats:
     """
 
     kind: str
-    base_sizes: Tuple[int, ...]
+    base_sizes: tuple[int, ...]
     join_size: int
     categorization_cost: int
     joined_width: int = 0
@@ -461,7 +513,7 @@ class CascadeStats:
         """Number of relations in the chain."""
         return len(self.base_sizes)
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> CascadeStatsDict:
         return {
             "kind": self.kind,
             "base_sizes": list(self.base_sizes),
@@ -493,11 +545,21 @@ class CascadePlan:
     aggregate:
         Aggregate function or registry name; required iff the schemas
         mark aggregate attributes.
+
+    Memoization contract (checked by the repo linter's R2 rule); reads
+    are double-checked-locking fast paths, writes hold ``_memo_lock``.
+
+    # guarded-by-writes: _memo_lock: _chains, _oriented, _sorted, _pruned, _pruned_candidates, _groups, _stats
     """
 
     kind = "cascade"
 
-    def __init__(self, relations: Sequence[Relation], hops=None, aggregate=None) -> None:
+    def __init__(
+        self,
+        relations: Sequence[Relation],
+        hops: HopsLike = None,
+        aggregate: AggregateLike | None = None,
+    ) -> None:
         from .cascade import normalize_hops, validate_hops
 
         relations = tuple(relations)
@@ -511,17 +573,17 @@ class CascadePlan:
         validate_hops(relations, self.hops)
         if first.a and aggregate is None:
             raise JoinError("schemas declare aggregate attributes; pass aggregate=...")
-        self.aggregate: Optional[AggregateFunction] = (
+        self.aggregate: AggregateFunction | None = (
             get_aggregate(aggregate) if aggregate is not None else None
         )
 
-        self._chains: Optional[np.ndarray] = None
-        self._oriented: Optional[np.ndarray] = None
-        self._sorted: Optional[np.ndarray] = None
-        self._pruned: Dict[int, tuple] = {}
-        self._pruned_candidates: Dict[int, tuple] = {}
-        self._groups: Optional[List[Dict[tuple, List[int]]]] = None
-        self._stats: Optional[CascadeStats] = None
+        self._chains: IntMatrix | None = None
+        self._oriented: FloatMatrix | None = None
+        self._sorted: FloatMatrix | None = None
+        self._pruned: dict[int, tuple[list[IntVector], int]] = {}
+        self._pruned_candidates: dict[int, tuple[IntMatrix, FloatMatrix]] = {}
+        self._groups: list[dict[tuple[object, object], list[int]]] | None = None
+        self._stats: CascadeStats | None = None
         # Shared by concurrent engine callers; see JoinPlan._memo_lock.
         self._memo_lock = threading.RLock()
 
@@ -555,7 +617,7 @@ class CascadePlan:
             h.update(hop.describe().encode())
         return h.hexdigest()
 
-    def chains(self) -> np.ndarray:
+    def chains(self) -> IntMatrix:
         """The full (s x m) chain set (enumerated on first call)."""
         if self._chains is None:
             with self._memo_lock:
@@ -565,7 +627,7 @@ class CascadePlan:
                     self._chains = cascade_chains(self.relations, self.hops)
         return self._chains
 
-    def oriented(self) -> np.ndarray:
+    def oriented(self) -> FloatMatrix:
         """Oriented joined matrix of every chain, cached."""
         if self._oriented is None:
             with self._memo_lock:
@@ -577,7 +639,7 @@ class CascadePlan:
                     )
         return self._oriented
 
-    def sorted_oriented(self) -> np.ndarray:
+    def sorted_oriented(self) -> FloatMatrix:
         """The oriented matrix pre-sorted for early-exit dominance checks."""
         if self._sorted is None:
             with self._memo_lock:
@@ -587,7 +649,7 @@ class CascadePlan:
                     self._sorted = sort_rows_for_early_exit(self.oriented())
         return self._sorted
 
-    def connector_group_list(self) -> List[Dict[tuple, List[int]]]:
+    def connector_group_list(self) -> list[dict[tuple[object, object], list[int]]]:
         """Per-relation Theorem-4 connector groups (k-independent), cached."""
         if self._groups is None:
             with self._memo_lock:
@@ -600,7 +662,7 @@ class CascadePlan:
                     ]
         return self._groups
 
-    def pruned_keep(self, k: int):
+    def pruned_keep(self, k: int) -> tuple[list[IntVector], int]:
         """Per-relation survivor rows of the Theorem-4 pruning at ``k``.
 
         Returns ``(keep, pruned_rows)`` where ``keep`` lists surviving
@@ -624,7 +686,7 @@ class CascadePlan:
                     self._pruned[k] = (keep, pruned)
         return self._pruned[k]
 
-    def pruned_candidates(self, k: int):
+    def pruned_candidates(self, k: int) -> tuple[IntMatrix, FloatMatrix]:
         """Surviving candidate chains at ``k`` and their oriented matrix.
 
         Returns ``(candidates, matrix)``; memoized per ``k`` so a
@@ -663,7 +725,7 @@ class CascadePlan:
                 weights = theta_weight_sums(left_rel, right_rel, hop, weights)
             else:
                 right_values = hop_side_values(right_rel, hop, "right")
-                sums: Dict[object, float] = {}
+                sums: dict[object, float] = {}
                 for row, value in enumerate(right_values):
                     sums[value] = sums.get(value, 0.0) + float(weights[row])
                 left_values = hop_side_values(left_rel, hop, "left")

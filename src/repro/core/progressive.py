@@ -26,7 +26,10 @@ Theorem 1/3. With aggregates the same caveats as
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from collections.abc import Iterator
+
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -36,10 +39,13 @@ from .plan import JoinPlan
 from .targets import target_rows_paper
 from .verify import sort_rows_for_early_exit
 
+if TYPE_CHECKING:
+    from .._typing import IntVector
+
 __all__ = ["ksjq_progressive"]
 
 
-def ksjq_progressive(plan: JoinPlan, k: int) -> Iterator[Tuple[int, int]]:
+def ksjq_progressive(plan: JoinPlan, k: int) -> Iterator[tuple[int, int]]:
     """Yield k-dominant skyline pairs progressively (grouping order).
 
     Yields ``(left_row, right_row)`` pairs: first the guaranteed "yes"
@@ -65,7 +71,7 @@ def ksjq_progressive(plan: JoinPlan, k: int) -> Iterator[Tuple[int, int]]:
         if cell_pairs.shape[0] == 0:
             continue
         vectors = vec_view.oriented_for_pairs(cell_pairs)
-        target_cache: Dict[int, np.ndarray] = {}
+        target_cache: dict[int, IntVector] = {}
         anchor_col = 0 if ss_side == "left" else 1
         for pos in range(cell_pairs.shape[0]):
             anchor = int(cell_pairs[pos, anchor_col])

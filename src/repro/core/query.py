@@ -25,18 +25,23 @@ hold an :class:`repro.api.Engine` yourself::
 
 from __future__ import annotations
 
-from typing import Optional
+
+from typing import TYPE_CHECKING
 
 from ..relational.relation import Relation
 from .plan import JoinPlan
 from .result import FindKResult, KSJQResult
 
+if TYPE_CHECKING:
+    from .._typing import AggregateLike, ThetaLike
+    from ..api.engine import Engine
+
 __all__ = ["make_plan", "ksjq", "find_k", "default_engine"]
 
-_DEFAULT_ENGINE = None
+_DEFAULT_ENGINE: Engine | None = None
 
 
-def default_engine():
+def default_engine() -> Engine:
     """The process-wide engine backing :func:`ksjq` and :func:`find_k`.
 
     Created lazily on first use; shared so that repeated facade calls
@@ -59,8 +64,8 @@ def make_plan(
     left: Relation,
     right: Relation,
     join: str = "equality",
-    aggregate=None,
-    theta=None,
+    aggregate: AggregateLike | None = None,
+    theta: ThetaLike | None = None,
 ) -> JoinPlan:
     """Build a reusable :class:`JoinPlan` (cheaper when issuing many queries).
 
@@ -78,11 +83,11 @@ def ksjq(
     algorithm: str = "auto",
     mode: str = "faithful",
     join: str = "equality",
-    aggregate=None,
-    theta=None,
-    plan: Optional[JoinPlan] = None,
-    engine=None,
-    parallelism="auto",
+    aggregate: AggregateLike | None = None,
+    theta: ThetaLike | None = None,
+    plan: JoinPlan | None = None,
+    engine: Engine | None = None,
+    parallelism: int | str = "auto",
 ) -> KSJQResult:
     """Answer a k-dominant skyline join query (Problems 1-2).
 
@@ -149,10 +154,10 @@ def find_k(
     objective: str = "at_least",
     mode: str = "faithful",
     join: str = "equality",
-    aggregate=None,
-    theta=None,
-    plan: Optional[JoinPlan] = None,
-    engine=None,
+    aggregate: AggregateLike | None = None,
+    theta: ThetaLike | None = None,
+    plan: JoinPlan | None = None,
+    engine: Engine | None = None,
 ) -> FindKResult:
     """Tune ``k`` from a desired skyline cardinality δ (Problems 3-4).
 

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+from typing import Any
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -21,10 +23,13 @@ from ..relational.relation import Relation
 from .params import KSJQParams
 from .timing import TimingBreakdown
 
+if TYPE_CHECKING:
+    from .._typing import IntMatrix
+
 __all__ = ["QueryResult", "KSJQResult", "FindKResult", "FindKStep"]
 
 
-def _canonical_pairs(pairs: np.ndarray) -> np.ndarray:
+def _canonical_pairs(pairs: IntMatrix) -> IntMatrix:
     """Sort pairs lexicographically so results compare deterministically."""
     pairs = np.asarray(pairs, dtype=np.intp).reshape(-1, 2)
     if pairs.shape[0] == 0:
@@ -45,8 +50,8 @@ class QueryResult:
     """
 
     timings: TimingBreakdown
-    spec: Optional[Any]
-    source: Optional[Any]
+    spec: Any | None
+    source: Any | None
 
     @property
     def elapsed(self) -> float:
@@ -57,7 +62,7 @@ class QueryResult:
     def count(self) -> int:
         raise NotImplementedError
 
-    def to_records(self) -> List[Dict[str, object]]:
+    def to_records(self) -> list[dict[str, object]]:
         """The answer as a list of plain dicts (one per result row)."""
         raise NotImplementedError
 
@@ -108,14 +113,14 @@ class KSJQResult(QueryResult):
     algorithm: str
     mode: str
     params: KSJQParams
-    pairs: np.ndarray
+    pairs: IntMatrix
     timings: TimingBreakdown
-    left_counts: Dict[str, int] = field(default_factory=dict)
-    right_counts: Dict[str, int] = field(default_factory=dict)
-    cell_pair_counts: Dict[str, int] = field(default_factory=dict)
+    left_counts: dict[str, int] = field(default_factory=dict)
+    right_counts: dict[str, int] = field(default_factory=dict)
+    cell_pair_counts: dict[str, int] = field(default_factory=dict)
     checked: int = 0
-    spec: Optional[Any] = field(default=None, compare=False, repr=False)
-    source: Optional[Any] = field(default=None, compare=False, repr=False)
+    spec: Any | None = field(default=None, compare=False, repr=False)
+    source: Any | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "pairs", _canonical_pairs(self.pairs))
@@ -125,11 +130,11 @@ class KSJQResult(QueryResult):
         """Number of k-dominant skyline joined tuples."""
         return int(self.pairs.shape[0])
 
-    def pair_set(self) -> FrozenSet[Tuple[int, int]]:
+    def pair_set(self) -> frozenset[tuple[int, int]]:
         """Skyline pairs as a hashable set (for comparisons in tests)."""
         return frozenset((int(a), int(b)) for a, b in self.pairs)
 
-    def to_relation(self, view: Optional[JoinedView] = None, name: str = "skyline") -> Relation:
+    def to_relation(self, view: JoinedView | None = None, name: str = "skyline") -> Relation:
         """Materialize the skyline pairs as a relation.
 
         ``view`` supplies the joined layout; it defaults to the source
@@ -142,7 +147,7 @@ class KSJQResult(QueryResult):
             sub = JoinedView(view.left, view.right, self.pairs, aggregate=view.aggregate)
         return sub.to_relation(name=name)
 
-    def to_records(self) -> List[Dict[str, object]]:
+    def to_records(self) -> list[dict[str, object]]:
         """Skyline rows as dicts (``r1.*`` / ``r2.*`` columns + row ids)."""
         return self.to_relation().records()
 
@@ -170,9 +175,9 @@ class FindKStep:
     """One probe of the find-k search (paper Algos 4-6)."""
 
     k: int
-    lower_bound: Optional[int]
-    upper_bound: Optional[int]
-    exact_count: Optional[int]
+    lower_bound: int | None
+    upper_bound: int | None
+    exact_count: int | None
     decision: str
 
 
@@ -183,10 +188,10 @@ class FindKResult(QueryResult):
     method: str
     delta: int
     k: int
-    steps: Tuple[FindKStep, ...]
+    steps: tuple[FindKStep, ...]
     timings: TimingBreakdown
-    spec: Optional[Any] = field(default=None, compare=False, repr=False)
-    source: Optional[Any] = field(default=None, compare=False, repr=False)
+    spec: Any | None = field(default=None, compare=False, repr=False)
+    source: Any | None = field(default=None, compare=False, repr=False)
 
     @property
     def count(self) -> int:
@@ -198,7 +203,7 @@ class FindKResult(QueryResult):
         """How many k values required a full skyline computation."""
         return sum(1 for s in self.steps if s.exact_count is not None)
 
-    def to_records(self) -> List[Dict[str, object]]:
+    def to_records(self) -> list[dict[str, object]]:
         """The probe trace as dicts (k, bounds, exact count, decision)."""
         return [
             {

@@ -26,21 +26,26 @@ itself is ``d`` / ``l``), which Def. 5 requires.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..relational.relation import Relation
 from ..skyline.dominance import boe_counts
 
+if TYPE_CHECKING:
+    from .._typing import IntVector
+
 __all__ = ["target_rows_paper", "target_rows_exact"]
 
 
-def target_rows_paper(relation: Relation, row: int, k_prime: int) -> np.ndarray:
+def target_rows_paper(relation: Relation, row: int, k_prime: int) -> IntVector:
     """Faithful target set: better-or-equal in >= k' of all base attributes."""
     matrix = relation.oriented()
     return np.flatnonzero(boe_counts(matrix, matrix[row]) >= k_prime)
 
 
-def target_rows_exact(relation: Relation, row: int, k_min_local: int) -> np.ndarray:
+def target_rows_exact(relation: Relation, row: int, k_min_local: int) -> IntVector:
     """Exact-mode target set: better-or-equal in >= k'' local attributes.
 
     When the relation has no aggregate inputs, the local matrix is the

@@ -12,10 +12,11 @@ same stacked series.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator
 
 __all__ = ["PHASES", "TimingBreakdown", "PhaseClock"]
 
@@ -36,7 +37,7 @@ class TimingBreakdown:
         """Sum of all components."""
         return self.grouping + self.join + self.dominator + self.remaining
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         """Components plus total as a plain dict (for reports/CSV)."""
         return {
             "grouping": self.grouping,
@@ -76,7 +77,7 @@ class PhaseClock:
     """
 
     def __init__(self) -> None:
-        self._acc: Dict[str, float] = {name: 0.0 for name in PHASES}
+        self._acc: dict[str, float] = {name: 0.0 for name in PHASES}
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:

@@ -10,7 +10,10 @@ dominate each other.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
+
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -18,13 +21,16 @@ from ..relational.join import JoinedView
 from ..skyline.dominance import is_k_dominated
 from .plan import JoinPlan
 
+if TYPE_CHECKING:
+    from .._typing import FloatMatrix, FloatVector
+
 __all__ = ["dominated_by_target_join", "dominated_in_matrix", "sort_rows_for_early_exit"]
 
 
 def dominated_by_target_join(
     plan: JoinPlan,
     view: JoinedView,
-    tuple_vec: np.ndarray,
+    tuple_vec: FloatVector,
     left_target_rows: Sequence[int],
     right_target_rows: Sequence[int],
     k: int,
@@ -41,12 +47,12 @@ def dominated_by_target_join(
     return is_k_dominated(matrix, tuple_vec, k)
 
 
-def dominated_in_matrix(matrix: np.ndarray, tuple_vec: np.ndarray, k: int) -> bool:
+def dominated_in_matrix(matrix: FloatMatrix, tuple_vec: FloatVector, k: int) -> bool:
     """Is the tuple k-dominated by any row of a precomputed joined matrix?"""
     return is_k_dominated(matrix, tuple_vec, k)
 
 
-def sort_rows_for_early_exit(matrix: np.ndarray) -> np.ndarray:
+def sort_rows_for_early_exit(matrix: FloatMatrix) -> FloatMatrix:
     """Reorder rows by ascending attribute sum.
 
     Strong tuples (likely dominators) come first, so the blocked

@@ -20,7 +20,8 @@ experiments run against it unchanged.
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,9 +29,12 @@ from ..errors import ParameterError
 from ..relational.relation import Relation
 from ..relational.schema import RelationSchema
 
+if TYPE_CHECKING:
+    from .._typing import ColumnData, FloatVector
+
 __all__ = ["HUB_CITIES", "make_flight_relations"]
 
-HUB_CITIES: Tuple[str, ...] = (
+HUB_CITIES: tuple[str, ...] = (
     "Jaipur", "Lucknow", "Bhopal", "Indore", "Nagpur", "Ahmedabad",
     "Udaipur", "Raipur", "Varanasi", "Patna", "Goa", "Hyderabad", "Pune",
 )
@@ -48,8 +52,8 @@ def make_flight_relations(
     n_out: int = 192,
     n_in: int = 155,
     n_hubs: int = 13,
-    seed: Union[int, None] = 7,
-) -> Tuple[Relation, Relation]:
+    seed: int | None = 7,
+) -> tuple[Relation, Relation]:
     """Build (Delhi -> hub, hub -> Mumbai) relations.
 
     Returns two relations sharing the schema: join attribute ``via``
@@ -78,13 +82,13 @@ def make_flight_relations(
 
 def _make_leg(
     rng: np.random.Generator,
-    hubs: Tuple[str, ...],
-    weights: np.ndarray,
+    hubs: tuple[str, ...],
+    weights: FloatVector,
     n: int,
     fno_base: int,
     base_cost: float,
     base_time: float,
-) -> dict:
+) -> dict[str, ColumnData]:
     """One leg's columns with anti-correlated quality/price structure."""
     via = rng.choice(len(hubs), size=n, p=weights)
     # Latent "quality" drives popularity and amenities up and (being a

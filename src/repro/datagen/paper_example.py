@@ -20,10 +20,15 @@ errata" and ``tests/integration/test_paper_example.py``):
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Tuple
+from typing import TYPE_CHECKING
 
 from ..relational.relation import Relation
 from ..relational.schema import RelationSchema
+
+if TYPE_CHECKING:
+    from collections.abc import Sequence
+
+    from .._typing import IntMatrix
 
 __all__ = [
     "TABLE1_ROWS",
@@ -40,7 +45,7 @@ __all__ = [
 ]
 
 # fno, city (destination for f1 / source for f2), cost, dur, rtg, amn
-TABLE1_ROWS: Tuple[Tuple[int, str, float, float, float, float], ...] = (
+TABLE1_ROWS: tuple[tuple[int, str, float, float, float, float], ...] = (
     (11, "C", 448, 3.2, 40, 40),
     (12, "C", 468, 4.2, 50, 38),
     (13, "D", 456, 3.8, 60, 34),
@@ -52,7 +57,7 @@ TABLE1_ROWS: Tuple[Tuple[int, str, float, float, float, float], ...] = (
     (19, "E", 451, 3.7, 40, 37),
 )
 
-TABLE2_ROWS: Tuple[Tuple[int, str, float, float, float, float], ...] = (
+TABLE2_ROWS: tuple[tuple[int, str, float, float, float, float], ...] = (
     (21, "D", 348, 2.2, 40, 36),
     (22, "D", 368, 3.2, 50, 34),
     (23, "C", 356, 2.8, 60, 30),
@@ -65,37 +70,41 @@ TABLE2_ROWS: Tuple[Tuple[int, str, float, float, float, float], ...] = (
 )
 
 #: Categorization as printed in the paper's Tables 1-2 (k' = 3).
-PAPER_TABLE1_CATEGORIES: Dict[int, str] = {
+PAPER_TABLE1_CATEGORIES: dict[int, str] = {
     11: "SS", 12: "NN", 13: "SN", 14: "NN", 15: "SN",
     16: "SS", 17: "SN", 18: "SS", 19: "NN",
 }
-PAPER_TABLE2_CATEGORIES: Dict[int, str] = {
+PAPER_TABLE2_CATEGORIES: dict[int, str] = {
     21: "SS", 22: "NN", 23: "SN", 24: "NN",
     25: "SN", 26: "SS", 27: "SN", 28: "SN",
 }
 
 #: Categorization under the paper's own Sec. 2.2 definition (k' = 3);
 #: differs from the printed table only at flight 18 (16 ≻_3 18).
-EXPECTED_TABLE1_CATEGORIES: Dict[int, str] = {
+EXPECTED_TABLE1_CATEGORIES: dict[int, str] = {
     **PAPER_TABLE1_CATEGORIES,
     18: "SN",
 }
-EXPECTED_TABLE2_CATEGORIES: Dict[int, str] = dict(PAPER_TABLE2_CATEGORIES)
+EXPECTED_TABLE2_CATEGORIES: dict[int, str] = dict(PAPER_TABLE2_CATEGORIES)
 
 #: Final k=7 skyline of the joined relation, Table 3 "skyline = yes".
-EXPECTED_SKYLINE_FNOS: FrozenSet[Tuple[int, int]] = frozenset(
+EXPECTED_SKYLINE_FNOS: frozenset[tuple[int, int]] = frozenset(
     {(11, 23), (13, 21), (15, 25), (16, 26)}
 )
 
 #: Final k=6 skyline with cost aggregated (a=1), Table 6 "skyline = yes".
-EXPECTED_AGGREGATE_SKYLINE_FNOS: FrozenSet[Tuple[int, int]] = frozenset(
+EXPECTED_AGGREGATE_SKYLINE_FNOS: frozenset[tuple[int, int]] = frozenset(
     {(11, 23), (13, 21), (15, 25), (16, 26)}
 )
 
 _SKYLINE = ["cost", "dur", "rtg", "amn"]
 
 
-def _build(rows, aggregate, name: str) -> Relation:
+def _build(
+    rows: Sequence[tuple[int, str, float, float, float, float]],
+    aggregate: Sequence[str],
+    name: str,
+) -> Relation:
     schema = RelationSchema.build(
         join=["city"],
         skyline=_SKYLINE,
@@ -113,12 +122,12 @@ def _build(rows, aggregate, name: str) -> Relation:
     return Relation(schema, columns, name=name)
 
 
-def flight_example_relations() -> Tuple[Relation, Relation]:
+def flight_example_relations() -> tuple[Relation, Relation]:
     """Tables 1-2 with all four attributes local (Problem 1, k = 7)."""
     return _build(TABLE1_ROWS, [], "f1"), _build(TABLE2_ROWS, [], "f2")
 
 
-def flight_example_aggregate_relations() -> Tuple[Relation, Relation]:
+def flight_example_aggregate_relations() -> tuple[Relation, Relation]:
     """Tables 1-2 with cost aggregated (Problem 2, a = 1, k = 6)."""
     return (
         _build(TABLE1_ROWS, ["cost"], "f1"),
@@ -126,7 +135,9 @@ def flight_example_aggregate_relations() -> Tuple[Relation, Relation]:
     )
 
 
-def fno_pairs(left: Relation, right: Relation, row_pairs) -> FrozenSet[Tuple[int, int]]:
+def fno_pairs(
+    left: Relation, right: Relation, row_pairs: IntMatrix
+) -> frozenset[tuple[int, int]]:
     """Convert (left_row, right_row) index pairs into (fno, fno) pairs."""
     left_fnos = list(left.column("fno"))
     right_fnos = list(right.column("fno"))

@@ -21,12 +21,16 @@ derived joined-relation size ``N = n^2 / g`` exactly when ``g | n``.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import ParameterError
 from ..relational.relation import Relation
+
+if TYPE_CHECKING:
+    from .._typing import FloatMatrix
 
 __all__ = [
     "DISTRIBUTIONS",
@@ -41,7 +45,7 @@ _CORRELATED_JITTER = 0.15
 _ANTICORRELATED_SPREAD = 0.05
 
 
-def _rng(seed: Union[int, np.random.Generator, None]) -> np.random.Generator:
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
@@ -51,8 +55,8 @@ def generate_matrix(
     n: int,
     d: int,
     distribution: str = "independent",
-    seed: Union[int, np.random.Generator, None] = None,
-) -> np.ndarray:
+    seed: int | np.random.Generator | None = None,
+) -> FloatMatrix:
     """Generate an (n x d) attribute matrix in [0, 1] per distribution."""
     if n < 0:
         raise ParameterError(f"n must be non-negative, got {n}")
@@ -83,7 +87,7 @@ def generate_relation(
     g: int = 1,
     distribution: str = "independent",
     a: int = 0,
-    seed: Union[int, np.random.Generator, None] = None,
+    seed: int | np.random.Generator | None = None,
     name: str = "R",
 ) -> Relation:
     """Generate a base relation with ``d`` skyline attributes and ``g`` groups.
@@ -116,8 +120,8 @@ def generate_relation_pair(
     g: int = 1,
     distribution: str = "independent",
     a: int = 0,
-    seed: Optional[int] = None,
-) -> Tuple[Relation, Relation]:
+    seed: int | None = None,
+) -> tuple[Relation, Relation]:
     """Generate the two-relation input of one KSJQ experiment.
 
     Both relations share ``n, d, g, a`` and the distribution, as in all

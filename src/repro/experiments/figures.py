@@ -8,7 +8,6 @@ here is recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from .spec import ExperimentSpec, SweepPoint
 
@@ -19,8 +18,8 @@ def _ksjq_point(label: str, **kw) -> SweepPoint:
     return SweepPoint(label=label, **kw)
 
 
-def _build_registry() -> Dict[str, ExperimentSpec]:
-    figures: List[ExperimentSpec] = []
+def _build_registry() -> dict[str, ExperimentSpec]:
+    figures: list[ExperimentSpec] = []
 
     # ---------------- Aggregate experiments (Sec. 7.1) ----------------
     figures.append(
@@ -277,7 +276,7 @@ def _build_registry() -> Dict[str, ExperimentSpec]:
     return {spec.figure: spec for spec in figures}
 
 
-FIGURES: Dict[str, ExperimentSpec] = _build_registry()
+FIGURES: dict[str, ExperimentSpec] = _build_registry()
 
 
 def get_figure(figure_id: str) -> ExperimentSpec:
@@ -290,6 +289,6 @@ def get_figure(figure_id: str) -> ExperimentSpec:
         ) from None
 
 
-def figure_ids() -> List[str]:
+def figure_ids() -> list[str]:
     """All known figure ids, sorted."""
     return sorted(FIGURES)

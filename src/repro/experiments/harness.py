@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 from ..api.engine import Engine
 from ..api.spec import QuerySpec
@@ -55,7 +54,7 @@ __all__ = [
     "build_point_relations",
 ]
 
-_ENGINE: Optional[Engine] = None
+_ENGINE: Engine | None = None
 
 
 def harness_engine() -> Engine:
@@ -83,12 +82,12 @@ class RunRecord:
     result: int  # skyline size (ksjq) or chosen k (findk)
     n: int
     joined_size: int
-    k: Optional[int] = None
-    delta: Optional[int] = None
+    k: int | None = None
+    delta: int | None = None
 
-    def row(self) -> Dict[str, object]:
+    def row(self) -> dict[str, object]:
         """Flat dict for CSV/report rendering."""
-        out: Dict[str, object] = {
+        out: dict[str, object] = {
             "figure": self.figure,
             "point": self.point,
             "series": self.series,
@@ -107,13 +106,13 @@ class SpecResult:
 
     spec: ExperimentSpec
     scale: Scale
-    records: List[RunRecord] = field(default_factory=list)
-    skipped: List[Tuple[str, str]] = field(default_factory=list)  # (point, reason)
+    records: list[RunRecord] = field(default_factory=list)
+    skipped: list[tuple[str, str]] = field(default_factory=list)  # (point, reason)
 
 
 def build_point_relations(
     point: SweepPoint, scale: Scale
-) -> Tuple[Relation, Relation, int]:
+) -> tuple[Relation, Relation, int]:
     """Generate the two base relations of one sweep point.
 
     Returns ``(left, right, scaled_n)``; the flights dataset ignores the
@@ -170,7 +169,7 @@ def _retain_only_figure(engine: Engine, figure: str) -> None:
             engine.catalog.drop(name)
 
 
-def run_spec(spec: ExperimentSpec, scale: Optional[Scale] = None) -> SpecResult:
+def run_spec(spec: ExperimentSpec, scale: Scale | None = None) -> SpecResult:
     """Execute one figure spec; returns records plus skipped points."""
     scale = scale or scale_from_env()
     result = SpecResult(spec=spec, scale=scale)
@@ -234,6 +233,6 @@ def run_spec(spec: ExperimentSpec, scale: Optional[Scale] = None) -> SpecResult:
     return result
 
 
-def run_figure(figure_id: str, scale: Optional[Scale] = None) -> SpecResult:
+def run_figure(figure_id: str, scale: Scale | None = None) -> SpecResult:
     """Execute one figure by id (e.g. ``"fig1a"``)."""
     return run_spec(get_figure(figure_id), scale)

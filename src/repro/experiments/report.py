@@ -10,9 +10,10 @@ naïve for find-k) per sweep point.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import csv
 from pathlib import Path
-from typing import Dict, Sequence, Union
 
 from .harness import RunRecord, SpecResult
 
@@ -62,7 +63,7 @@ def render_shape_summary(result: SpecResult) -> str:
     """Per-point speedup of the best optimized series over the naïve one."""
     baseline_letter = "N"
     best_letter = "G" if result.spec.kind == "ksjq" else "B"
-    by_point: Dict[str, Dict[str, RunRecord]] = {}
+    by_point: dict[str, dict[str, RunRecord]] = {}
     for rec in result.records:
         by_point.setdefault(rec.point, {})[rec.series] = rec
 
@@ -103,7 +104,7 @@ def render_spec_result(result: SpecResult) -> str:
     return "\n".join(out)
 
 
-def write_csv(records: Sequence[RunRecord], path: Union[str, Path]) -> None:
+def write_csv(records: Sequence[RunRecord], path: str | Path) -> None:
     """Write run records as CSV (one row per record)."""
     path = Path(path)
     if not records:

@@ -12,19 +12,18 @@ units* (the harness applies scaling). Two experiment kinds exist:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
 
 __all__ = ["SweepPoint", "ExperimentSpec", "KSJQ_ALGORITHMS", "FINDK_METHODS"]
 
 #: Paper's algorithm letters -> library algorithm names.
-KSJQ_ALGORITHMS: Dict[str, str] = {
+KSJQ_ALGORITHMS: dict[str, str] = {
     "G": "grouping",
     "D": "dominator",
     "N": "naive",
 }
 
 #: Paper's find-k letters -> library method names.
-FINDK_METHODS: Dict[str, str] = {
+FINDK_METHODS: dict[str, str] = {
     "B": "binary",
     "R": "range",
     "N": "naive",
@@ -48,13 +47,13 @@ class SweepPoint:
     g: int = 10
     a: int = 0
     distribution: str = "independent"
-    k: Optional[int] = None
-    delta: Optional[int] = None
+    k: int | None = None
+    delta: int | None = None
     seed: int = 42
-    dataset: Optional[str] = None
+    dataset: str | None = None
 
     @property
-    def aggregate(self) -> Optional[str]:
+    def aggregate(self) -> str | None:
         """Aggregate function name implied by ``a`` (paper uses sum)."""
         return "sum" if self.a > 0 or self.dataset == "flights" else None
 
@@ -66,8 +65,8 @@ class ExperimentSpec:
     figure: str
     title: str
     kind: str  # "ksjq" | "findk"
-    points: Tuple[SweepPoint, ...]
-    series: Tuple[str, ...] = ("G", "D", "N")
+    points: tuple[SweepPoint, ...]
+    series: tuple[str, ...] = ("G", "D", "N")
     paper_shape: str = ""  # expected qualitative outcome, for reports
 
     def __post_init__(self) -> None:

@@ -20,12 +20,16 @@ see DESIGN.md "Soundness errata"). ``sum`` is strictly monotone;
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import AggregateError
+
+if TYPE_CHECKING:
+    from .._typing import AggregateLike, FloatMatrix
 
 __all__ = [
     "AggregateFunction",
@@ -59,11 +63,11 @@ class AggregateFunction:
     """
 
     name: str
-    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    fn: Callable[[FloatMatrix, FloatMatrix], FloatMatrix]
     strictly_monotone: bool
     domain_note: str = ""
 
-    def __call__(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    def __call__(self, left: FloatMatrix, right: FloatMatrix) -> FloatMatrix:
         left = np.asarray(left, dtype=np.float64)
         right = np.asarray(right, dtype=np.float64)
         if left.shape != right.shape:
@@ -84,12 +88,12 @@ PRODUCT = AggregateFunction(
 MAX = AggregateFunction("max", np.maximum, strictly_monotone=False)
 MIN = AggregateFunction("min", np.minimum, strictly_monotone=False)
 
-_REGISTRY: Dict[str, AggregateFunction] = {
+_REGISTRY: dict[str, AggregateFunction] = {
     f.name: f for f in (SUM, MEAN, PRODUCT, MAX, MIN)
 }
 
 
-def get_aggregate(name_or_fn) -> AggregateFunction:
+def get_aggregate(name_or_fn: AggregateLike) -> AggregateFunction:
     """Resolve an aggregate by registry name or pass one through.
 
     Accepts an :class:`AggregateFunction` (returned unchanged) or a

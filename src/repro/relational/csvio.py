@@ -10,16 +10,19 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import TYPE_CHECKING
 
 from ..errors import SchemaError
 from .relation import Relation
 from .schema import RelationSchema, Role
 
+if TYPE_CHECKING:
+    from .._typing import ColumnData
+
 __all__ = ["write_csv", "read_csv"]
 
 
-def write_csv(relation: Relation, path: Union[str, Path]) -> None:
+def write_csv(relation: Relation, path: str | Path) -> None:
     """Write a relation to ``path`` with a header row of attribute names."""
     path = Path(path)
     names = list(relation.schema.names)
@@ -31,7 +34,7 @@ def write_csv(relation: Relation, path: Union[str, Path]) -> None:
 
 
 def read_csv(
-    schema: RelationSchema, path: Union[str, Path], name: str = "R"
+    schema: RelationSchema, path: str | Path, name: str = "R"
 ) -> Relation:
     """Read a relation from ``path``; the header must cover the schema.
 
@@ -52,23 +55,24 @@ def read_csv(
         raise SchemaError(f"{path}: CSV missing columns {sorted(missing)}")
     position = {col: header.index(col) for col in schema.names}
 
-    columns: Dict[str, List] = {col: [] for col in schema.names}
+    raw: dict[str, list[str]] = {col: [] for col in schema.names}
     for lineno, row in enumerate(rows, start=2):
         if len(row) < len(header):
             raise SchemaError(f"{path}:{lineno}: expected {len(header)} fields")
         for col in schema.names:
-            columns[col].append(row[position[col]])
+            raw[col].append(row[position[col]])
 
+    columns: dict[str, ColumnData] = {}
     for col in schema.names:
         spec = schema[col]
         if spec.role is Role.SKYLINE:
-            columns[col] = [float(v) for v in columns[col]]
+            columns[col] = [float(v) for v in raw[col]]
         else:
-            columns[col] = [_maybe_int(v) for v in columns[col]]
+            columns[col] = [_maybe_int(v) for v in raw[col]]
     return Relation(schema, columns, name=name)
 
 
-def _maybe_int(value: str):
+def _maybe_int(value: str) -> int | str:
     try:
         return int(value)
     except ValueError:

@@ -23,12 +23,17 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Callable, Iterable, List, Mapping, Sequence, Tuple
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import SchemaError
 from .relation import Relation
+
+if TYPE_CHECKING:
+    from collections.abc import Callable, Iterable, Mapping, Sequence
+
+    from .._typing import ColumnData
 
 __all__ = ["Dataset"]
 
@@ -50,6 +55,10 @@ class Dataset:
         The initial snapshot.
     version:
         Starting version (defaults to 1; bumped by every mutator).
+
+    Concurrency contract (checked by the repo linter's R2 rule):
+
+    # guarded-by: _lock: _relation, _version, _listeners
     """
 
     def __init__(self, name: str, relation: Relation, version: int = 1) -> None:
@@ -64,7 +73,7 @@ class Dataset:
         self._lock = threading.RLock()
         self._relation = relation
         self._version = int(version)
-        self._listeners: List[Callable[["Dataset"], None]] = []
+        self._listeners: list[Callable[[Dataset], None]] = []
 
     # ------------------------------------------------------------------
     # Snapshot access
@@ -81,12 +90,12 @@ class Dataset:
         with self._lock:
             return self._version
 
-    def snapshot(self) -> Tuple[Relation, int]:
+    def snapshot(self) -> tuple[Relation, int]:
         """A consistent ``(relation, version)`` pair (one lock acquisition)."""
         with self._lock:
             return self._relation, self._version
 
-    def token(self) -> Tuple[str, int, int]:
+    def token(self) -> tuple[str, int, int]:
         """``(name, uid, version)`` — what engines key version-aware caches on.
 
         ``uid`` is process-unique per :class:`Dataset` instance, so two
@@ -102,23 +111,29 @@ class Dataset:
     # ------------------------------------------------------------------
     # Mutation listeners
     # ------------------------------------------------------------------
-    def subscribe(self, callback: Callable[["Dataset"], None]) -> None:
+    def subscribe(self, callback: Callable[[Dataset], None]) -> None:
         """Register a callback invoked (with this dataset) after each mutation."""
         with self._lock:
             if callback not in self._listeners:
                 self._listeners.append(callback)
 
-    def _swap(self, relation: Relation) -> Relation:
-        """Install a new snapshot, bump the version, notify listeners."""
+    def _install(self, relation: Relation) -> list[Callable[[Dataset], None]]:
+        """Install a new snapshot and bump the version; returns the
+        listeners to notify. The caller MUST invoke :meth:`_notify` on
+        the returned list only after releasing ``_lock``: listeners
+        (catalog fan-out, engine invalidation hooks) take their own
+        locks, and callbacks under ``_lock`` invert the catalog ->
+        dataset lock order that :meth:`Catalog.versions` relies on.
+        """
         with self._lock:
             self._relation = relation
             self._version += 1
-            listeners = list(self._listeners)
-        # Notify outside the lock: listeners (engine invalidation hooks)
-        # take their own locks, and holding ours here risks deadlock.
+            return list(self._listeners)
+
+    def _notify(self, listeners: list[Callable[[Dataset], None]]) -> None:
+        """Run mutation callbacks; never called with ``_lock`` held."""
         for callback in listeners:
             callback(self)
-        return relation
 
     # ------------------------------------------------------------------
     # Copy-on-write mutators
@@ -135,7 +150,7 @@ class Dataset:
         with self._lock:
             base = self._relation
             addition = Relation.from_records(base.schema, records, name=base.name)
-            columns = {}
+            columns: dict[str, ColumnData] = {}
             for col in base.schema.names:
                 old, new = base.column(col), addition.column(col)
                 if isinstance(old, np.ndarray):
@@ -143,7 +158,9 @@ class Dataset:
                 else:
                     columns[col] = list(old) + list(new)
             merged = Relation(base.schema, columns, name=base.name)
-            return self._swap(merged)
+            listeners = self._install(merged)
+        self._notify(listeners)
+        return merged
 
     def delete_rows(self, rows: Sequence[int]) -> Relation:
         """Drop tuples by row index; returns the new snapshot."""
@@ -157,7 +174,10 @@ class Dataset:
                     f"[0, {len(base)})"
                 )
             keep = [i for i in range(len(base)) if i not in drop]
-            return self._swap(base.take(keep))
+            replacement = base.take(keep)
+            listeners = self._install(replacement)
+        self._notify(listeners)
+        return replacement
 
     def replace(self, relation: Relation) -> Relation:
         """Swap in a whole new relation (schema may change); new snapshot."""
@@ -166,8 +186,9 @@ class Dataset:
                 f"dataset {self.name!r}: replace() needs a Relation, "
                 f"got {type(relation).__name__}"
             )
-        with self._lock:
-            return self._swap(relation)
+        listeners = self._install(relation)
+        self._notify(listeners)
+        return relation
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:

@@ -15,12 +15,17 @@ joins with.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import JoinError
 from .relation import Relation
+
+if TYPE_CHECKING:
+    from collections.abc import ItemsView
+
+    from .._typing import BoolVector, FloatVector, JoinKey
 
 __all__ = ["GroupIndex", "ThetaOp", "ThetaGroupIndex"]
 
@@ -30,37 +35,37 @@ class GroupIndex:
 
     def __init__(self, relation: Relation) -> None:
         self.relation = relation
-        self._groups: Dict[tuple, List[int]] = {}
+        self._groups: dict[JoinKey, list[int]] = {}
         for row, key in enumerate(relation.join_keys()):
             self._groups.setdefault(key, []).append(row)
         # Row -> group key lookup for O(1) membership tests.
-        self._row_key: List[tuple] = relation.join_keys()
+        self._row_key: list[JoinKey] = relation.join_keys()
 
     @property
-    def keys(self) -> List[tuple]:
+    def keys(self) -> list[JoinKey]:
         """All distinct group keys."""
         return list(self._groups)
 
     def __len__(self) -> int:
         return len(self._groups)
 
-    def rows(self, key: tuple) -> List[int]:
+    def rows(self, key: JoinKey) -> list[int]:
         """Row indices belonging to one group (empty list if absent)."""
         return self._groups.get(key, [])
 
-    def key_of(self, row: int) -> tuple:
+    def key_of(self, row: int) -> JoinKey:
         """Group key of a row."""
         return self._row_key[row]
 
-    def groupmates(self, row: int) -> List[int]:
+    def groupmates(self, row: int) -> list[int]:
         """All rows sharing ``row``'s group, including ``row`` itself."""
         return self._groups[self._row_key[row]]
 
-    def items(self):
+    def items(self) -> ItemsView[JoinKey, list[int]]:
         """Iterate over ``(key, row_indices)`` pairs."""
         return self._groups.items()
 
-    def sizes(self) -> Dict[tuple, int]:
+    def sizes(self) -> dict[JoinKey, int]:
         """Group key -> group cardinality."""
         return {key: len(rows) for key, rows in self._groups.items()}
 
@@ -78,7 +83,7 @@ class ThetaOp(enum.Enum):
     GT = ">"
     GE = ">="
 
-    def evaluate(self, left: np.ndarray, right: float) -> np.ndarray:
+    def evaluate(self, left: FloatVector, right: float) -> BoolVector:
         if self is ThetaOp.LT:
             return left < right
         if self is ThetaOp.LE:
@@ -124,7 +129,7 @@ class ThetaGroupIndex:
         # For the right side of left.x < right.y: larger y joins more.
         return self.op in (ThetaOp.GT, ThetaOp.GE)
 
-    def superset_rows(self, row: int) -> List[int]:
+    def superset_rows(self, row: int) -> list[int]:
         """Rows whose join-partner set contains ``row``'s partner set."""
         value = self.values[row]
         if self._wants_smaller():
@@ -145,12 +150,12 @@ class ConjunctiveThetaIndex:
     conditions such as ``arr < dep AND fee <= budget``.
     """
 
-    def __init__(self, indexes: List[ThetaGroupIndex]) -> None:
+    def __init__(self, indexes: list[ThetaGroupIndex]) -> None:
         if not indexes:
             raise JoinError("ConjunctiveThetaIndex needs at least one condition")
         self.indexes = list(indexes)
 
-    def superset_rows(self, row: int) -> List[int]:
+    def superset_rows(self, row: int) -> list[int]:
         """Intersection of the per-condition guaranteed-compatible rows."""
         common = set(self.indexes[0].superset_rows(row))
         for index in self.indexes[1:]:

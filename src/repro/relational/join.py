@@ -19,7 +19,7 @@ appear in ``R1``'s schema.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +28,19 @@ from .aggregates import AggregateFunction, get_aggregate
 from .groups import GroupIndex, ThetaOp
 from .relation import Relation
 from .schema import RelationSchema
+
+if TYPE_CHECKING:
+    from collections.abc import Sequence
+
+    from .._typing import (
+        AggregateLike,
+        BoolVector,
+        FloatMatrix,
+        FloatVector,
+        HopLike,
+        IntMatrix,
+        ThetaLike,
+    )
 
 __all__ = [
     "HopSpec",
@@ -78,9 +91,9 @@ class HopSpec:
     """
 
     kind: str = "equality"
-    left_column: Optional[str] = None
-    right_column: Optional[str] = None
-    theta: Tuple[ThetaCondition, ...] = ()
+    left_column: str | None = None
+    right_column: str | None = None
+    theta: tuple[ThetaCondition, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in HOP_KINDS:
@@ -94,29 +107,29 @@ class HopSpec:
 
     # -- constructors ---------------------------------------------------
     @classmethod
-    def key(cls) -> "HopSpec":
+    def key(cls) -> HopSpec:
         """Equality on both schemas' composite join keys (the default)."""
         return cls()
 
     @classmethod
     def on_columns(
-        cls, left_column: Optional[str], right_column: Optional[str]
-    ) -> "HopSpec":
+        cls, left_column: str | None, right_column: str | None
+    ) -> HopSpec:
         """Equality of one named column per side (``None`` = composite key)."""
         return cls(kind="equality", left_column=left_column, right_column=right_column)
 
     @classmethod
-    def on_theta(cls, theta) -> "HopSpec":
+    def on_theta(cls, theta: ThetaLike) -> HopSpec:
         """Theta hop: one condition or a conjunction sequence."""
         return cls(kind="theta", theta=normalize_theta(theta))
 
     @classmethod
-    def cross(cls) -> "HopSpec":
+    def cross(cls) -> HopSpec:
         """Cartesian hop: every left row joins every right row."""
         return cls(kind="cartesian")
 
     @classmethod
-    def coerce(cls, obj) -> "HopSpec":
+    def coerce(cls, obj: HopLike) -> HopSpec:
         """Normalize a hop-like object to a :class:`HopSpec`.
 
         Accepts a ``HopSpec``, ``None`` (composite-key equality), a
@@ -170,11 +183,11 @@ class JoinedLayout:
         Column positions of the aggregate inputs, paired positionally.
     """
 
-    names: tuple
-    left_local_idx: tuple
-    right_local_idx: tuple
-    left_agg_idx: tuple
-    right_agg_idx: tuple
+    names: tuple[str, ...]
+    left_local_idx: tuple[int, ...]
+    right_local_idx: tuple[int, ...]
+    left_agg_idx: tuple[int, ...]
+    right_agg_idx: tuple[int, ...]
 
     @property
     def n_left_local(self) -> int:
@@ -220,13 +233,13 @@ def make_layout(left: RelationSchema, right: RelationSchema) -> JoinedLayout:
 # ----------------------------------------------------------------------
 # Pair enumeration
 # ----------------------------------------------------------------------
-def equality_pairs(g1: GroupIndex, g2: GroupIndex) -> np.ndarray:
+def equality_pairs(g1: GroupIndex, g2: GroupIndex) -> IntMatrix:
     """All join-compatible ``(left_row, right_row)`` pairs (m x 2 array).
 
     Groups pair positionally on the composite join key (paper Sec. 5.1:
     ``h1_j = h2_j`` for all join attributes).
     """
-    chunks: List[np.ndarray] = []
+    chunks: list[IntMatrix] = []
     for key, left_rows in g1.items():
         right_rows = g2.rows(key)
         if right_rows:
@@ -236,12 +249,12 @@ def equality_pairs(g1: GroupIndex, g2: GroupIndex) -> np.ndarray:
     return np.concatenate(chunks, axis=0)
 
 
-def cartesian_pairs(n_left: int, n_right: int) -> np.ndarray:
+def cartesian_pairs(n_left: int, n_right: int) -> IntMatrix:
     """All ``n_left * n_right`` pairs (paper Sec. 6.5 special case)."""
     return pairs_product(range(n_left), range(n_right))
 
 
-def pairs_product(left_rows: Sequence[int], right_rows: Sequence[int]) -> np.ndarray:
+def pairs_product(left_rows: Sequence[int], right_rows: Sequence[int]) -> IntMatrix:
     """Cross product of two row-index sets as an (m x 2) array."""
     left = np.asarray(list(left_rows), dtype=np.intp)
     right = np.asarray(list(right_rows), dtype=np.intp)
@@ -252,7 +265,7 @@ def pairs_product(left_rows: Sequence[int], right_rows: Sequence[int]) -> np.nda
     return np.column_stack([grid_left, grid_right])
 
 
-def normalize_theta(theta) -> Tuple[ThetaCondition, ...]:
+def normalize_theta(theta: ThetaLike) -> tuple[ThetaCondition, ...]:
     """Normalize a condition or sequence of conditions to a tuple.
 
     A sequence is interpreted as a conjunction (all conditions must
@@ -275,8 +288,8 @@ def normalize_theta(theta) -> Tuple[ThetaCondition, ...]:
 
 
 def theta_value_mask(
-    condition: ThetaCondition, left_value: float, right_values: np.ndarray
-) -> np.ndarray:
+    condition: ThetaCondition, left_value: float, right_values: FloatVector
+) -> BoolVector:
     """Mask of ``right_values`` joining one left value under a condition."""
     if condition.op is ThetaOp.LT:
         return right_values > left_value
@@ -290,8 +303,8 @@ def theta_value_mask(
 def theta_conjunction_mask(
     conditions: Sequence[ThetaCondition],
     left_values: Sequence[float],
-    right_arrays: Sequence[np.ndarray],
-) -> np.ndarray:
+    right_arrays: Sequence[FloatVector],
+) -> BoolVector:
     """Mask of right rows joining one left row under every condition.
 
     ``left_values[i]`` / ``right_arrays[i]`` hold the value pair of
@@ -306,7 +319,7 @@ def theta_conjunction_mask(
     return mask
 
 
-def theta_pairs(left: Relation, right: Relation, theta) -> np.ndarray:
+def theta_pairs(left: Relation, right: Relation, theta: ThetaLike) -> IntMatrix:
     """Pairs satisfying one or more theta conditions (conjunction).
 
     The first condition is evaluated via sort + binary search; the
@@ -327,8 +340,8 @@ def theta_pairs(left: Relation, right: Relation, theta) -> np.ndarray:
 
 
 def _pairwise_theta_mask(
-    condition: ThetaCondition, left_values: np.ndarray, right_values: np.ndarray
-) -> np.ndarray:
+    condition: ThetaCondition, left_values: FloatVector, right_values: FloatVector
+) -> BoolVector:
     if condition.op is ThetaOp.LT:
         return left_values < right_values
     if condition.op is ThetaOp.LE:
@@ -340,12 +353,12 @@ def _pairwise_theta_mask(
 
 def _single_theta_pairs(
     left: Relation, right: Relation, condition: ThetaCondition
-) -> np.ndarray:
+) -> IntMatrix:
     lvals = np.asarray(left.column(condition.left_attr), dtype=np.float64)
     rvals = np.asarray(right.column(condition.right_attr), dtype=np.float64)
     order = np.argsort(rvals, kind="stable")
     rsorted = rvals[order]
-    chunks: List[np.ndarray] = []
+    chunks: list[IntMatrix] = []
     for i in range(len(left)):
         value = lvals[i]
         if condition.op is ThetaOp.LT:
@@ -391,8 +404,8 @@ class JoinedView:
         self,
         left: Relation,
         right: Relation,
-        pairs: np.ndarray,
-        aggregate=None,
+        pairs: IntMatrix,
+        aggregate: AggregateLike | None = None,
     ) -> None:
         self.left = left
         self.right = right
@@ -405,14 +418,16 @@ class JoinedView:
             raise JoinError(
                 "schemas declare aggregate attributes but no aggregate function given"
             )
-        self.aggregate: Optional[AggregateFunction] = (
+        self.aggregate: AggregateFunction | None = (
             get_aggregate(aggregate) if aggregate is not None else None
         )
-        self._oriented_cache: Optional[np.ndarray] = None
+        self._oriented_cache: FloatMatrix | None = None
 
     # -- constructors ---------------------------------------------------
     @classmethod
-    def equality(cls, left: Relation, right: Relation, aggregate=None) -> "JoinedView":
+    def equality(
+        cls, left: Relation, right: Relation, aggregate: AggregateLike | None = None
+    ) -> JoinedView:
         """Equality join on the schemas' join attributes."""
         if len(left.schema.join_names) != len(right.schema.join_names):
             raise JoinError(
@@ -425,7 +440,9 @@ class JoinedView:
         return cls(left, right, pairs, aggregate=aggregate)
 
     @classmethod
-    def cartesian(cls, left: Relation, right: Relation, aggregate=None) -> "JoinedView":
+    def cartesian(
+        cls, left: Relation, right: Relation, aggregate: AggregateLike | None = None
+    ) -> JoinedView:
         """Cartesian product (all pairs)."""
         return cls(left, right, cartesian_pairs(len(left), len(right)), aggregate=aggregate)
 
@@ -435,8 +452,8 @@ class JoinedView:
         left: Relation,
         right: Relation,
         condition: ThetaCondition,
-        aggregate=None,
-    ) -> "JoinedView":
+        aggregate: AggregateLike | None = None,
+    ) -> JoinedView:
         """Theta join on a single non-equality condition (Sec. 6.6)."""
         return cls(left, right, theta_pairs(left, right, condition), aggregate=aggregate)
 
@@ -449,13 +466,13 @@ class JoinedView:
         """Number of joined skyline attributes."""
         return self.layout.width
 
-    def oriented(self) -> np.ndarray:
+    def oriented(self) -> FloatMatrix:
         """Oriented (minimize-space) joined skyline matrix, cached."""
         if self._oriented_cache is None:
             self._oriented_cache = self.oriented_for_pairs(self.pairs)
         return self._oriented_cache
 
-    def oriented_for_pairs(self, pairs: np.ndarray) -> np.ndarray:
+    def oriented_for_pairs(self, pairs: IntMatrix) -> FloatMatrix:
         """Oriented joined matrix for an arbitrary (m x 2) pair array.
 
         This is the workhorse used to evaluate candidate dominators that
@@ -471,6 +488,7 @@ class JoinedView:
             rmat[ri][:, lay.right_local_idx],
         ]
         if lay.n_aggregate:
+            assert self.aggregate is not None  # enforced in __init__
             # Aggregate in raw space, then orient the combined value: the
             # aggregate's monotonicity contract is stated on raw values.
             raw_l = self.left.matrix[li][:, lay.left_agg_idx]
@@ -486,7 +504,7 @@ class JoinedView:
             blocks.append(combined * signs)
         return np.concatenate(blocks, axis=1) if blocks else np.empty((len(pairs), 0))
 
-    def _aggregate_names(self) -> List[str]:
+    def _aggregate_names(self) -> list[str]:
         sky = list(self.left.schema.skyline_names)
         return [sky[i] for i in self.layout.left_agg_idx]
 
@@ -501,9 +519,9 @@ class JoinedView:
         left_sky = list(self.left.schema.skyline_names)
         right_sky = list(self.right.schema.skyline_names)
 
-        columns = {}
-        sky_names: List[str] = []
-        higher: List[str] = []
+        columns: dict[str, object] = {}
+        sky_names: list[str] = []
+        higher: list[str] = []
         for pos, idx in enumerate(lay.left_local_idx):
             attr = left_sky[idx]
             col_name = f"r1.{attr}"
@@ -519,6 +537,7 @@ class JoinedView:
             if self.right.schema[attr].preference.value == "higher":
                 higher.append(col_name)
         if lay.n_aggregate:
+            assert self.aggregate is not None  # enforced in __init__
             raw_l = self.left.matrix[li][:, lay.left_agg_idx]
             raw_r = self.right.matrix[ri][:, lay.right_agg_idx]
             combined = self.aggregate(raw_l, raw_r)

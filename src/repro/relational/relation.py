@@ -15,12 +15,17 @@ all dominance code can assume "lower is preferred" (paper Sec. 2.1,
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import SchemaError
 from .schema import RelationSchema, Role
+
+if TYPE_CHECKING:
+    from collections.abc import Callable, Iterable, Mapping, Sequence
+
+    from .._typing import ColumnData, FloatMatrix, JoinKey, Record
 
 __all__ = ["Relation"]
 
@@ -42,7 +47,7 @@ class Relation:
     def __init__(
         self,
         schema: RelationSchema,
-        columns: Mapping[str, Sequence],
+        columns: Mapping[str, ColumnData],
         name: str = "R",
     ) -> None:
         self.schema = schema
@@ -76,17 +81,17 @@ class Relation:
         self._matrix.setflags(write=False)
 
         # Join/payload columns stay as plain tuples of python objects.
-        self._join_cols: Dict[str, tuple] = {
+        self._join_cols: dict[str, tuple[object, ...]] = {
             c: tuple(columns[c]) for c in schema.join_names
         }
-        self._payload_cols: Dict[str, tuple] = {
+        self._payload_cols: dict[str, tuple[object, ...]] = {
             c: tuple(columns[c]) for c in schema.payload_names
         }
 
         signs = np.asarray(schema.preference_signs(), dtype=np.float64)
         self._oriented = matrix * signs if sky_names else matrix
         self._oriented.setflags(write=False)
-        self._fingerprint: Optional[str] = None
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -97,10 +102,10 @@ class Relation:
         schema: RelationSchema,
         records: Iterable[Mapping[str, object]],
         name: str = "R",
-    ) -> "Relation":
+    ) -> Relation:
         """Build a relation from an iterable of per-tuple dicts."""
         records = list(records)
-        columns: Dict[str, list] = {col: [] for col in schema.names}
+        columns: dict[str, list[object]] = {col: [] for col in schema.names}
         for i, rec in enumerate(records):
             for col in schema.names:
                 if col not in rec:
@@ -111,14 +116,14 @@ class Relation:
     @classmethod
     def from_arrays(
         cls,
-        skyline: np.ndarray,
+        skyline: FloatMatrix,
         skyline_names: Sequence[str],
-        join_key: Optional[Sequence] = None,
+        join_key: Sequence[object] | None = None,
         join_name: str = "grp",
         aggregate: Sequence[str] = (),
         higher_is_better: Sequence[str] = (),
         name: str = "R",
-    ) -> "Relation":
+    ) -> Relation:
         """Build a relation from a numpy skyline matrix plus a join column.
 
         This is the fast path used by the synthetic data generators.
@@ -137,7 +142,7 @@ class Relation:
             aggregate=list(aggregate),
             higher_is_better=list(higher_is_better),
         )
-        columns: Dict[str, Sequence] = {
+        columns: dict[str, ColumnData] = {
             col: skyline[:, i] for i, col in enumerate(skyline_names)
         }
         if join_key is not None:
@@ -158,11 +163,11 @@ class Relation:
         return self.schema.d
 
     @property
-    def matrix(self) -> np.ndarray:
+    def matrix(self) -> FloatMatrix:
         """Raw skyline attribute matrix (n x d), read-only."""
         return self._matrix
 
-    def oriented(self) -> np.ndarray:
+    def oriented(self) -> FloatMatrix:
         """Skyline matrix in minimize-space (read-only view).
 
         Column order matches ``schema.skyline_names``. Lower is always
@@ -170,29 +175,29 @@ class Relation:
         """
         return self._oriented
 
-    def oriented_local(self) -> np.ndarray:
+    def oriented_local(self) -> FloatMatrix:
         """Minimize-space matrix restricted to local (non-aggregate) columns."""
         idx = self.local_column_indices()
         return self._oriented[:, idx]
 
-    def oriented_aggregate(self) -> np.ndarray:
+    def oriented_aggregate(self) -> FloatMatrix:
         """Minimize-space matrix restricted to aggregate-input columns."""
         idx = self.aggregate_column_indices()
         return self._oriented[:, idx]
 
-    def local_column_indices(self) -> List[int]:
+    def local_column_indices(self) -> list[int]:
         """Positions of local attributes within the skyline matrix."""
         names = self.schema.skyline_names
         local = set(self.schema.local_names)
         return [i for i, n in enumerate(names) if n in local]
 
-    def aggregate_column_indices(self) -> List[int]:
+    def aggregate_column_indices(self) -> list[int]:
         """Positions of aggregate inputs within the skyline matrix."""
         names = self.schema.skyline_names
         agg = set(self.schema.aggregate_names)
         return [i for i, n in enumerate(names) if n in agg]
 
-    def column(self, name: str) -> Sequence:
+    def column(self, name: str) -> ColumnData:
         """Return one column by name (any role)."""
         spec = self.schema[name]
         if spec.role is Role.SKYLINE:
@@ -225,18 +230,18 @@ class Relation:
             self._fingerprint = h.hexdigest()
         return self._fingerprint
 
-    def join_key(self, row: int) -> tuple:
+    def join_key(self, row: int) -> JoinKey:
         """Composite equality-join key of one row."""
         return tuple(self._join_cols[c][row] for c in self.schema.join_names)
 
-    def join_keys(self) -> List[tuple]:
+    def join_keys(self) -> list[JoinKey]:
         """Composite join keys for all rows, in row order."""
         cols = [self._join_cols[c] for c in self.schema.join_names]
         return [tuple(col[i] for col in cols) for i in range(self._n)]
 
-    def record(self, row: int) -> Dict[str, object]:
+    def record(self, row: int) -> Record:
         """One tuple as a plain dict (raw, un-oriented values)."""
-        rec: Dict[str, object] = {}
+        rec: Record = {}
         for name in self.schema.names:
             spec = self.schema[name]
             if spec.role is Role.SKYLINE:
@@ -247,17 +252,17 @@ class Relation:
                 rec[name] = self._payload_cols[name][row]
         return rec
 
-    def records(self) -> List[Dict[str, object]]:
+    def records(self) -> list[Record]:
         """All tuples as dicts, in row order."""
         return [self.record(i) for i in range(self._n)]
 
     # ------------------------------------------------------------------
     # Relational operations (return new Relations)
     # ------------------------------------------------------------------
-    def take(self, rows: Sequence[int], name: Optional[str] = None) -> "Relation":
+    def take(self, rows: Sequence[int], name: str | None = None) -> Relation:
         """Row subset (like SELECT with an explicit row list)."""
         rows = list(rows)
-        columns: Dict[str, Sequence] = {}
+        columns: dict[str, ColumnData] = {}
         for col_name in self.schema.names:
             col = self.column(col_name)
             if isinstance(col, np.ndarray):
@@ -266,18 +271,20 @@ class Relation:
                 columns[col_name] = [col[i] for i in rows]
         return Relation(self.schema, columns, name=name or self.name)
 
-    def select(self, predicate, name: Optional[str] = None) -> "Relation":
+    def select(
+        self, predicate: Callable[[Record], bool], name: str | None = None
+    ) -> Relation:
         """Row filter by a ``record -> bool`` predicate."""
         rows = [i for i in range(self._n) if predicate(self.record(i))]
         return self.take(rows, name=name)
 
-    def sort_by(self, key_column: str, descending: bool = False) -> "Relation":
+    def sort_by(self, key_column: str, descending: bool = False) -> Relation:
         """New relation sorted by one column (stable)."""
         col = self.column(key_column)
         order = sorted(range(self._n), key=lambda i: col[i], reverse=descending)
         return self.take(order)
 
-    def head(self, n: int) -> "Relation":
+    def head(self, n: int) -> Relation:
         """First ``n`` rows."""
         return self.take(range(min(n, self._n)))
 

@@ -20,9 +20,10 @@ negates them so that all comparisons are uniform minimization).
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
+
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
 
 from ..errors import SchemaError
 

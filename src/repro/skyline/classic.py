@@ -18,23 +18,26 @@ For full dominance the skyline is unique, so the algorithms agree
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .dominance import dominates
 
+if TYPE_CHECKING:
+    from .._typing import FloatMatrix
+
 __all__ = ["skyline_bnl", "skyline_sfs", "skyline"]
 
 
-def skyline_bnl(matrix: np.ndarray) -> List[int]:
+def skyline_bnl(matrix: FloatMatrix) -> list[int]:
     """Block-nested-loops skyline over an oriented matrix."""
     matrix = np.asarray(matrix, dtype=np.float64)
-    window: List[int] = []
+    window: list[int] = []
     for i in range(matrix.shape[0]):
         row = matrix[i]
         dominated = False
-        survivors: List[int] = []
+        survivors: list[int] = []
         for j in window:
             if dominates(matrix[j], row):
                 dominated = True
@@ -47,7 +50,7 @@ def skyline_bnl(matrix: np.ndarray) -> List[int]:
     return sorted(window)
 
 
-def skyline_sfs(matrix: np.ndarray) -> List[int]:
+def skyline_sfs(matrix: FloatMatrix) -> list[int]:
     """Sort-filter-skyline over an oriented matrix.
 
     Presorting by the attribute sum guarantees that no later tuple can
@@ -59,7 +62,7 @@ def skyline_sfs(matrix: np.ndarray) -> List[int]:
     if n == 0:
         return []
     order = np.argsort(matrix.sum(axis=1), kind="stable")
-    window: List[int] = []
+    window: list[int] = []
     for idx in order:
         row = matrix[idx]
         if not any(dominates(matrix[j], row) for j in window):
@@ -67,7 +70,7 @@ def skyline_sfs(matrix: np.ndarray) -> List[int]:
     return sorted(window)
 
 
-def skyline(matrix: np.ndarray, method: str = "sfs") -> List[int]:
+def skyline(matrix: FloatMatrix, method: str = "sfs") -> list[int]:
     """Compute the classic skyline; ``method`` is ``"sfs"`` or ``"bnl"``."""
     if method == "sfs":
         return skyline_sfs(matrix)

@@ -23,9 +23,12 @@ dominator sets, never just against surviving skyline members.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from .._typing import BoolVector, FloatMatrix, FloatVector, IntVector
 
 __all__ = [
     "dominates",
@@ -45,21 +48,21 @@ __all__ = [
 _BLOCK_ELEMENT_BUDGET = 1 << 22
 
 
-def dominates(u: np.ndarray, v: np.ndarray) -> bool:
+def dominates(u: FloatVector, v: FloatVector) -> bool:
     """Classic (full) dominance of oriented vectors: ``u ≻ v``."""
     u = np.asarray(u, dtype=np.float64)
     v = np.asarray(v, dtype=np.float64)
     return bool(np.all(u <= v) and np.any(u < v))
 
 
-def k_dominates(u: np.ndarray, v: np.ndarray, k: int) -> bool:
+def k_dominates(u: FloatVector, v: FloatVector, k: int) -> bool:
     """k-dominance of oriented vectors: ``u ≻_k v``."""
     u = np.asarray(u, dtype=np.float64)
     v = np.asarray(v, dtype=np.float64)
     return bool(np.count_nonzero(u <= v) >= k and np.any(u < v))
 
 
-def boe_counts(matrix: np.ndarray, v: np.ndarray) -> np.ndarray:
+def boe_counts(matrix: FloatMatrix, v: FloatVector) -> IntVector:
     """Per-row better-or-equal counts of ``matrix`` rows versus ``v``.
 
     ``result[i] = #{j : matrix[i, j] <= v[j]}``.
@@ -67,17 +70,17 @@ def boe_counts(matrix: np.ndarray, v: np.ndarray) -> np.ndarray:
     return np.count_nonzero(matrix <= v, axis=1)
 
 
-def strict_any(matrix: np.ndarray, v: np.ndarray) -> np.ndarray:
+def strict_any(matrix: FloatMatrix, v: FloatVector) -> BoolVector:
     """Per-row flag: does row ``i`` beat ``v`` strictly somewhere?"""
     return (matrix < v).any(axis=1)
 
 
 def k_dominator_mask(
-    matrix: np.ndarray,
-    v: np.ndarray,
+    matrix: FloatMatrix,
+    v: FloatVector,
     k: int,
-    exclude: Optional[int] = None,
-) -> np.ndarray:
+    exclude: int | None = None,
+) -> BoolVector:
     """Boolean mask of rows of ``matrix`` that k-dominate ``v``.
 
     ``exclude`` removes one row index (typically ``v``'s own position)
@@ -93,10 +96,10 @@ def k_dominator_mask(
 
 
 def is_k_dominated(
-    matrix: np.ndarray,
-    v: np.ndarray,
+    matrix: FloatMatrix,
+    v: FloatVector,
     k: int,
-    exclude: Optional[int] = None,
+    exclude: int | None = None,
 ) -> bool:
     """Is ``v`` k-dominated by any row of ``matrix``?
 
@@ -118,10 +121,10 @@ def is_k_dominated(
 
 
 def k_dominated_any(
-    matrix: np.ndarray,
-    vectors: np.ndarray,
+    matrix: FloatMatrix,
+    vectors: FloatMatrix,
     k: int,
-) -> np.ndarray:
+) -> BoolVector:
     """Per-vector flag: is each of ``vectors`` k-dominated by any row of
     ``matrix``?
 
@@ -183,10 +186,10 @@ def k_dominated_any(
 
 
 def dominator_rows(
-    matrix: np.ndarray,
-    v: np.ndarray,
+    matrix: FloatMatrix,
+    v: FloatVector,
     k: int,
-    exclude: Optional[int] = None,
-) -> np.ndarray:
+    exclude: int | None = None,
+) -> IntVector:
     """Row indices of all k-dominators of ``v`` within ``matrix``."""
     return np.flatnonzero(k_dominator_mask(matrix, v, k, exclude=exclude))

@@ -32,12 +32,15 @@ All return sorted row indices of the k-dominant skyline members.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import ParameterError
 from .dominance import is_k_dominated, k_dominated_any
+
+if TYPE_CHECKING:
+    from .._typing import FloatMatrix, IntVector
 
 __all__ = [
     "k_dominant_skyline_naive",
@@ -48,7 +51,7 @@ __all__ = [
 ]
 
 
-def _validate(matrix: np.ndarray, k: int) -> np.ndarray:
+def _validate(matrix: FloatMatrix, k: int) -> FloatMatrix:
     matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.ndim != 2:
         raise ParameterError(f"matrix must be 2-D, got {matrix.ndim}-D")
@@ -58,17 +61,19 @@ def _validate(matrix: np.ndarray, k: int) -> np.ndarray:
     return matrix
 
 
-def k_dominant_skyline_naive(matrix: np.ndarray, k: int) -> List[int]:
+def k_dominant_skyline_naive(matrix: FloatMatrix, k: int) -> list[int]:
     """Reference O(n^2) k-dominant skyline."""
     matrix = _validate(matrix, k)
-    out = []
+    out: list[int] = []
     for i in range(matrix.shape[0]):
         if not is_k_dominated(matrix, matrix[i], k, exclude=i):
             out.append(i)
     return out
 
 
-def k_dominant_skyline_tsa(matrix: np.ndarray, k: int, presort: bool = True) -> List[int]:
+def k_dominant_skyline_tsa(
+    matrix: FloatMatrix, k: int, presort: bool = True
+) -> list[int]:
     """Two-Scan Algorithm for the k-dominant skyline."""
     matrix = _validate(matrix, k)
     n = matrix.shape[0]
@@ -81,7 +86,7 @@ def k_dominant_skyline_tsa(matrix: np.ndarray, k: int, presort: bool = True) -> 
         order = np.arange(n)
 
     # Scan 1: candidate generation with mutual elimination.
-    candidates: List[int] = []
+    candidates: list[int] = []
     for idx in order:
         row = matrix[idx]
         if candidates:
@@ -110,11 +115,11 @@ def k_dominant_skyline_tsa(matrix: np.ndarray, k: int, presort: bool = True) -> 
 
 
 def k_dominant_candidates_block(
-    matrix: np.ndarray,
+    matrix: FloatMatrix,
     k: int,
     block: int = 512,
-    order: Optional[np.ndarray] = None,
-) -> np.ndarray:
+    order: IntVector | None = None,
+) -> IntVector:
     """Scan-1 candidate generation, vectorized over row *blocks*.
 
     The block-kernel variant of the TSA first scan: rows are visited in
@@ -158,7 +163,7 @@ def k_dominant_candidates_block(
     return cand_idx
 
 
-def k_dominant_skyline_block(matrix: np.ndarray, k: int, block: int = 512) -> List[int]:
+def k_dominant_skyline_block(matrix: FloatMatrix, k: int, block: int = 512) -> list[int]:
     """Two-scan k-dominant skyline over vectorized block kernels.
 
     Answer-equivalent to :func:`k_dominant_skyline_tsa` (both are
@@ -179,15 +184,15 @@ def k_dominant_skyline_block(matrix: np.ndarray, k: int, block: int = 512) -> Li
     return [int(c) for c in candidates[~dominated]]
 
 
-def k_dominant_skyline_osa(matrix: np.ndarray, k: int) -> List[int]:
+def k_dominant_skyline_osa(matrix: FloatMatrix, k: int) -> list[int]:
     """One-Scan Algorithm for the k-dominant skyline."""
     matrix = _validate(matrix, k)
     n = matrix.shape[0]
     if n == 0:
         return []
 
-    candidates: List[int] = []  # k-dominant skyline of seen points
-    witnesses: List[int] = []  # classic skyline of seen points
+    candidates: list[int] = []  # k-dominant skyline of seen points
+    witnesses: list[int] = []  # classic skyline of seen points
     for idx in range(n):
         row = matrix[idx]
 
@@ -230,7 +235,7 @@ def k_dominant_skyline_osa(matrix: np.ndarray, k: int) -> List[int]:
     return sorted(candidates)
 
 
-def k_dominant_skyline(matrix: np.ndarray, k: int, method: str = "tsa") -> List[int]:
+def k_dominant_skyline(matrix: FloatMatrix, k: int, method: str = "tsa") -> list[int]:
     """Compute the k-dominant skyline; ``method`` in {"tsa", "osa", "block",
     "naive"}."""
     if method == "tsa":

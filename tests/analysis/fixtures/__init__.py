@@ -1,0 +1,8 @@
+"""Seeded-violation fixtures for the invariant linter (tools.check).
+
+Each module here deliberately violates exactly one of the rules R1-R4;
+``tests/analysis/test_invariant_linter.py`` asserts that the linter
+produces exactly one diagnostic per fixture, with the right rule id and
+line. The modules are import-safe (importing them runs nothing) but are
+never imported by the library.
+"""

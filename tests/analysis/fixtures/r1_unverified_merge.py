@@ -1,0 +1,24 @@
+"""R1 fixture: merges per-shard candidates without cross-shard verification.
+
+The merge below is exactly the bug R1 exists to catch: per-shard local
+skyline candidates are concatenated and returned as the answer, but
+k-dominance is non-transitive, so a tuple eliminated inside one shard
+may still k-dominate a survivor of another shard. The merged set MUST
+be re-checked against all rows; this function never does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.skyline.kdominant import k_dominant_candidates_block
+
+
+def broken_sharded_skyline(matrix: np.ndarray, k: int, n_shards: int) -> np.ndarray:
+    """Per-shard candidates, merged and returned unverified (WRONG)."""
+    bounds = np.linspace(0, matrix.shape[0], n_shards + 1, dtype=int)
+    locals_ = [
+        k_dominant_candidates_block(matrix[start:stop], k) + start
+        for start, stop in zip(bounds[:-1], bounds[1:])
+    ]
+    return np.sort(np.concatenate(locals_))

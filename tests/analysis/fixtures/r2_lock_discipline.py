@@ -1,0 +1,23 @@
+"""R2 fixture: a documented lock-guarded field written outside its lock."""
+
+from __future__ import annotations
+
+import threading
+
+
+class LeakyCache:
+    """A cache whose mutator forgets the lock its docstring promises.
+
+    # guarded-by: _lock: _entries
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._entries: dict[str, int] = {}
+
+    def get(self, key: str) -> int | None:
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: str, value: int) -> None:
+        self._entries = {key: value}  # WRONG: no lock held

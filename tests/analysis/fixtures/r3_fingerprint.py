@@ -1,0 +1,19 @@
+"""R3 fixture: a dataclass field missing from its fingerprint digest."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PartialSpec:
+    """Two specs differing only in ``mode`` share a fingerprint (WRONG)."""
+
+    k: int
+    algorithm: str
+    mode: str
+
+    def fingerprint(self) -> str:
+        payload = f"{self.k}|{self.algorithm}"  # `mode` forgotten
+        return hashlib.sha1(payload.encode()).hexdigest()[:16]

@@ -1,0 +1,12 @@
+"""R4 fixture: process fan-out outside the parallel execution layer."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+
+def rogue_map(fn: Callable[[int], int], items: Sequence[int]) -> list[int]:
+    """Spawns a process pool from arbitrary code paths (WRONG)."""
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(fn, items))

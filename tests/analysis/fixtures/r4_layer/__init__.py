@@ -1,0 +1,1 @@
+"""Namespace for the in-layer-but-unguarded R4 fixture."""

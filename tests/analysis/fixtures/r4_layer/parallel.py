@@ -1,0 +1,17 @@
+"""R4 fixture: in the parallel layer but missing the main-thread check.
+
+Forking while sibling batch-lane threads run risks child processes
+inheriting locks held mid-operation; the construction must sit under
+``threading.current_thread() is threading.main_thread()``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+
+def unguarded_map(fn: Callable[[int], int], items: Sequence[int]) -> list[int]:
+    """Process pool without the main-thread guard (WRONG)."""
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(fn, items))

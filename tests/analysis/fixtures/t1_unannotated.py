@@ -1,0 +1,7 @@
+"""T1 fixture: one function with an unannotated parameter and return."""
+
+from __future__ import annotations
+
+
+def half(x):  # WRONG: no parameter or return annotation
+    return x / 2

@@ -1,0 +1,137 @@
+"""The invariant linter's own tests: seeded violations and a clean tree.
+
+Every rule R1-R4 is demonstrated by a fixture module carrying exactly
+one violation; the linter must report exactly one diagnostic per
+fixture, with the right rule id and the right line. The current source
+tree must produce zero diagnostics — that is the CI gate.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT))  # tools/ is repo-level, not in src/
+
+from tools.check import SRC_ROOT, run_checks  # noqa: E402
+from tools.check.invariants import check_file  # noqa: E402
+from tools.check.typing_gate import check_annotations, in_strict_scope  # noqa: E402
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _source_line(path: Path, lineno: int) -> str:
+    return path.read_text().splitlines()[lineno - 1]
+
+
+# ----------------------------------------------------------------------
+# Seeded violations: exactly one diagnostic each, with file:line
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    ("fixture", "rule", "anchor"),
+    [
+        ("r1_unverified_merge.py", "R1", "def broken_sharded_skyline"),
+        ("r2_lock_discipline.py", "R2", "self._entries = "),
+        ("r3_fingerprint.py", "R3", "def fingerprint"),
+        ("r4_fork_outside_layer.py", "R4", "ProcessPoolExecutor(max_workers=2)"),
+        ("r4_layer/parallel.py", "R4", "ProcessPoolExecutor(max_workers=2)"),
+    ],
+)
+def test_fixture_produces_exactly_one_diagnostic(
+    fixture: str, rule: str, anchor: str
+) -> None:
+    path = FIXTURES / fixture
+    diagnostics = check_file(path)
+    assert len(diagnostics) == 1, [d.render() for d in diagnostics]
+    (diag,) = diagnostics
+    assert diag.rule == rule
+    assert diag.path == path
+    assert anchor in _source_line(path, diag.line)
+    rendered = diag.render(REPO_ROOT)
+    assert rendered.startswith(f"tests/analysis/fixtures/{fixture}:{diag.line}: {rule}")
+
+
+def test_r3_message_names_the_missing_field() -> None:
+    (diag,) = check_file(FIXTURES / "r3_fingerprint.py")
+    assert "'mode'" in diag.message
+
+
+def test_r2_message_names_lock_and_field() -> None:
+    (diag,) = check_file(FIXTURES / "r2_lock_discipline.py")
+    assert "self._entries" in diag.message
+    assert "self._lock" in diag.message
+
+
+def test_t1_flags_unannotated_function() -> None:
+    diagnostics = check_annotations(FIXTURES / "t1_unannotated.py")
+    assert {d.rule for d in diagnostics} == {"T1"}
+    messages = "\n".join(d.message for d in diagnostics)
+    assert "'x'" in messages and "return annotation" in messages
+
+
+# ----------------------------------------------------------------------
+# The library tree itself is clean (the CI gate)
+# ----------------------------------------------------------------------
+def test_source_tree_has_zero_diagnostics() -> None:
+    diagnostics = run_checks()
+    assert diagnostics == [], "\n".join(d.render(REPO_ROOT) for d in diagnostics)
+
+
+def test_strict_scope_covers_the_five_packages_and_top_level() -> None:
+    assert in_strict_scope(SRC_ROOT / "api" / "engine.py")
+    assert in_strict_scope(SRC_ROOT / "core" / "parallel.py")
+    assert in_strict_scope(SRC_ROOT / "errors.py")
+    assert not in_strict_scope(SRC_ROOT / "experiments" / "harness.py")
+    assert not in_strict_scope(FIXTURES / "t1_unannotated.py")
+
+
+def test_real_parallel_module_satisfies_r1_non_vacuously() -> None:
+    """The real merge function is *seen* by R1 (reaches a generator and
+    merges) and passes only because it also reaches the verifier."""
+    from tools.check import invariants
+
+    path = SRC_ROOT / "core" / "parallel.py"
+    assert check_file(path) == []
+    source = path.read_text()
+    # The rule's three ingredients are all present in the real module.
+    assert "k_dominant_candidates_block" in source
+    assert "concatenate" in source
+    assert "k_dominated_any" in source
+    # Removing the verification pass must trip R1.
+    import ast
+
+    stripped = source.replace("k_dominated_any", "k_dominated_unchecked").replace(
+        "_verify_chunk", "_chunk_flags"
+    )
+    tree = ast.parse(stripped)
+    diags = invariants._check_unverified_merge(path, tree)
+    assert any(d.rule == "R1" for d in diags)
+
+
+# ----------------------------------------------------------------------
+# CLI behaviour
+# ----------------------------------------------------------------------
+def test_cli_exit_status_and_output() -> None:
+    clean = subprocess.run(
+        [sys.executable, "-m", "tools.check"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+    assert "OK" in clean.stdout
+
+    dirty = subprocess.run(
+        [sys.executable, "-m", "tools.check", "--rule", "R3",
+         str(FIXTURES / "r3_fingerprint.py")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert dirty.returncode == 1
+    assert "R3" in dirty.stdout
+    assert "fingerprint" in dirty.stdout

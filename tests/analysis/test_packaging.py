@@ -1,0 +1,32 @@
+"""Packaging of the PEP 561 typing marker.
+
+``src/repro/py.typed`` tells type checkers in *consuming* projects that
+the distribution ships inline annotations. It only works if (a) the
+marker exists next to the package's ``__init__`` and (b) setuptools is
+told to include non-Python data in wheels/sdists via
+``[tool.setuptools.package-data]``.
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_py_typed_marker_is_importable_package_data():
+    assert resources.files("repro").joinpath("py.typed").is_file()
+
+
+def test_py_typed_marker_is_empty():
+    # PEP 561: the marker's presence is the signal; content is ignored,
+    # and an empty file avoids any temptation to treat it as config.
+    marker = REPO_ROOT / "src" / "repro" / "py.typed"
+    assert marker.read_text() == ""
+
+
+def test_pyproject_ships_the_marker_in_package_data():
+    pyproject = (REPO_ROOT / "pyproject.toml").read_text()
+    assert "[tool.setuptools.package-data]" in pyproject
+    assert 'repro = ["py.typed"]' in pyproject

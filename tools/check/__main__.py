@@ -1,0 +1,8 @@
+"""``python -m tools.check`` — run the invariant linter + typing gate."""
+
+import sys
+
+from . import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,431 @@
+"""AST linter for the reproduction's machine-checkable invariants.
+
+Four rules, each tied to a correctness argument of the engine (the
+prose versions live in ``docs/static-analysis.md``):
+
+R1 — **no-unverified-merge.** k-dominance is non-transitive (paper
+Sec. 2.2): a tuple eliminated inside one shard may still k-dominate a
+candidate that survived another shard. Any function that merges
+per-shard candidate sets (reaches a candidate-generation kernel *and*
+concatenates results) must therefore also reach a cross-shard
+verification kernel (``k_dominated_any`` / ``is_k_dominated`` or a
+``verify``-named helper) — transitively, through the module-local call
+graph, including callables passed as arguments.
+
+R2 — **lock-discipline.** Classes document their lock-guarded fields
+in the class docstring::
+
+    # guarded-by: _lock: _datasets, _subscribers
+    # guarded-by-writes: _memo_lock: _view, _stats
+
+``guarded-by`` fields may only be touched (read, written, deleted, or
+mutated through a subscript) inside a ``with self.<lock>:`` block;
+``guarded-by-writes`` relaxes reads for the double-checked memoization
+pattern (unlocked fast-path read, locked re-check + write) but still
+requires every write under the lock. ``__init__`` is exempt (the
+object is not shared while it constructs itself), and nested function
+bodies do not inherit an enclosing ``with`` (they may run later, on
+another thread).
+
+R3 — **fingerprint-completeness.** For every dataclass that defines a
+``fingerprint()`` method, each dataclass field must be read inside the
+method body. A field missing from the digest makes two semantically
+different values collide — silently poisoning every cache keyed on the
+fingerprint.
+
+R4 — **fork-safety.** ``ProcessPoolExecutor`` may only be constructed
+inside the parallel execution layer (a module named ``parallel.py``),
+and only under its main-thread check: forking while sibling threads
+run (``execute_many`` batch lanes) risks child processes inheriting
+locks held mid-operation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from . import Diagnostic
+
+__all__ = ["check_file", "RULES"]
+
+RULES = ("R1", "R2", "R3", "R4")
+
+# --- R1 configuration -------------------------------------------------
+#: Kernels producing *unverified* local candidate supersets.
+CANDIDATE_GENERATORS = frozenset({"k_dominant_candidates_block"})
+#: Kernels performing (or helpers wrapping) full-matrix verification.
+VERIFIERS = frozenset({"k_dominated_any", "is_k_dominated"})
+#: Calls that combine per-shard results into one candidate set.
+MERGE_CALLS = frozenset({"concatenate", "hstack", "vstack"})
+
+
+def check_file(path: Path) -> list[Diagnostic]:
+    """All R1-R4 diagnostics for one Python source file."""
+    try:
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError) as exc:
+        return [Diagnostic(path, getattr(exc, "lineno", 1) or 1, "R0", f"unparseable: {exc}")]
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(_check_unverified_merge(path, tree))
+    diagnostics.extend(_check_lock_discipline(path, tree))
+    diagnostics.extend(_check_fingerprint_completeness(path, tree))
+    diagnostics.extend(_check_fork_safety(path, tree))
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# R1: no-unverified-merge
+# ----------------------------------------------------------------------
+def _function_defs(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _referenced_names(fn: ast.AST) -> set[str]:
+    """Every plain name and attribute tail referenced inside ``fn``.
+
+    Attribute tails cover ``np.concatenate`` and method references;
+    plain names cover direct calls and callables passed as arguments
+    (``_map_tasks(_shard_candidates, ...)``).
+    """
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+def _check_unverified_merge(path: Path, tree: ast.Module) -> list[Diagnostic]:
+    functions = {fn.name: fn for fn in _function_defs(tree)}
+    references = {name: _referenced_names(fn) for name, fn in functions.items()}
+
+    def reachable(name: str) -> set[str]:
+        seen: set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for ref in references.get(current, ()):  # module-local closure
+                if ref not in seen:
+                    frontier.append(ref)
+        return seen
+
+    diagnostics = []
+    for name, fn in functions.items():
+        if name in CANDIDATE_GENERATORS:
+            continue  # the kernel itself, not a merge site
+        closure = reachable(name)
+        generates = bool(closure & CANDIDATE_GENERATORS)
+        merges = bool(references[name] & MERGE_CALLS)
+        verifies = bool(closure & VERIFIERS) or any(
+            "verify" in ref for ref in closure
+        )
+        if generates and merges and not verifies:
+            diagnostics.append(
+                Diagnostic(
+                    path,
+                    fn.lineno,
+                    "R1",
+                    f"no-unverified-merge: {name!r} merges per-shard skyline "
+                    "candidates but never reaches a cross-shard verification "
+                    "kernel (k_dominated_any / is_k_dominated); k-dominance "
+                    "is non-transitive, so merged candidates must be "
+                    "re-checked against all rows",
+                )
+            )
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# R2: lock-discipline
+# ----------------------------------------------------------------------
+_GUARDED_RE = re.compile(
+    r"^\s*#\s*guarded-by(?P<writes>-writes)?:\s*(?P<lock>\w+)\s*:\s*(?P<fields>.+?)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """One field's declared lock and discipline."""
+
+    lock: str
+    writes_only: bool
+
+
+def _parse_guards(docstring: str | None) -> dict[str, GuardSpec]:
+    guards: dict[str, GuardSpec] = {}
+    for line in (docstring or "").splitlines():
+        match = _GUARDED_RE.match(line)
+        if not match:
+            continue
+        spec = GuardSpec(match.group("lock"), bool(match.group("writes")))
+        for field in match.group("fields").split(","):
+            field = field.strip()
+            if field:
+                guards[field] = spec
+    return guards
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _LockWalker(ast.NodeVisitor):
+    """Walk one method tracking the set of ``with self.<lock>`` scopes."""
+
+    def __init__(self, path: Path, guards: dict[str, GuardSpec]) -> None:
+        self.path = path
+        self.guards = guards
+        self.held: list[str] = []
+        self.diagnostics: list[Diagnostic] = []
+        self._depth = 0
+
+    # Nested defs may execute later on another thread: they do not
+    # inherit the enclosing ``with`` scopes.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_nested(node)
+
+    def _visit_nested(self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> None:
+        held, self.held = self.held, []
+        self._depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._depth -= 1
+            self.held = held
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired = []
+        for item in node.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None:
+                acquired.append(attr)
+                self.held.append(attr)
+        for item in node.items:
+            self.visit(item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+        for attr in acquired:
+            self.held.remove(attr)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = _self_attr(node)
+        if attr in self.guards:
+            spec = self.guards[attr]
+            is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+            if spec.lock not in self.held and (is_write or not spec.writes_only):
+                access = "write of" if is_write else "read of"
+                self.diagnostics.append(
+                    Diagnostic(
+                        self.path,
+                        node.lineno,
+                        "R2",
+                        f"lock-discipline: {access} lock-guarded field "
+                        f"self.{attr} outside `with self.{spec.lock}` "
+                        "(declared by the class's # guarded-by: docstring)",
+                    )
+                )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # `self._memo[key] = v` / `del self._memo[key]` mutate the
+        # guarded container: treat the underlying attribute load as a
+        # write for guarded-by-writes fields.
+        attr = _self_attr(node.value)
+        if (
+            attr in self.guards
+            and isinstance(node.ctx, (ast.Store, ast.Del))
+            and self.guards[attr].writes_only
+            and self.guards[attr].lock not in self.held
+        ):
+            self.diagnostics.append(
+                Diagnostic(
+                    self.path,
+                    node.lineno,
+                    "R2",
+                    f"lock-discipline: mutation of lock-guarded container "
+                    f"self.{attr} outside `with self.{self.guards[attr].lock}`",
+                )
+            )
+        self.generic_visit(node)
+
+
+def _check_lock_discipline(path: Path, tree: ast.Module) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        guards = _parse_guards(ast.get_docstring(node, clean=False))
+        if not guards:
+            continue
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name == "__init__":
+                continue  # construction precedes sharing
+            walker = _LockWalker(path, guards)
+            for stmt in item.body:
+                walker.visit(stmt)
+            diagnostics.extend(walker.diagnostics)
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# R3: fingerprint-completeness
+# ----------------------------------------------------------------------
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> list[str]:
+    fields = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            annotation = ast.unparse(stmt.annotation)
+            if "ClassVar" in annotation or "InitVar" in annotation:
+                continue
+            fields.append(stmt.target.id)
+    return fields
+
+
+def _check_fingerprint_completeness(path: Path, tree: ast.Module) -> list[Diagnostic]:
+    diagnostics = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+            continue
+        fingerprint = next(
+            (
+                item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef) and item.name == "fingerprint"
+            ),
+            None,
+        )
+        if fingerprint is None:
+            continue
+        read = {
+            attr
+            for sub in ast.walk(fingerprint)
+            if (attr := _self_attr(sub)) is not None
+        }
+        for field in _dataclass_fields(node):
+            if field not in read:
+                diagnostics.append(
+                    Diagnostic(
+                        path,
+                        fingerprint.lineno,
+                        "R3",
+                        f"fingerprint-completeness: field {field!r} of dataclass "
+                        f"{node.name!r} never feeds fingerprint(); two specs "
+                        "differing only in that field would collide in every "
+                        "fingerprint-keyed cache",
+                    )
+                )
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# R4: fork-safety
+# ----------------------------------------------------------------------
+def _mentions_main_thread(node: ast.AST) -> bool:
+    return any(
+        (isinstance(sub, ast.Attribute) and sub.attr == "main_thread")
+        or (isinstance(sub, ast.Name) and sub.id == "main_thread")
+        for sub in ast.walk(node)
+    )
+
+
+def _check_fork_safety(path: Path, tree: ast.Module) -> list[Diagnostic]:
+    diagnostics = []
+    for call in ast.walk(tree):
+        if not isinstance(call, ast.Call):
+            continue
+        func = call.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+        if name != "ProcessPoolExecutor":
+            continue
+        if path.name != "parallel.py":
+            diagnostics.append(
+                Diagnostic(
+                    path,
+                    call.lineno,
+                    "R4",
+                    "fork-safety: ProcessPoolExecutor constructed outside the "
+                    "parallel execution layer (core/parallel.py); all process "
+                    "fan-out must go through its guarded _map_tasks path",
+                )
+            )
+        elif not _guarded_by_main_thread_check(tree, call):
+            diagnostics.append(
+                Diagnostic(
+                    path,
+                    call.lineno,
+                    "R4",
+                    "fork-safety: ProcessPoolExecutor construction is not "
+                    "inside a main-thread check (threading.current_thread() "
+                    "is threading.main_thread()); forking with sibling "
+                    "threads running risks inheriting held locks",
+                )
+            )
+    return diagnostics
+
+
+def _guarded_by_main_thread_check(tree: ast.Module, call: ast.Call) -> bool:
+    """Is ``call`` lexically inside an ``if`` testing the main thread?
+
+    The test may reference ``threading.main_thread()`` directly or a
+    local name assigned from an expression that does.
+    """
+    for fn in _function_defs(tree):
+        guard_names = {
+            target.id
+            for stmt in ast.walk(fn)
+            if isinstance(stmt, ast.Assign) and _mentions_main_thread(stmt.value)
+            for target in stmt.targets
+            if isinstance(target, ast.Name)
+        }
+
+        def guards(test: ast.AST) -> bool:
+            return _mentions_main_thread(test) or any(
+                isinstance(sub, ast.Name) and sub.id in guard_names
+                for sub in ast.walk(test)
+            )
+
+        stack: list[tuple[ast.AST, bool]] = [(fn, False)]
+        while stack:
+            node, guarded = stack.pop()
+            if node is call:
+                return guarded
+            for child in ast.iter_child_nodes(node):
+                child_guarded = guarded
+                if isinstance(node, ast.If) and child in node.body and guards(node.test):
+                    child_guarded = True
+                stack.append((child, child_guarded))
+    return False

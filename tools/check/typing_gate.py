@@ -1,0 +1,118 @@
+"""Typing-completeness gate mirroring the mypy strict profile.
+
+mypy itself runs in CI (see the ``analysis`` job and the
+``[tool.mypy]`` profile in ``pyproject.toml``); this module enforces
+the *completeness* half of that contract with the standard library
+only, so ``python -m tools.check`` catches unannotated code even on
+machines without mypy installed:
+
+T1 — every function and method in the strictly-typed packages
+(``api``, ``core``, ``relational``, ``skyline``, ``datagen``, plus the
+top-level modules) carries a return annotation and an annotation on
+every parameter (``self``/``cls`` excepted). Nested defs count too —
+mypy strict checks them — but lambdas are exempt (they cannot be
+annotated).
+
+T2 — the ``py.typed`` marker (PEP 561) is present next to the package
+``__init__``, so installed wheels advertise the annotations to
+downstream type checkers. The packaging test asserts it actually ships.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from . import Diagnostic
+
+__all__ = [
+    "STRICT_PACKAGES",
+    "in_strict_scope",
+    "check_annotations",
+    "check_py_typed",
+]
+
+#: Sub-packages of ``repro`` held to the strict profile. ``experiments``
+#: is the figure-reproduction harness — typed, but not yet strictly
+#: (matching the mypy per-module override in pyproject.toml).
+STRICT_PACKAGES = ("api", "core", "relational", "skyline", "datagen")
+
+
+def in_strict_scope(path: Path) -> bool:
+    """Is ``path`` part of the strictly-typed surface?"""
+    parts = path.parts
+    if "repro" not in parts:
+        return False
+    below = parts[parts.index("repro") + 1 :]
+    if len(below) == 1:  # repro/__init__.py, repro/errors.py
+        return True
+    return below[0] in STRICT_PACKAGES
+
+
+def check_annotations(path: Path) -> list[Diagnostic]:
+    """T1 diagnostics: unannotated parameters / missing returns."""
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except (OSError, SyntaxError):
+        return []  # invariants.check_file already reported R0
+    diagnostics: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        missing = _missing_parameter_annotations(node)
+        for arg in missing:
+            diagnostics.append(
+                Diagnostic(
+                    path,
+                    node.lineno,
+                    "T1",
+                    f"strict-typing: parameter {arg!r} of {node.name!r} has "
+                    "no annotation",
+                )
+            )
+        if node.returns is None:
+            diagnostics.append(
+                Diagnostic(
+                    path,
+                    node.lineno,
+                    "T1",
+                    f"strict-typing: {node.name!r} has no return annotation",
+                )
+            )
+    return diagnostics
+
+
+def _missing_parameter_annotations(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[str]:
+    args = node.args
+    ordered = [*args.posonlyargs, *args.args]
+    missing = []
+    for index, arg in enumerate(ordered):
+        if index == 0 and arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in [*args.kwonlyargs, args.vararg, args.kwarg]:
+        if arg is not None and arg.annotation is None:
+            missing.append(arg.arg)
+    return missing
+
+
+def check_py_typed(root: Path) -> list[Diagnostic]:
+    """T2 diagnostic: the PEP 561 marker must sit next to ``__init__``."""
+    package_init = root / "__init__.py" if root.is_dir() else None
+    if package_init is None or not package_init.exists() or root.name != "repro":
+        return []
+    marker = root / "py.typed"
+    if marker.exists():
+        return []
+    return [
+        Diagnostic(
+            package_init,
+            1,
+            "T2",
+            "strict-typing: missing py.typed marker (PEP 561); installed "
+            "wheels would not advertise the annotations",
+        )
+    ]
