@@ -56,6 +56,12 @@ invalidates exactly the affected entries::
 
     batch = engine.execute_many(requests, max_workers=8)
 
+    # Or keep the answer *live*: maintained results absorb mutation
+    # deltas incrementally instead of being invalidated.
+    live = engine.maintain("hotels", "flights", spec)
+    engine.catalog["hotels"].insert_rows(new_rows)   # answer updates in place
+    live.result()
+
 The original one-shot facade remains fully supported (it now runs on a
 shared default engine, so it benefits from plan caching too)::
 
@@ -67,6 +73,7 @@ from .api import (
     Catalog,
     Engine,
     ExplainReport,
+    MaintainedResult,
     QueryBuilder,
     QueryHandle,
     QuerySpec,
@@ -150,6 +157,7 @@ __all__ = [
     "JoinedView",
     "KSJQParams",
     "KSJQResult",
+    "MaintainedResult",
     "ParameterError",
     "PlanStats",
     "Preference",

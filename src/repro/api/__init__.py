@@ -20,18 +20,25 @@ This package turns the paper's four query problems into a prepare-once
   exact cache invalidation;
 * :class:`QueryHandle` — a prepared, version-aware query from
   ``engine.prepare(...)`` that re-executes cheaply against the latest
-  dataset versions and reports freshness.
+  dataset versions and reports freshness;
+* :class:`MaintainedResult` — a live answer from
+  ``engine.maintain(...)`` that consumes dataset mutation *deltas*
+  instead of being invalidated (see :mod:`repro.api.stream`), with
+  ``engine.stream_window(...)`` layering sliding-window continuous
+  queries on top.
 
 The legacy ``repro.ksjq`` / ``repro.find_k`` functions remain supported
 as thin wrappers over a module-default engine.
 """
 
+from ..core.incremental import MaintainedResult
 from .builder import QueryBuilder
 from .catalog import Catalog
 from .engine import (
     CacheStats,
     Engine,
     ExplainReport,
+    MaintenanceStats,
     PlanCacheStats,
     choose_algorithm,
     choose_cascade_algorithm,
@@ -44,6 +51,8 @@ __all__ = [
     "Catalog",
     "Engine",
     "ExplainReport",
+    "MaintainedResult",
+    "MaintenanceStats",
     "PlanCacheStats",
     "QueryBuilder",
     "QueryHandle",

@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 from typing import TYPE_CHECKING, Union
 
+from ..core.incremental import DEFAULT_FALLBACK_RATIO
 from ..core.result import FindKResult, KSJQResult
 from ..errors import JoinError, ParameterError
 from ..relational.dataset import Dataset
@@ -32,6 +33,7 @@ from .spec import QuerySpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .._typing import AggregateLike, ThetaLike
+    from ..core.incremental import MaintainedResult
     from .engine import Engine, ExplainReport
     from .handle import QueryHandle
 
@@ -293,6 +295,22 @@ class QueryBuilder:
         counterpart of the one-shot :meth:`run`.
         """
         return self._engine.prepare(*self._relations, spec=self.spec())
+
+    def maintain(
+        self, fallback_ratio: float = DEFAULT_FALLBACK_RATIO
+    ) -> "MaintainedResult":
+        """Freeze into a live, delta-maintained
+        :class:`~repro.core.incremental.MaintainedResult`.
+
+        Every input must be a registered dataset name or handle; the
+        result stays current under dataset mutations (incrementally
+        when the delta is small, by full recompute otherwise) instead
+        of being invalidated — the streaming counterpart of
+        :meth:`prepare`.
+        """
+        return self._engine.maintain(
+            *self._relations, spec=self.spec(), fallback_ratio=fallback_ratio
+        )
 
     def to_records(self, k: int | None = None) -> list[dict]:
         """Convenience: run and materialize the answer as dicts."""

@@ -26,7 +26,7 @@ import weakref
 from typing import TYPE_CHECKING
 
 from ..errors import CatalogError
-from ..relational.dataset import Dataset
+from ..relational.dataset import Dataset, MutationDelta
 from ..relational.relation import Relation
 
 if TYPE_CHECKING:
@@ -42,7 +42,7 @@ class Catalog:
     ``Dataset._lock`` (e.g. :meth:`versions`), never the reverse —
     datasets notify listeners only after releasing their own lock.
 
-    # guarded-by: _lock: _datasets, _subscribers
+    # guarded-by: _lock: _datasets, _subscribers, _delta_subscribers
     """
 
     def __init__(self) -> None:
@@ -52,6 +52,9 @@ class Catalog:
         # weakly: a shared catalog must not keep every engine that ever
         # subscribed — and its caches — alive forever.
         self._subscribers: list[Callable[[], Callable[[Dataset], None] | None]] = []
+        self._delta_subscribers: list[
+            Callable[[], Callable[[Dataset, MutationDelta], None] | None]
+        ] = []
 
     # ------------------------------------------------------------------
     # Registration
@@ -90,6 +93,7 @@ class Catalog:
                 return existing
             dataset = data if isinstance(data, Dataset) else Dataset(name, relation)
             dataset.subscribe(self._fan_out)
+            dataset.subscribe_deltas(self._fan_out_delta)
             self._datasets[name] = dataset
             return dataset
 
@@ -174,6 +178,40 @@ class Catalog:
         for callback in callbacks:
             if callback is not None:
                 callback(dataset)
+
+    def subscribe_deltas(
+        self, callback: Callable[[Dataset, MutationDelta], None]
+    ) -> None:
+        """Register a structured-delta hook called after any dataset mutation.
+
+        The delta counterpart of :meth:`subscribe` (same weak-reference
+        semantics for bound methods). Delta hooks run *after* the plain
+        version-bump hooks of the same mutation, so by the time a
+        consumer (an engine routing deltas to maintained results) sees
+        the delta, stale cache entries are already gone.
+        """
+        ref: Callable[[], Callable[[Dataset, MutationDelta], None] | None]
+        if inspect.ismethod(callback):
+            ref = weakref.WeakMethod(callback)
+        else:
+            ref = lambda: callback  # noqa: E731 - uniform deref shape
+        with self._lock:
+            if any(existing() == callback for existing in self._delta_subscribers):
+                return
+            self._delta_subscribers.append(ref)
+
+    def _fan_out_delta(self, dataset: Dataset, delta: MutationDelta) -> None:
+        with self._lock:
+            callbacks = [ref() for ref in self._delta_subscribers]
+            if any(cb is None for cb in callbacks):  # prune dead subscribers
+                self._delta_subscribers = [
+                    ref
+                    for ref, cb in zip(self._delta_subscribers, callbacks)
+                    if cb is not None
+                ]
+        for callback in callbacks:
+            if callback is not None:
+                callback(dataset, delta)
 
     def __repr__(self) -> str:
         versions = self.versions()

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import math
 import threading
+import weakref
 from collections import OrderedDict
 from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import ThreadPoolExecutor
@@ -62,6 +63,7 @@ from ..core.cascade import (
 from ..core.dominator import run_dominator
 from ..core.find_k import find_k_at_least_delta, find_k_at_most_delta
 from ..core.grouping import run_grouping
+from ..core.incremental import DEFAULT_FALLBACK_RATIO
 from ..core.naive import run_naive
 from ..core.parallel import (
     WORKER_SPAWN_COST,
@@ -83,6 +85,8 @@ from .spec import QuerySpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .._typing import AggregateLike, HopsLike, ThetaLike
+    from ..core.incremental import MaintainedResult
+    from ..relational.dataset import MutationDelta
     from ..relational.join import ThetaCondition
     from .builder import QueryBuilder, QueryInput
     from .handle import QueryHandle
@@ -91,6 +95,7 @@ __all__ = [
     "Engine",
     "ExplainReport",
     "CacheStats",
+    "MaintenanceStats",
     "PlanCacheStats",
     "choose_algorithm",
     "choose_cascade_algorithm",
@@ -345,6 +350,30 @@ class CacheStats:
 PlanCacheStats = CacheStats
 
 
+@dataclass
+class MaintenanceStats:
+    """Engine-wide counters of the delta-maintenance layer.
+
+    ``maintained`` counts mutations absorbed incrementally by a
+    :class:`~repro.core.incremental.MaintainedResult`;
+    ``fallback_recomputes`` those answered by a full recompute (delta
+    too large for the cost model, a ``replace``, a missed version, or a
+    spec outside the delta-capable family); ``delta_rows`` the base
+    rows inserted plus deleted across both.
+    """
+
+    maintained: int = 0
+    fallback_recomputes: int = 0
+    delta_rows: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "maintained": self.maintained,
+            "fallback_recomputes": self.fallback_recomputes,
+            "delta_rows": self.delta_rows,
+        }
+
+
 class Engine:
     """Prepare-once / execute-many entry point for every KSJQ problem.
 
@@ -391,7 +420,7 @@ class Engine:
 
     Concurrency contract (checked by the repo linter's R2 rule):
 
-    # guarded-by: _lock: _plans, _results, cache_stats, result_stats
+    # guarded-by: _lock: _plans, _results, cache_stats, result_stats, _maintained, maintenance_stats
     """
 
     def __init__(
@@ -408,11 +437,16 @@ class Engine:
         self.max_results = max_results
         self._catalog = catalog if catalog is not None else Catalog()
         self._catalog.subscribe(self._on_dataset_mutated)
+        self._catalog.subscribe_deltas(self._on_dataset_delta)
         self._lock = threading.RLock()
         self._plans: OrderedDict[tuple[object, ...], object] = OrderedDict()
         self._results: OrderedDict[tuple[object, ...], QueryResult] = OrderedDict()
         self.cache_stats = CacheStats()
         self.result_stats = CacheStats()
+        # Live maintained results, held weakly: an abandoned handle must
+        # not be kept alive (and fed deltas) by the engine forever.
+        self._maintained: list[weakref.ref[MaintainedResult]] = []
+        self.maintenance_stats = MaintenanceStats()
 
     # ------------------------------------------------------------------
     # Catalog: named, versioned inputs
@@ -482,6 +516,107 @@ class Engine:
             for key in [k for k in self._results if _stale(k[1], uid, version)]:
                 del self._results[key]
                 self.result_stats.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # Delta maintenance routing
+    # ------------------------------------------------------------------
+    def _on_dataset_delta(self, dataset: Dataset, delta: "MutationDelta") -> None:
+        """Catalog delta hook: route a structured mutation delta to every
+        live maintained result.
+
+        Runs *after* :meth:`_on_dataset_mutated` for the same mutation
+        (datasets notify version listeners before delta listeners), so
+        any fallback recompute a handle issues already sees clean
+        caches. The handle list is copied under the engine lock and
+        dispatched outside it — handles take their own (leaf) locks, so
+        the engine lock never nests inside one.
+        """
+        with self._lock:
+            handles = [ref() for ref in self._maintained]
+            if any(h is None for h in handles):  # prune dead handles
+                self._maintained = [
+                    ref for ref, h in zip(self._maintained, handles) if h is not None
+                ]
+        for handle in handles:
+            if handle is not None:
+                handle._on_delta(dataset, delta)
+
+    def _register_maintained(self, handle: "MaintainedResult") -> None:
+        with self._lock:
+            self._maintained.append(weakref.ref(handle))
+
+    def _unregister_maintained(self, handle: "MaintainedResult") -> None:
+        with self._lock:
+            self._maintained = [
+                ref for ref in self._maintained if ref() not in (None, handle)
+            ]
+
+    def _record_maintenance(self, delta_rows: int, fallback: bool) -> None:
+        """Handle hook: account one processed mutation in the engine-wide
+        maintenance counters (reported by :meth:`cache_info`)."""
+        with self._lock:
+            self.maintenance_stats.delta_rows += delta_rows
+            if fallback:
+                self.maintenance_stats.fallback_recomputes += 1
+            else:
+                self.maintenance_stats.maintained += 1
+
+    def maintain(
+        self,
+        *args: QueryInput | QuerySpec,
+        spec: QuerySpec | None = None,
+        fallback_ratio: float = DEFAULT_FALLBACK_RATIO,
+    ) -> "MaintainedResult":
+        """A live, delta-maintained answer over registered datasets.
+
+        Call as ``maintain("hotels", "flights", spec)`` (the
+        :meth:`execute` conventions); every input must be a registered
+        dataset name or handle — the returned
+        :class:`~repro.core.incremental.MaintainedResult` subscribes to
+        their mutation deltas and keeps its answer current under
+        ``insert_rows`` / ``delete_rows`` / ``replace`` instead of being
+        invalidated. Small deltas are absorbed incrementally; anything
+        else (or a delta the cost model prices above ``fallback_ratio``
+        times a recompute) falls back to a full recompute, which is
+        always correct. Call ``close()`` (or use the handle as a
+        context manager) to detach.
+        """
+        from .stream import create_maintained
+
+        inputs, spec = self._split_args(args, spec)
+        return create_maintained(self, inputs, spec, fallback_ratio)
+
+    def stream_window(
+        self,
+        *args: QueryInput | QuerySpec,
+        spec: QuerySpec | None = None,
+        size: int,
+        slide: int = 1,
+        name: str | None = None,
+        fallback_ratio: float = DEFAULT_FALLBACK_RATIO,
+    ) -> Iterator[QueryResult]:
+        """Sliding-window continuous query over a row stream.
+
+        Exactly one input must be a plain :class:`Relation` — the
+        stream source (it may appear on both sides for a self-join
+        stream); other inputs resolve as usual. Yields one result per
+        window position: the first covers rows ``[0, size)``, and each
+        advance slides by ``slide`` rows — a batched delete+insert
+        delta pair absorbed by an internal :meth:`maintain` handle::
+
+            for result in engine.stream_window("hotels", feed, spec,
+                                               size=256, slide=32):
+                ...
+
+        The window-backing dataset (registered under ``name``, default
+        ``"<stream>_window"``) is dropped when the iterator finishes.
+        """
+        from .stream import window_stream
+
+        inputs, spec = self._split_args(args, spec)
+        return window_stream(
+            self, inputs, spec, size, slide, name, fallback_ratio
+        )
 
     # ------------------------------------------------------------------
     # Plan cache
@@ -621,12 +756,15 @@ class Engine:
         return cast("CascadePlan", plan), hit
 
     def cache_info(self) -> dict[str, object]:
-        """Counters + size/capacity of the plan cache, and — under the
-        ``"results"`` key — of the result cache."""
+        """Counters + size/capacity of the plan cache, the maintenance
+        counters (``maintained`` / ``fallback_recomputes`` /
+        ``delta_rows``), and — under the ``"results"`` key — the result
+        cache."""
         with self._lock:
             info: dict[str, object] = self.cache_stats.as_dict()
             info["size"] = len(self._plans)
             info["capacity"] = self.max_plans
+            info.update(self.maintenance_stats.as_dict())
             results = self.result_stats.as_dict()
             results["size"] = len(self._results)
             results["capacity"] = self.max_results

@@ -27,6 +27,11 @@ from .cartesian import run_cartesian
 from .dominator import run_dominator
 from .find_k import find_k_at_least_delta, find_k_at_most_delta
 from .grouping import run_grouping
+from .incremental import (
+    DEFAULT_FALLBACK_RATIO,
+    MaintainedResult,
+    MaintenanceCounters,
+)
 from .naive import run_naive
 from .parallel import (
     ShardPlan,
@@ -50,6 +55,7 @@ __all__ = [
     "CascadePlan",
     "CascadeResult",
     "CascadeStats",
+    "DEFAULT_FALLBACK_RATIO",
     "FATE_TABLE",
     "Categorization",
     "Category",
@@ -60,6 +66,8 @@ __all__ = [
     "JoinPlan",
     "KSJQParams",
     "KSJQResult",
+    "MaintainedResult",
+    "MaintenanceCounters",
     "PHASES",
     "PhaseClock",
     "PlanStats",

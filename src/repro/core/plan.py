@@ -111,6 +111,42 @@ class PlanStats:
             return 0.0
         return self.join_size / self.shared_group_count
 
+    # ------------------------------------------------------------------
+    # Delta-maintenance cost model (repro.core.incremental)
+    # ------------------------------------------------------------------
+    def delta_pairs_estimate(self, delta_rows: int, side: str) -> float:
+        """Expected joined pairs touched by a ``delta_rows``-row mutation.
+
+        A mutated base row participates in ``join_size / n_side`` joined
+        pairs on average (exact for cartesian joins; the uniform-key
+        expectation for equality/theta joins), so a batch of
+        ``delta_rows`` rows on one side touches about
+        ``delta_rows * join_size / n_side`` pairs.
+        """
+        if side not in ("left", "right"):
+            raise ParameterError(f"side must be 'left' or 'right', got {side!r}")
+        n_side = self.n_left if side == "left" else self.n_right
+        if n_side <= 0:
+            return float(delta_rows)
+        return float(delta_rows) * float(self.join_size) / float(n_side)
+
+    def delta_maintenance_cost(self, delta_rows: int, side: str) -> float:
+        """Estimated dominance comparisons to maintain an answer under a delta.
+
+        Both delta paths are ``O(Δ_pairs · J)``: inserts verify the
+        newcomer pairs against the full joined matrix and re-check the
+        cached winners against the newcomers; deletes filter the
+        surviving non-winners through the removed vectors and re-verify
+        the touched candidates against the full surviving matrix.
+        """
+        return self.delta_pairs_estimate(delta_rows, side) * float(self.join_size)
+
+    def recompute_cost(self) -> float:
+        """Estimated comparisons of a from-scratch recompute (``J^2``),
+        the quantity a delta's :meth:`delta_maintenance_cost` competes
+        against in :class:`repro.core.incremental.MaintainedResult`."""
+        return float(self.join_size) * float(self.join_size)
+
     def as_dict(self) -> PlanStatsDict:
         return {
             "kind": self.kind,

@@ -18,7 +18,7 @@ from .aggregates import (
     register_aggregate,
 )
 from .csvio import read_csv, write_csv
-from .dataset import Dataset
+from .dataset import Dataset, MutationDelta
 from .groups import GroupIndex, ThetaGroupIndex, ThetaOp
 from .join import (
     HopSpec,
@@ -44,6 +44,7 @@ __all__ = [
     "MAX",
     "MEAN",
     "MIN",
+    "MutationDelta",
     "PRODUCT",
     "Preference",
     "Relation",

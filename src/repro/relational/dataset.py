@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -35,7 +36,47 @@ if TYPE_CHECKING:
 
     from .._typing import ColumnData
 
-__all__ = ["Dataset"]
+__all__ = ["Dataset", "MutationDelta"]
+
+
+@dataclass(frozen=True)
+class MutationDelta:
+    """Structured description of one :class:`Dataset` mutation.
+
+    Carried to delta listeners (:meth:`Dataset.subscribe_deltas`)
+    alongside the plain version-bump notification, so downstream
+    consumers — chiefly :class:`repro.core.incremental.MaintainedResult`
+    — can update derived state instead of recomputing it.
+
+    Attributes
+    ----------
+    kind:
+        ``"insert"``, ``"delete"`` or ``"replace"``.
+    version:
+        The dataset version *after* this mutation was installed.
+    old_size / new_size:
+        Row counts before and after.
+    inserted:
+        For inserts: the **new-snapshot** row indices of the appended
+        tuples (always the contiguous tail ``[old_size, new_size)``).
+    deleted:
+        For deletes: the **old-snapshot** row indices that were
+        dropped, sorted ascending. Surviving rows are compacted, so an
+        old index ``i`` maps to ``i - #{j in deleted : j < i}`` in the
+        new snapshot.
+    """
+
+    kind: str
+    version: int
+    old_size: int
+    new_size: int
+    inserted: tuple[int, ...] = ()
+    deleted: tuple[int, ...] = ()
+
+    @property
+    def rows_touched(self) -> int:
+        """Number of base rows this mutation inserted plus deleted."""
+        return len(self.inserted) + len(self.deleted)
 
 # Process-unique dataset ids: versions are monotone *within* one
 # Dataset, so cache tokens also carry the uid — a dataset dropped from
@@ -58,7 +99,7 @@ class Dataset:
 
     Concurrency contract (checked by the repo linter's R2 rule):
 
-    # guarded-by: _lock: _relation, _version, _listeners
+    # guarded-by: _lock: _relation, _version, _listeners, _delta_listeners
     """
 
     def __init__(self, name: str, relation: Relation, version: int = 1) -> None:
@@ -74,6 +115,7 @@ class Dataset:
         self._relation = relation
         self._version = int(version)
         self._listeners: list[Callable[[Dataset], None]] = []
+        self._delta_listeners: list[Callable[[Dataset, MutationDelta], None]] = []
 
     # ------------------------------------------------------------------
     # Snapshot access
@@ -117,23 +159,76 @@ class Dataset:
             if callback not in self._listeners:
                 self._listeners.append(callback)
 
-    def _install(self, relation: Relation) -> list[Callable[[Dataset], None]]:
-        """Install a new snapshot and bump the version; returns the
-        listeners to notify. The caller MUST invoke :meth:`_notify` on
-        the returned list only after releasing ``_lock``: listeners
-        (catalog fan-out, engine invalidation hooks) take their own
-        locks, and callbacks under ``_lock`` invert the catalog ->
-        dataset lock order that :meth:`Catalog.versions` relies on.
+    def subscribe_deltas(
+        self, callback: Callable[[Dataset, MutationDelta], None]
+    ) -> None:
+        """Register a callback receiving the structured
+        :class:`MutationDelta` of each mutation (after the plain
+        version-bump listeners have run, so caches are already
+        invalidated when delta consumers recompute through an engine).
         """
         with self._lock:
+            if callback not in self._delta_listeners:
+                self._delta_listeners.append(callback)
+
+    def unsubscribe_deltas(
+        self, callback: Callable[[Dataset, MutationDelta], None]
+    ) -> None:
+        """Remove a delta listener; unknown callbacks are a no-op."""
+        with self._lock:
+            if callback in self._delta_listeners:
+                self._delta_listeners.remove(callback)
+
+    def _install(
+        self,
+        relation: Relation,
+        kind: str,
+        inserted: tuple[int, ...] = (),
+        deleted: tuple[int, ...] = (),
+    ) -> tuple[
+        list[Callable[[Dataset], None]],
+        list[Callable[[Dataset, MutationDelta], None]],
+        MutationDelta,
+    ]:
+        """Install a new snapshot and bump the version; returns the
+        listeners to notify plus the :class:`MutationDelta` describing
+        the change. The caller MUST invoke :meth:`_notify` on the
+        returned lists only after releasing ``_lock``: listeners
+        (catalog fan-out, engine invalidation hooks, maintained-result
+        updates) take their own locks, and callbacks under ``_lock``
+        invert the catalog -> dataset lock order that
+        :meth:`Catalog.versions` relies on.
+        """
+        with self._lock:
+            old_size = len(self._relation)
             self._relation = relation
             self._version += 1
-            return list(self._listeners)
+            delta = MutationDelta(
+                kind=kind,
+                version=self._version,
+                old_size=old_size,
+                new_size=len(relation),
+                inserted=inserted,
+                deleted=deleted,
+            )
+            return list(self._listeners), list(self._delta_listeners), delta
 
-    def _notify(self, listeners: list[Callable[[Dataset], None]]) -> None:
-        """Run mutation callbacks; never called with ``_lock`` held."""
+    def _notify(
+        self,
+        listeners: list[Callable[[Dataset], None]],
+        delta_listeners: list[Callable[[Dataset, MutationDelta], None]],
+        delta: MutationDelta,
+    ) -> None:
+        """Run mutation callbacks; never called with ``_lock`` held.
+
+        Version-bump listeners run first (engine caches drop their
+        stale entries), then delta listeners (maintained results update
+        — any fallback recompute they issue already sees clean caches).
+        """
         for callback in listeners:
             callback(self)
+        for delta_callback in delta_listeners:
+            delta_callback(self, delta)
 
     # ------------------------------------------------------------------
     # Copy-on-write mutators
@@ -158,8 +253,11 @@ class Dataset:
                 else:
                     columns[col] = list(old) + list(new)
             merged = Relation(base.schema, columns, name=base.name)
-            listeners = self._install(merged)
-        self._notify(listeners)
+            inserted = tuple(range(len(base), len(merged)))
+            listeners, delta_listeners, delta = self._install(
+                merged, "insert", inserted=inserted
+            )
+        self._notify(listeners, delta_listeners, delta)
         return merged
 
     def delete_rows(self, rows: Sequence[int]) -> Relation:
@@ -175,8 +273,10 @@ class Dataset:
                 )
             keep = [i for i in range(len(base)) if i not in drop]
             replacement = base.take(keep)
-            listeners = self._install(replacement)
-        self._notify(listeners)
+            listeners, delta_listeners, delta = self._install(
+                replacement, "delete", deleted=tuple(sorted(drop))
+            )
+        self._notify(listeners, delta_listeners, delta)
         return replacement
 
     def replace(self, relation: Relation) -> Relation:
@@ -186,8 +286,8 @@ class Dataset:
                 f"dataset {self.name!r}: replace() needs a Relation, "
                 f"got {type(relation).__name__}"
             )
-        listeners = self._install(relation)
-        self._notify(listeners)
+        listeners, delta_listeners, delta = self._install(relation, "replace")
+        self._notify(listeners, delta_listeners, delta)
         return relation
 
     # ------------------------------------------------------------------

@@ -112,6 +112,35 @@ def test_real_parallel_module_satisfies_r1_non_vacuously() -> None:
     assert any(d.rule == "R1" for d in diags)
 
 
+def test_incremental_merge_satisfies_r1_non_vacuously() -> None:
+    """The delta-maintenance insert path is R1's exact shape: it merges
+    newcomer candidates (generator + concatenate) into the cached
+    matrix, and passes the rule only because every merged candidate is
+    re-verified against the full matrix — methods count, the rule walks
+    the whole tree."""
+    from tools.check import invariants
+
+    path = SRC_ROOT / "core" / "incremental.py"
+    assert check_file(path) == []
+    source = path.read_text()
+    assert "k_dominant_candidates_block" in source
+    assert "concatenate" in source
+    assert "k_dominated_any" in source
+    import ast
+
+    stripped = source.replace("k_dominated_any", "k_dominated_unchecked")
+    tree = ast.parse(stripped)
+    diags = invariants._check_unverified_merge(path, tree)
+    flagged = {d for d in diags if d.rule == "R1"}
+    assert flagged, "stripping the verifier must trip R1 on the merge path"
+    merge_line = next(
+        i + 1
+        for i, line in enumerate(source.splitlines())
+        if "def _merge_inserted" in line
+    )
+    assert merge_line in {d.line for d in flagged}
+
+
 # ----------------------------------------------------------------------
 # CLI behaviour
 # ----------------------------------------------------------------------
