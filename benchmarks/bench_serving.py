@@ -72,3 +72,180 @@ def test_serving_execute_many(benchmark, workers):
     )
     benchmark.extra_info["skyline"] = [r.count for r in results[:3]]
     record_artifact(benchmark, f"batch-{workers}w", sum(r.elapsed for r in results))
+
+
+# ----------------------------------------------------------------------
+# PR-8 async front-end: open-loop latency SLO + progressive streaming
+# ----------------------------------------------------------------------
+# These cells benchmark the HTTP serving subsystem itself, over a real
+# socket. They use a *fixed* dataset size (not REPRO_BENCH_SCALE): the
+# saturation dynamics below only mean something when one query's
+# service time is a known multiple of the deadline budget, so scaling
+# n with the benchmark scale would change what is being measured.
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+
+from repro.datagen import generate_relation_pair
+from repro.serving.server import KSJQServer, ServingConfig
+
+#: Open-loop arrival schedule: 24 requests at 50/s against a server
+#: whose deadline-bounded throughput is ~10/s — far above capacity, so
+#: a correct server must shed, not queue unboundedly.
+OPEN_LOOP_REQUESTS = 24
+OPEN_LOOP_INTERVAL_S = 0.02
+OPEN_LOOP_DEADLINE_MS = 300.0
+#: SLO slack on top of the deadline budget: checkpoint overshoot (the
+#: scan chunks are tens of ms at this size) + HTTP + thread scheduling.
+SLO_SLACK_S = 0.6
+
+
+class _RunningServer:
+    """A KSJQServer on a private event-loop thread (benchmark harness)."""
+
+    def __init__(self, engine, config):
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+        self._thread.start()
+        self.server = KSJQServer(engine, config)
+        asyncio.run_coroutine_threadsafe(self.server.start(), self.loop).result(10)
+        self.port = self.server.port
+
+    def close(self):
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self.loop).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(10)
+        self.loop.close()
+
+    def request(self, method, path, body=None, timeout=60):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=timeout)
+        conn.request(method, path, body=json.dumps(body).encode() if body else None)
+        response = conn.getresponse()
+        data = response.read()
+        conn.close()
+        return response.status, json.loads(data) if data else None
+
+
+def _serving_pair_engine(n=200):
+    """Fixed-size demo pair: naive k=12 runs ~1s, well past the budget."""
+    left, right = generate_relation_pair(n=n, d=6, g=10, a=0, seed=42)
+    engine = Engine()
+    engine.register("left", left)
+    engine.register("right", right)
+    return engine
+
+
+def _open_loop(server):
+    """Fire the arrival schedule; returns (status, wall_seconds) per request."""
+    results = []
+    lock = threading.Lock()
+    threads = []
+
+    def fire():
+        start = time.perf_counter()
+        status, _ = server.request(
+            "POST",
+            "/query",
+            {"datasets": ["left", "right"], "k": 12, "algorithm": "naive",
+             "deadline_ms": OPEN_LOOP_DEADLINE_MS},
+        )
+        with lock:
+            results.append((status, time.perf_counter() - start))
+
+    for _ in range(OPEN_LOOP_REQUESTS):
+        thread = threading.Thread(target=fire)
+        thread.start()
+        threads.append(thread)
+        time.sleep(OPEN_LOOP_INTERVAL_S)
+    for thread in threads:
+        thread.join()
+    return results
+
+
+def test_serving_open_loop_slo(benchmark):
+    """Load above capacity: shed with 429s (never unbounded queueing),
+    and every admitted request meets deadline + slack."""
+    server = _RunningServer(
+        _serving_pair_engine(),
+        ServingConfig(workers=2, max_queue=1, probe_costs=False),
+    )
+    try:
+        results = benchmark.pedantic(
+            _open_loop, args=(server,), rounds=1, iterations=1, warmup_rounds=0
+        )
+        _, metrics = server.request("GET", "/metrics")
+    finally:
+        server.close()
+
+    admitted = sorted(wall for status, wall in results if status == 200)
+    shed = sum(1 for status, _ in results if status == 429)
+    assert len(admitted) + shed == len(results), "unexpected statuses in the mix"
+    assert admitted, "at least the first arrivals must be admitted"
+    assert shed > 0, "an overloaded bounded queue must shed"
+
+    p50 = admitted[len(admitted) // 2]
+    p99 = admitted[min(len(admitted) - 1, int(0.99 * len(admitted)))]
+    budget = OPEN_LOOP_DEADLINE_MS / 1000.0
+    assert p99 <= budget + SLO_SLACK_S, (
+        f"admitted p99 {p99:.3f}s blows the {budget:.1f}s deadline SLO"
+    )
+    benchmark.extra_info["admitted"] = len(admitted)
+    benchmark.extra_info["shed"] = shed
+    benchmark.extra_info["p50_s"] = round(p50, 4)
+    benchmark.extra_info["p99_s"] = round(p99, 4)
+    benchmark.extra_info["server_metrics"] = metrics["routes"]["/query"]
+    record_artifact(benchmark, "open-loop", sum(wall for _, wall in results))
+
+
+def test_serving_progressive_first_result(benchmark):
+    """Time-to-first-pair of the chunked progressive stream: the first
+    skyline pair must reach the client before the full verify ends."""
+    server = _RunningServer(_serving_pair_engine(), ServingConfig(workers=2))
+
+    def stream_once():
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=60)
+        start = time.perf_counter()
+        conn.request(
+            "POST",
+            "/query",
+            body=json.dumps(
+                {"datasets": ["left", "right"], "k": 11, "progressive": True}
+            ).encode(),
+        )
+        response = conn.getresponse()
+        first = None
+        count = 0
+        while True:
+            raw = response.readline()
+            if not raw:
+                break
+            raw = raw.strip()
+            if not raw:
+                continue
+            line = json.loads(raw)
+            if "pair" in line:
+                count += 1
+                if first is None:
+                    first = time.perf_counter() - start
+            if line.get("done"):
+                break
+        total = time.perf_counter() - start
+        conn.close()
+        return first, total, count
+
+    try:
+        first, total, count = benchmark.pedantic(
+            stream_once, rounds=1, iterations=1, warmup_rounds=0
+        )
+    finally:
+        server.close()
+
+    assert count > 0 and first is not None
+    assert first < total, "first pair must arrive before the stream completes"
+    benchmark.extra_info["time_to_first_s"] = round(first, 4)
+    benchmark.extra_info["total_s"] = round(total, 4)
+    benchmark.extra_info["pairs"] = count
+    record_artifact(benchmark, "progressive", total)

@@ -14,16 +14,25 @@ amenities. This example:
    every query names its inputs (``engine.query("outbound", "inbound")``)
    and shares one cached join plan;
 3. prints the best itineraries and the component timing breakdown,
-   i.e. a small-scale rerun of the paper's Fig. 11.
+   i.e. a small-scale rerun of the paper's Fig. 11;
+4. boots the HTTP serving front-end over the same engine and queries
+   it as a client with a 50 ms deadline — the partial answer that
+   comes back is a verified subset of the full answer, which a second
+   (unbounded) request then retrieves.
 
 Run:  python examples/flight_stopovers.py
 """
 
+import asyncio
+import http.client
+import json
+import threading
 import warnings
 
 import repro
 from repro.datagen import make_flight_relations
 from repro.errors import SoundnessWarning
+from repro.serving.server import KSJQServer, ServingConfig
 
 
 def main() -> None:
@@ -73,6 +82,51 @@ def main() -> None:
         print(f"  via {out_leg['via']:<10} total cost {rec['cost']:>8.0f}  "
               f"total time {rec['fly_time']:.2f}h  "
               f"popularity {out_leg['popularity']:.0f}/{in_leg['popularity']:.0f}")
+
+    serving_demo(engine)
+
+
+def serving_demo(engine: "repro.Engine") -> None:
+    """Client-mode tour of the HTTP front-end (docs/serving.md):
+    a 50 ms deadline yields a partial-but-correct shortlist, the
+    unbounded rerun yields the exact answer."""
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    server = KSJQServer(engine, ServingConfig(workers=2))
+    asyncio.run_coroutine_threadsafe(server.start(), loop).result(10)
+    print(f"\nserving demo: engine now listening on {server.address}")
+
+    def post_query(payload: dict) -> dict:
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=60)
+        conn.request("POST", "/query", body=json.dumps(payload).encode())
+        body = json.loads(conn.getresponse().read())
+        conn.close()
+        return body
+
+    try:
+        query = {"datasets": ["outbound", "inbound"], "k": 8,
+                 "algorithm": "grouping", "mode": "exact", "aggregate": "sum"}
+        rushed = post_query({**query, "deadline_ms": 50})
+        full = post_query(query)
+        exact = {tuple(p) for p in full["pairs"]}
+        got = {tuple(p) for p in rushed["pairs"]}
+        if rushed["partial"]:
+            print(f"  50 ms budget: {rushed['count']}/{full['count']} "
+                  f"itineraries after {rushed['elapsed'] * 1000:.0f} ms "
+                  f"({rushed['error']['code']})")
+        else:  # a fast machine finished inside the budget — also fine
+            print(f"  50 ms budget: query completed in "
+                  f"{rushed['elapsed'] * 1000:.0f} ms, no partial needed")
+        assert got <= exact, "a partial answer is always a subset"
+        print(f"  unbounded rerun: {full['count']} itineraries "
+              f"({full['elapsed'] * 1000:.0f} ms) — partial was a subset: "
+              f"{got <= exact}")
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
 
 
 if __name__ == "__main__":

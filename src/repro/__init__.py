@@ -11,6 +11,9 @@ K-Dominant Skylines" (ICDE 2017), as a reusable Python library:
   variants, and the find-k algorithms;
 * :mod:`repro.api` — the query engine: cached join plans, cost-based
   algorithm choice, fluent query building, explain plans;
+* :mod:`repro.serving` — the asyncio HTTP/JSON front-end: per-request
+  deadlines with verified partial answers, bounded-queue admission
+  control, progressive streaming (``python -m repro.serving``);
 * :mod:`repro.datagen` — synthetic generators and the flight dataset;
 * :mod:`repro.experiments` — the harness regenerating every figure of
   the paper's evaluation.
@@ -112,14 +115,17 @@ from .core import (
     run_parallel,
 )
 from .errors import (
+    AdmissionRejected,
     AggregateError,
     AlgorithmError,
     CatalogError,
+    DeadlineExceeded,
     JoinError,
     ParameterError,
     ReproError,
     ReproWarning,
     SchemaError,
+    ServingError,
     SoundnessWarning,
 )
 from .relational import (
@@ -135,9 +141,10 @@ from .relational import (
     ThetaOp,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "AdmissionRejected",
     "AggregateError",
     "AlgorithmError",
     "AttributeSpec",
@@ -146,6 +153,7 @@ __all__ = [
     "Categorization",
     "Category",
     "Dataset",
+    "DeadlineExceeded",
     "Engine",
     "ExplainReport",
     "FATE_TABLE",
@@ -171,6 +179,7 @@ __all__ = [
     "ReproWarning",
     "Role",
     "SchemaError",
+    "ServingError",
     "ShardPlan",
     "SoundnessWarning",
     "ThetaCondition",

@@ -80,6 +80,7 @@ from ..errors import AlgorithmError, ParameterError
 from ..relational.aggregates import AggregateFunction, get_aggregate
 from ..relational.dataset import Dataset
 from ..relational.relation import Relation
+from ..serving.deadline import Deadline
 from .catalog import Catalog
 from .spec import QuerySpec
 
@@ -88,6 +89,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.incremental import MaintainedResult
     from ..relational.dataset import MutationDelta
     from ..relational.join import ThetaCondition
+    from ..serving.metrics import ServingMetrics
     from .builder import QueryBuilder, QueryInput
     from .handle import QueryHandle
 
@@ -420,7 +422,7 @@ class Engine:
 
     Concurrency contract (checked by the repo linter's R2 rule):
 
-    # guarded-by: _lock: _plans, _results, cache_stats, result_stats, _maintained, maintenance_stats
+    # guarded-by: _lock: _plans, _results, cache_stats, result_stats, _maintained, maintenance_stats, _serving_metrics
     """
 
     def __init__(
@@ -447,6 +449,9 @@ class Engine:
         # not be kept alive (and fed deltas) by the engine forever.
         self._maintained: list[weakref.ref[MaintainedResult]] = []
         self.maintenance_stats = MaintenanceStats()
+        # Serving-layer metrics, held weakly for the same reason: a
+        # stopped server must not be kept alive by its engine.
+        self._serving_metrics: weakref.ref[ServingMetrics] | None = None
 
     # ------------------------------------------------------------------
     # Catalog: named, versioned inputs
@@ -758,8 +763,9 @@ class Engine:
     def cache_info(self) -> dict[str, object]:
         """Counters + size/capacity of the plan cache, the maintenance
         counters (``maintained`` / ``fallback_recomputes`` /
-        ``delta_rows``), and — under the ``"results"`` key — the result
-        cache."""
+        ``delta_rows``), under the ``"results"`` key the result cache,
+        and — when a serving front-end is attached — its per-route
+        counters under the ``"serving"`` key."""
         with self._lock:
             info: dict[str, object] = self.cache_stats.as_dict()
             info["size"] = len(self._plans)
@@ -769,7 +775,20 @@ class Engine:
             results["size"] = len(self._results)
             results["capacity"] = self.max_results
             info["results"] = results
+            metrics = (
+                self._serving_metrics() if self._serving_metrics is not None else None
+            )
+        if metrics is not None:
+            info["serving"] = metrics.snapshot()
         return info
+
+    def attach_serving_metrics(self, metrics: "ServingMetrics") -> None:
+        """Surface a serving front-end's metrics in :meth:`cache_info`.
+
+        Called by :class:`repro.serving.server.KSJQServer` on startup.
+        The reference is weak — dropping the server detaches it."""
+        with self._lock:
+            self._serving_metrics = weakref.ref(metrics)
 
     def clear_cache(self) -> None:
         """Drop every cached plan and result (counters are kept)."""
@@ -832,6 +851,7 @@ class Engine:
         *args: QueryInput | QuerySpec,
         spec: QuerySpec | None = None,
         plan: JoinPlan | CascadePlan | None = None,
+        deadline: "Deadline | None" = None,
     ) -> QueryResult:
         """Run a spec over inputs, reusing cached plans/results that match.
 
@@ -844,7 +864,26 @@ class Engine:
         With ``max_results > 0``, a repeat of an identical spec over
         inputs at unchanged versions returns the cached result object
         without running any algorithm.
+
+        ``deadline`` bounds the run's wall clock: it is activated for
+        the duration of the call, the algorithm hot loops check it at
+        cooperative checkpoints, and on expiry the call raises
+        :class:`~repro.errors.DeadlineExceeded` carrying the partial
+        answer decided so far (a subset of this spec's full answer).
+        An expired run caches nothing — a later identical call runs
+        fresh and returns the exact full answer.
         """
+        if deadline is not None:
+            with deadline.activate():
+                return self._execute(args, spec, plan)
+        return self._execute(args, spec, plan)
+
+    def _execute(
+        self,
+        args: tuple[QueryInput | QuerySpec, ...],
+        spec: QuerySpec | None,
+        plan: JoinPlan | CascadePlan | None,
+    ) -> QueryResult:
         inputs, spec = self._split_args(args, spec)
         if plan is not None:
             return self._run(plan, spec).with_provenance(spec, plan)
@@ -1059,6 +1098,7 @@ class Engine:
         *args: QueryInput | QuerySpec,
         spec: QuerySpec | None = None,
         plan: JoinPlan | CascadePlan | None = None,
+        deadline: "Deadline | None" = None,
     ) -> Iterator[tuple[int, ...]]:
         """Progressive results: yield skyline tuples as they are decided.
 
@@ -1068,6 +1108,13 @@ class Engine:
         wrap :func:`~repro.core.cascade.cascade_progressive` and yield
         m-tuples of row indexes, each emitted as soon as its
         verification against the chain set decides it.
+
+        ``deadline`` bounds the stream's *compute* time: it is
+        activated around every resume of the underlying generator (the
+        consumer may hold the iterator suspended indefinitely without
+        burning budget bookkeeping on other threads), and an expiry
+        raises :class:`~repro.errors.DeadlineExceeded` from ``next()``
+        with the already-yielded tuples as the partial answer.
         """
         relations, spec = self._split_args(args, spec)
         if spec.problem != "ksjq":
@@ -1078,13 +1125,17 @@ class Engine:
             algorithm = spec.algorithm
             if algorithm == "auto":
                 algorithm, _, _ = choose_cascade_algorithm(plan, spec.mode)
-            return cascade_progressive(plan, spec.k, algorithm=algorithm)
-        if spec.mode != "faithful":
-            raise AlgorithmError(
-                "progressive streaming emits Theorem-1/3 'yes' tuples unverified; "
-                "it is only defined for mode='faithful'"
-            )
-        return ksjq_progressive(plan, spec.k)
+            stream = cascade_progressive(plan, spec.k, algorithm=algorithm)
+        else:
+            if spec.mode != "faithful":
+                raise AlgorithmError(
+                    "progressive streaming emits Theorem-1/3 'yes' tuples "
+                    "unverified; it is only defined for mode='faithful'"
+                )
+            stream = ksjq_progressive(plan, spec.k)
+        if deadline is None:
+            return stream
+        return _deadline_scoped(stream, deadline)
 
     # ------------------------------------------------------------------
     # Explanation
@@ -1202,3 +1253,22 @@ def _stale(tokens: object, uid: int, version: int) -> bool:
         and tok[3] != version
         for tok in tokens
     )
+
+
+def _deadline_scoped(
+    stream: Iterator[tuple[int, ...]], deadline: Deadline
+) -> Iterator[tuple[int, ...]]:
+    """Activate ``deadline`` around every resume of ``stream``.
+
+    The thread-local active deadline must only be installed while the
+    generator is actually computing: a consumer may hold the iterator
+    suspended across unrelated engine calls on the same thread, and
+    those must not inherit this request's budget.
+    """
+    while True:
+        with deadline.activate():
+            try:
+                item = next(stream)
+            except StopIteration:
+                return
+        yield item

@@ -34,6 +34,7 @@ from ..errors import ParameterError
 from .spec import QuerySpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..serving.deadline import Deadline
     from .builder import QueryInput
     from .engine import Engine, ExplainReport
 
@@ -90,15 +91,21 @@ class QueryHandle:
         return self.versions() == self._executed_versions
 
     # ------------------------------------------------------------------
-    def execute(self) -> QueryResult:
+    def execute(self, deadline: "Deadline | None" = None) -> QueryResult:
         """Run the query against the *latest* dataset versions.
 
         Always executes (through the engine's plan/result caches, so a
         repeat over unchanged versions is cheap) and records the
         versions it ran against for later freshness checks.
+
+        ``deadline`` is forwarded to :meth:`Engine.execute`; an expired
+        run raises :class:`~repro.errors.DeadlineExceeded` and leaves
+        the handle's cached result and versions untouched.
         """
         versions = self.versions()
-        result = self._engine.execute(*self._inputs, spec=self.spec)
+        result = self._engine.execute(
+            *self._inputs, spec=self.spec, deadline=deadline
+        )
         self._result = result
         self._executed_versions = versions
         return result

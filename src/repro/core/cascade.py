@@ -53,10 +53,12 @@ from ..errors import JoinError, ParameterError
 from ..relational.aggregates import AggregateFunction
 from ..relational.join import HopSpec, theta_conjunction_mask
 from ..relational.relation import Relation
+from ..serving.deadline import DEFAULT_CHECK_INTERVAL, active_deadline
 from ..skyline.dominance import is_k_dominated
 from ..skyline.kdominant import k_dominant_skyline
 from .result import QueryResult
 from .timing import PhaseClock, TimingBreakdown
+from .verify import checkpointed_skyline
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from collections.abc import Callable
@@ -295,6 +297,11 @@ def cascade_chains(
         if keep is not None
         else [np.arange(len(rel)) for rel in relations]
     )
+    # Serving deadline (if any): the chain count can explode
+    # combinatorially, so enumeration itself is a cancellation point.
+    # Nothing is verified yet, so the partial answer is empty.
+    deadline = active_deadline()
+    ticks = 0
     chains = masks[0].reshape(-1, 1)
     for idx, hop in enumerate(hops):
         partners_of = _partner_lookup(
@@ -302,6 +309,10 @@ def cascade_chains(
         )
         out: list[IntVector] = []
         for chain in chains:
+            if deadline is not None:
+                ticks += 1
+                if ticks % DEFAULT_CHECK_INTERVAL == 0:
+                    deadline.check()
             for partner in partners_of(int(chain[-1])):
                 out.append(np.append(chain, partner))
         chains = (
@@ -401,7 +412,18 @@ def run_cascade_naive(plan: "CascadePlan", k: int) -> CascadeResult:
         all_chains = plan.chains()
         matrix = plan.oriented()
     with clock.phase("remaining"):
-        skyline_idx = k_dominant_skyline(matrix, k)
+        deadline = active_deadline()
+        if deadline is not None:
+            skyline_idx = checkpointed_skyline(
+                matrix,
+                k,
+                deadline,
+                lambda survivors: tuple(
+                    tuple(int(x) for x in all_chains[i]) for i in survivors
+                ),
+            )
+        else:
+            skyline_idx = k_dominant_skyline(matrix, k)
     return CascadeResult(
         k=k,
         chains=all_chains[skyline_idx],
@@ -426,11 +448,25 @@ def run_cascade_pruned(plan: "CascadePlan", k: int) -> CascadeResult:
         candidates, cand_matrix = plan.pruned_candidates(k)
     with clock.phase("remaining"):
         full_sorted = plan.sorted_oriented()
-        keep_idx = [
-            pos
-            for pos in range(candidates.shape[0])
-            if not is_k_dominated(full_sorted, cand_matrix[pos], k)
-        ]
+        deadline = active_deadline()
+        if deadline is not None:
+            keep_idx = []
+
+            def partial() -> tuple[tuple[int, ...], ...]:
+                return tuple(
+                    tuple(int(x) for x in candidates[pos]) for pos in keep_idx
+                )
+
+            for pos in range(candidates.shape[0]):
+                deadline.check(partial)
+                if not is_k_dominated(full_sorted, cand_matrix[pos], k):
+                    keep_idx.append(pos)
+        else:
+            keep_idx = [
+                pos
+                for pos in range(candidates.shape[0])
+                if not is_k_dominated(full_sorted, cand_matrix[pos], k)
+            ]
     return CascadeResult(
         k=k,
         chains=candidates[keep_idx],
@@ -469,14 +505,25 @@ def cascade_progressive(
         plan.require_strict_aggregate("pruned")
 
     def generate() -> Iterator[tuple[int, ...]]:
+        deadline = active_deadline()
+        emitted: list[tuple[int, ...]] = []
+
+        def partial() -> tuple[tuple[int, ...], ...]:
+            return tuple(emitted)
+
         if algorithm == "pruned":
             candidates, cand_matrix = plan.pruned_candidates(k)
         else:
             candidates, cand_matrix = plan.chains(), plan.oriented()
         full_sorted = plan.sorted_oriented()
         for pos in range(candidates.shape[0]):
+            if deadline is not None:
+                deadline.check(partial)
             if not is_k_dominated(full_sorted, cand_matrix[pos], k):
-                yield tuple(int(x) for x in candidates[pos])
+                chain = tuple(int(x) for x in candidates[pos])
+                if deadline is not None:
+                    emitted.append(chain)
+                yield chain
 
     return generate()
 

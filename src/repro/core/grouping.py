@@ -37,6 +37,7 @@ import numpy as np
 
 from ..errors import AlgorithmError, SoundnessWarning
 from ..relational.join import JoinedView
+from ..serving.deadline import Deadline, PartialProvider, active_deadline
 from ..skyline.dominance import is_k_dominated
 from .categorize import Categorization
 from .params import KSJQParams
@@ -93,6 +94,28 @@ def _vector_view(plan: JoinPlan) -> JoinedView:
     )
 
 
+def _partial_provider(
+    accepted: list[IntMatrix],
+    cell_pairs: IntMatrix | None = None,
+    keep: list[int] | None = None,
+) -> PartialProvider:
+    """Pairs decided so far, for a ``DeadlineExceeded`` payload.
+
+    ``accepted`` holds the cells already fully decided; ``cell_pairs``
+    and ``keep`` (mutated in place by the caller's verification loop)
+    add the in-flight cell's verified keeps. Only evaluated when a
+    deadline actually trips.
+    """
+
+    def partial() -> tuple[tuple[int, ...], ...]:
+        pairs = [tuple(int(x) for x in row) for cell in accepted for row in cell]
+        if cell_pairs is not None and keep:
+            pairs.extend(tuple(int(x) for x in cell_pairs[pos]) for pos in keep)
+        return tuple(pairs)
+
+    return partial
+
+
 def run_grouping(plan: JoinPlan, k: int, mode: str = "faithful") -> KSJQResult:
     """Run Algorithm 2 on a prepared join plan."""
     if mode not in ("faithful", "exact"):
@@ -115,26 +138,37 @@ def run_grouping(plan: JoinPlan, k: int, mode: str = "faithful") -> KSJQResult:
 
     accepted: list[IntMatrix] = []
     checked = 0
+    deadline = active_deadline()
     with clock.phase("remaining"):
         if mode == "faithful":
             accepted.append(cells["SS*SS"])  # Th. 1/3: "yes" without checking
             checked += _verify_likely(
-                plan, vec_view, params, cells["SS*SN"], ss_side="left", out=accepted
+                plan, vec_view, params, cells["SS*SN"], ss_side="left", out=accepted,
+                deadline=deadline,
             )
             checked += _verify_likely(
-                plan, vec_view, params, cells["SN*SS"], ss_side="right", out=accepted
+                plan, vec_view, params, cells["SN*SS"], ss_side="right", out=accepted,
+                deadline=deadline,
             )
             if cells["SN*SN"].shape[0]:
                 vectors = vec_view.oriented_for_pairs(cells["SN*SN"])
-                keep = [
-                    i
-                    for i in range(vectors.shape[0])
-                    if not is_k_dominated(full_matrix, vectors[i], k)
-                ]
+                keep: list[int] = []
+                partial = (
+                    _partial_provider(accepted, cells["SN*SN"], keep)
+                    if deadline is not None
+                    else None
+                )
+                for i in range(vectors.shape[0]):
+                    if deadline is not None:
+                        deadline.check(partial)
+                    if not is_k_dominated(full_matrix, vectors[i], k):
+                        keep.append(i)
                 checked += vectors.shape[0]
                 accepted.append(cells["SN*SN"][keep])
         else:
-            checked += _verify_exact(plan, vec_view, params, cells, accepted)
+            checked += _verify_exact(
+                plan, vec_view, params, cells, accepted, deadline=deadline
+            )
 
     pairs = (
         np.concatenate([c for c in accepted if c.shape[0]], axis=0)
@@ -161,6 +195,7 @@ def _verify_likely(
     cell_pairs: IntMatrix,
     ss_side: str,
     out: list[IntMatrix],
+    deadline: Deadline | None = None,
 ) -> int:
     """Check one "likely" cell against target-set joins (Algo 2 lines 8-9).
 
@@ -178,7 +213,12 @@ def _verify_likely(
         by_anchor.setdefault(int(cell_pairs[pos, anchor_col]), []).append(pos)
 
     keep: list[int] = []
+    partial = (
+        _partial_provider(out, cell_pairs, keep) if deadline is not None else None
+    )
     for anchor, positions in by_anchor.items():
+        if deadline is not None:
+            deadline.check(partial)
         if ss_side == "left":
             targets = target_rows_paper(plan.left, anchor, params.k1_prime)
             candidates = plan.compatible_pairs(targets, np.arange(len(plan.right)))
@@ -190,6 +230,8 @@ def _verify_likely(
             continue
         matrix = sort_rows_for_early_exit(vec_view.oriented_for_pairs(candidates))
         for pos in positions:
+            if deadline is not None:
+                deadline.check(partial)
             if not is_k_dominated(matrix, vectors[pos], k):
                 keep.append(pos)
     out.append(cell_pairs[sorted(keep)])
@@ -202,6 +244,7 @@ def _verify_exact(
     params: KSJQParams,
     cells: dict[str, IntMatrix],
     out: list[IntMatrix],
+    deadline: Deadline | None = None,
 ) -> int:
     """Exact mode: verify every candidate cell with complete target sets."""
     k = params.k
@@ -214,7 +257,12 @@ def _verify_exact(
             continue
         vectors = vec_view.oriented_for_pairs(cell_pairs)
         keep: list[int] = []
+        partial = (
+            _partial_provider(out, cell_pairs, keep) if deadline is not None else None
+        )
         for pos in range(cell_pairs.shape[0]):
+            if deadline is not None:
+                deadline.check(partial)
             u, v = int(cell_pairs[pos, 0]), int(cell_pairs[pos, 1])
             if u not in left_cache:
                 left_cache[u] = target_rows_exact(plan.left, u, params.k1_min_local)

@@ -5,14 +5,22 @@ computation over it (paper Sec. 6.1). Simple, always correct (it is the
 ground truth the optimized algorithms are tested against), but it pays
 the full join cost and the full skyline cost, and produces no results
 until the join finishes.
+
+When a serving deadline is active (:func:`~repro.serving.deadline
+.active_deadline`), the skyline pass switches to the chunked
+:func:`~repro.core.verify.checkpointed_skyline` — the same answer, but
+cancellable between candidate chunks with the verified survivors as the
+partial answer.
 """
 
 from __future__ import annotations
 
+from ..serving.deadline import active_deadline
 from ..skyline.kdominant import k_dominant_skyline
 from .plan import JoinPlan
 from .result import KSJQResult
 from .timing import PhaseClock
+from .verify import checkpointed_skyline
 
 __all__ = ["run_naive"]
 
@@ -36,7 +44,18 @@ def run_naive(plan: JoinPlan, k: int, skyline_method: str = "tsa") -> KSJQResult
         view = plan.view()
         matrix = view.oriented()
     with clock.phase("remaining"):
-        skyline_idx = k_dominant_skyline(matrix, k, method=skyline_method)
+        deadline = active_deadline()
+        if deadline is not None:
+            skyline_idx = checkpointed_skyline(
+                matrix,
+                k,
+                deadline,
+                lambda survivors: tuple(
+                    (int(view.pairs[i, 0]), int(view.pairs[i, 1])) for i in survivors
+                ),
+            )
+        else:
+            skyline_idx = k_dominant_skyline(matrix, k, method=skyline_method)
         pairs = view.pairs[skyline_idx]
     return KSJQResult(
         algorithm="naive",

@@ -50,6 +50,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..serving.deadline import DEFAULT_CHECK_INTERVAL, active_deadline
 from ..skyline.dominance import k_dominated_any
 from ..skyline.kdominant import k_dominant_candidates_block
 from .result import KSJQResult
@@ -327,7 +328,11 @@ def _map_tasks(
 
 
 def _sharded_skyline(
-    matrix: FloatMatrix, k: int, shards: ShardPlan, clock: PhaseClock
+    matrix: FloatMatrix,
+    k: int,
+    shards: ShardPlan,
+    clock: PhaseClock,
+    partial_of: Callable[[Sequence[int]], tuple[tuple[int, ...], ...]] | None = None,
 ) -> tuple[IntVector, int]:
     """The two-phase partition-and-merge skyline over ``matrix``.
 
@@ -335,9 +340,24 @@ def _sharded_skyline(
     generation. Phase 2 ("remaining"): cross-shard verification of the
     merged candidates against all rows. Returns ``(sorted surviving row
     indices, number of candidates verified)``.
+
+    When a serving deadline is active, checks run between the phases
+    and between verification *waves*: the candidate chunks shrink to
+    :data:`~repro.serving.deadline.DEFAULT_CHECK_INTERVAL` rows and are
+    dispatched ``n_shards`` at a time, so a deadline trips within one
+    wave's work. ``partial_of`` maps the row indices verified so far to
+    the pairs/chains carried by the raised ``DeadlineExceeded``.
     """
+    deadline = active_deadline()
+    survivors: list[int] = []
+
+    def partial() -> tuple[tuple[int, ...], ...]:
+        return partial_of(survivors) if partial_of is not None else ()
+
     n = matrix.shape[0]
     with clock.phase("grouping"):
+        if deadline is not None:
+            deadline.check(partial)
         bounds = shard_bounds(n, shards.n_shards)
         locals_ = _map_tasks(
             _shard_candidates,
@@ -350,26 +370,48 @@ def _sharded_skyline(
     with clock.phase("remaining"):
         if candidates.size == 0:
             return candidates, 0
+        if deadline is not None:
+            deadline.check(partial)
         # Cross-shard merge: every candidate re-checked against ALL
         # rows (k-dominance is non-transitive — locally eliminated rows
         # still eliminate), with strong rows stacked first for early
         # exit. The sorted matrix travels to workers as fork-inherited
         # shared state, not one pickled copy per chunk.
         sorted_matrix = sort_rows_for_early_exit(matrix)
-        chunk_bounds = shard_bounds(candidates.size, shards.n_shards)
+        if deadline is None:
+            chunk_bounds = shard_bounds(candidates.size, shards.n_shards)
+            with _shared_payload(sorted_matrix) as payload_key:
+                dominated = np.concatenate(
+                    _map_tasks(
+                        _verify_chunk,
+                        [
+                            (payload_key, matrix[candidates[start:stop]], k)
+                            for start, stop in chunk_bounds
+                        ],
+                        shards,
+                        needs_shared_state=True,
+                    )
+                )
+            return candidates[~dominated], int(candidates.size)
+        step = DEFAULT_CHECK_INTERVAL
+        chunk_bounds = [
+            (start, min(start + step, int(candidates.size)))
+            for start in range(0, int(candidates.size), step)
+        ]
         with _shared_payload(sorted_matrix) as payload_key:
-            dominated = np.concatenate(
-                _map_tasks(
+            for wave_start in range(0, len(chunk_bounds), shards.n_shards):
+                deadline.check(partial)
+                wave = chunk_bounds[wave_start : wave_start + shards.n_shards]
+                flags = _map_tasks(
                     _verify_chunk,
-                    [
-                        (payload_key, matrix[candidates[start:stop]], k)
-                        for start, stop in chunk_bounds
-                    ],
+                    [(payload_key, matrix[candidates[start:stop]], k) for start, stop in wave],
                     shards,
                     needs_shared_state=True,
                 )
-            )
-        return candidates[~dominated], int(candidates.size)
+                for (start, stop), dominated in zip(wave, flags):
+                    survivors.extend(int(c) for c in candidates[start:stop][~dominated])
+        deadline.check(partial)
+        return np.asarray(survivors, dtype=np.intp), int(candidates.size)
 
 
 # ----------------------------------------------------------------------
@@ -402,7 +444,15 @@ def run_parallel(
         matrix = view.oriented()
     if shards is None:
         shards = plan_shards(matrix.shape[0], "auto", matrix.shape[1])
-    keep, checked = _sharded_skyline(matrix, k, shards, clock)
+    keep, checked = _sharded_skyline(
+        matrix,
+        k,
+        shards,
+        clock,
+        partial_of=lambda survivors: tuple(
+            (int(view.pairs[i, 0]), int(view.pairs[i, 1])) for i in survivors
+        ),
+    )
     return KSJQResult(
         algorithm="parallel",
         mode="exact",
@@ -432,7 +482,15 @@ def run_cascade_parallel(
         matrix = plan.oriented()
     if shards is None:
         shards = plan_shards(matrix.shape[0], "auto", matrix.shape[1])
-    keep, _ = _sharded_skyline(matrix, k, shards, clock)
+    keep, _ = _sharded_skyline(
+        matrix,
+        k,
+        shards,
+        clock,
+        partial_of=lambda survivors: tuple(
+            tuple(int(x) for x in all_chains[i]) for i in survivors
+        ),
+    )
     return CascadeResult(
         k=k,
         chains=all_chains[keep],

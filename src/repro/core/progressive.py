@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..serving.deadline import active_deadline
 from ..skyline.dominance import is_k_dominated
 from .grouping import _vector_view, collect_cells, warn_if_unsound
 from .plan import JoinPlan
@@ -61,8 +62,20 @@ def ksjq_progressive(plan: JoinPlan, k: int) -> Iterator[tuple[int, int]]:
     cells = collect_cells(plan, cat1, cat2)
     vec_view = _vector_view(plan)
 
+    # Serving deadline (if any): checked before each pair is decided,
+    # with the pairs already yielded as the partial answer — every one
+    # of them is in this spec's full answer, so partial ⊆ full holds.
+    deadline = active_deadline()
+    emitted: list[tuple[int, int]] = []
+
+    def partial() -> tuple[tuple[int, ...], ...]:
+        return tuple(emitted)
+
     # Stage 1: Theorem 1/3 "yes" tuples — no joins, no checks.
     for pair in cells["SS*SS"]:
+        if deadline is not None:
+            deadline.check(partial)
+            emitted.append((int(pair[0]), int(pair[1])))
         yield int(pair[0]), int(pair[1])
 
     # Stage 2: "likely" cells, verified against per-anchor target joins.
@@ -74,6 +87,8 @@ def ksjq_progressive(plan: JoinPlan, k: int) -> Iterator[tuple[int, int]]:
         target_cache: dict[int, IntVector] = {}
         anchor_col = 0 if ss_side == "left" else 1
         for pos in range(cell_pairs.shape[0]):
+            if deadline is not None:
+                deadline.check(partial)
             anchor = int(cell_pairs[pos, anchor_col])
             if anchor not in target_cache:
                 if ss_side == "left":
@@ -89,6 +104,8 @@ def ksjq_progressive(plan: JoinPlan, k: int) -> Iterator[tuple[int, int]]:
                 matrix = vec_view.oriented_for_pairs(candidates)
                 target_cache[anchor] = sort_rows_for_early_exit(matrix)
             if not is_k_dominated(target_cache[anchor], vectors[pos], k):
+                if deadline is not None:
+                    emitted.append((int(cell_pairs[pos, 0]), int(cell_pairs[pos, 1])))
                 yield int(cell_pairs[pos, 0]), int(cell_pairs[pos, 1])
 
     # Stage 3: "may be" cell against the full join — materialized only
@@ -98,5 +115,9 @@ def ksjq_progressive(plan: JoinPlan, k: int) -> Iterator[tuple[int, int]]:
         full_matrix = sort_rows_for_early_exit(plan.view().oriented())
         vectors = vec_view.oriented_for_pairs(maybe)
         for pos in range(maybe.shape[0]):
+            if deadline is not None:
+                deadline.check(partial)
             if not is_k_dominated(full_matrix, vectors[pos], k):
+                if deadline is not None:
+                    emitted.append((int(maybe[pos, 0]), int(maybe[pos, 1])))
                 yield int(maybe[pos, 0]), int(maybe[pos, 1])

@@ -10,7 +10,7 @@ dominate each other.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 
 from typing import TYPE_CHECKING
@@ -18,13 +18,20 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..relational.join import JoinedView
-from ..skyline.dominance import is_k_dominated
+from ..serving.deadline import DEFAULT_CHECK_INTERVAL, Deadline
+from ..skyline.dominance import is_k_dominated, k_dominated_any
+from ..skyline.kdominant import k_dominant_candidates_block
 from .plan import JoinPlan
 
 if TYPE_CHECKING:
-    from .._typing import FloatMatrix, FloatVector
+    from .._typing import FloatMatrix, FloatVector, IntVector
 
-__all__ = ["dominated_by_target_join", "dominated_in_matrix", "sort_rows_for_early_exit"]
+__all__ = [
+    "checkpointed_skyline",
+    "dominated_by_target_join",
+    "dominated_in_matrix",
+    "sort_rows_for_early_exit",
+]
 
 
 def dominated_by_target_join(
@@ -63,3 +70,60 @@ def sort_rows_for_early_exit(matrix: FloatMatrix) -> FloatMatrix:
         return matrix
     order = np.argsort(matrix.sum(axis=1), kind="stable")
     return matrix[order]
+
+
+#: Candidate rows verified between two deadline checks in
+#: :func:`checkpointed_skyline` — one check interval per vectorized
+#: :func:`~repro.skyline.dominance.k_dominated_any` chunk.
+DEADLINE_VERIFY_CHUNK = DEFAULT_CHECK_INTERVAL
+
+#: Rows per candidate-generation chunk in :func:`checkpointed_skyline`.
+#: Chunk-local candidate scans see fewer potential dominators than one
+#: whole-matrix scan, so they survive a *superset* of candidates — the
+#: exact verification pass still decides every one of them — but each
+#: chunk is short enough (the block scan is superlinear in its input)
+#: to keep deadline overshoot within tens of milliseconds.
+DEADLINE_SCAN_CHUNK = 1024
+
+
+def checkpointed_skyline(
+    matrix: FloatMatrix,
+    k: int,
+    deadline: Deadline,
+    partial_of: Callable[[Sequence[int]], tuple[tuple[int, ...], ...]],
+) -> IntVector:
+    """Exact k-dominant skyline with cooperative deadline checkpoints.
+
+    Same answer (same sorted row indices) as
+    :func:`~repro.skyline.kdominant.k_dominant_skyline`, but both scans
+    run chunked — candidate generation over
+    :data:`DEADLINE_SCAN_CHUNK`-row slices, verification over
+    :data:`DEADLINE_VERIFY_CHUNK`-candidate slices — with a
+    :meth:`Deadline.check` between chunks. On expiry the raised
+    :class:`~repro.errors.DeadlineExceeded` carries
+    ``partial_of(survivors)``, where ``survivors`` are the row indices
+    fully verified so far — always a subset of the exact answer.
+    """
+    survivors: list[int] = []
+
+    def partial() -> tuple[tuple[int, ...], ...]:
+        return partial_of(survivors)
+
+    n = int(matrix.shape[0])
+    local_candidates: list[IntVector] = []
+    for start in range(0, n, DEADLINE_SCAN_CHUNK):
+        deadline.check(partial)
+        stop = min(start + DEADLINE_SCAN_CHUNK, n)
+        local_candidates.append(k_dominant_candidates_block(matrix[start:stop], k) + start)
+    candidates = (
+        np.concatenate(local_candidates) if local_candidates else np.empty(0, dtype=np.intp)
+    )
+    deadline.check(partial)
+    sorted_matrix = sort_rows_for_early_exit(matrix)
+    for start in range(0, int(candidates.size), DEADLINE_VERIFY_CHUNK):
+        deadline.check(partial)
+        chunk = candidates[start : start + DEADLINE_VERIFY_CHUNK]
+        dominated = k_dominated_any(sorted_matrix, matrix[chunk], k)
+        survivors.extend(int(c) for c in chunk[~dominated])
+    deadline.check(partial)
+    return np.asarray(survivors, dtype=np.intp)

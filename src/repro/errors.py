@@ -15,6 +15,9 @@ __all__ = [
     "AggregateError",
     "AlgorithmError",
     "CatalogError",
+    "ServingError",
+    "DeadlineExceeded",
+    "AdmissionRejected",
     "ReproWarning",
     "SoundnessWarning",
 ]
@@ -67,6 +70,87 @@ class CatalogError(ReproError):
     Raised when a query names a dataset that was never registered, or
     when a registration conflicts with an existing entry.
     """
+
+
+class ServingError(ReproError):
+    """Base class for errors raised by the serving front-end.
+
+    Serving errors carry a stable machine-readable ``code`` so the HTTP
+    layer can render them as structured JSON error bodies instead of
+    tracebacks.
+    """
+
+    #: Machine-readable error code rendered in JSON error bodies.
+    code = "serving_error"
+
+
+class DeadlineExceeded(ServingError):
+    """A query's deadline expired at a cooperative checkpoint.
+
+    Raised from the cancellation checkpoints inside the algorithm hot
+    loops (see :mod:`repro.serving.deadline`). Carries the progressive
+    *partial answer* decided before expiry: every pair (or chain) in
+    ``partial_pairs`` was fully verified — or is a Theorem-1/3 "yes"
+    tuple of a faithful-mode query — so the partial answer is always a
+    subset of the full answer the same spec would return.
+
+    Attributes
+    ----------
+    partial_pairs:
+        Tuples of row indices decided before expiry (``(left, right)``
+        pairs for two-way queries, m-tuples for cascades). Plain Python
+        ints so the error is cheap to serialize.
+    elapsed:
+        Seconds consumed when the deadline tripped.
+    budget:
+        The deadline budget in seconds.
+    """
+
+    code = "deadline_exceeded"
+
+    def __init__(
+        self,
+        message: str,
+        partial_pairs: tuple[tuple[int, ...], ...] = (),
+        elapsed: float = 0.0,
+        budget: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.partial_pairs = partial_pairs
+        self.elapsed = elapsed
+        self.budget = budget
+
+    @property
+    def partial(self) -> bool:
+        """Does this error carry a (possibly empty) partial answer?"""
+        return True
+
+
+class AdmissionRejected(ServingError):
+    """The serving layer shed this request instead of queueing it.
+
+    Raised by :class:`repro.serving.admission.AdmissionController` when
+    the worker pool is saturated and the bounded queue is full (or the
+    request's cost probe prices it out of a congested queue). Rendered
+    as HTTP 429 with a ``Retry-After`` hint.
+
+    Attributes
+    ----------
+    retry_after:
+        Suggested client back-off in seconds (EWMA service time times
+        the queue depth ahead of the request).
+    queue_depth:
+        Requests queued or running when the rejection was decided.
+    """
+
+    code = "admission_rejected"
+
+    def __init__(
+        self, message: str, retry_after: float = 1.0, queue_depth: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.queue_depth = queue_depth
 
 
 class ReproWarning(UserWarning):

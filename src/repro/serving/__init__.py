@@ -1,0 +1,75 @@
+"""repro.serving — the asyncio HTTP/JSON serving subsystem.
+
+Turns an :class:`repro.api.Engine` into a long-lived service:
+
+* :mod:`repro.serving.deadline` — per-request deadlines propagated to
+  the algorithm layer via cooperative cancellation checkpoints
+  (:class:`Deadline`, :func:`active_deadline`);
+* :mod:`repro.serving.admission` — bounded-queue admission control and
+  load shedding (:class:`AdmissionController`), with a cost probe over
+  the engine's plan statistics;
+* :mod:`repro.serving.metrics` — per-route counters and latency
+  histograms (:class:`ServingMetrics`) surfaced at ``/metrics`` and in
+  ``Engine.cache_info()``;
+* :mod:`repro.serving.server` — the asyncio server itself
+  (:class:`KSJQServer`): ``POST /query``, ``POST /find_k``,
+  ``GET /healthz``, ``GET /metrics``, with progressive JSON-lines
+  streaming over chunked responses.
+
+Run the demo server with ``python -m repro.serving``.
+
+Exports resolve lazily (PEP 562): the algorithm layer imports
+:mod:`repro.serving.deadline` for its checkpoints, and an eager
+``from .server import ...`` here would close an import cycle back
+through :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .admission import AdmissionController, CostProbe
+    from .deadline import DEFAULT_CHECK_INTERVAL, Deadline, active_deadline
+    from .metrics import LatencyHistogram, ServingMetrics
+    from .server import KSJQServer, ServingConfig
+
+__all__ = [
+    "AdmissionController",
+    "CostProbe",
+    "DEFAULT_CHECK_INTERVAL",
+    "Deadline",
+    "KSJQServer",
+    "LatencyHistogram",
+    "ServingConfig",
+    "ServingMetrics",
+    "active_deadline",
+]
+
+_LAZY = {
+    "AdmissionController": "admission",
+    "CostProbe": "admission",
+    "DEFAULT_CHECK_INTERVAL": "deadline",
+    "Deadline": "deadline",
+    "active_deadline": "deadline",
+    "LatencyHistogram": "metrics",
+    "ServingMetrics": "metrics",
+    "KSJQServer": "server",
+    "ServingConfig": "server",
+}
+
+
+def __getattr__(name: str) -> object:
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value  # cache for the next lookup
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

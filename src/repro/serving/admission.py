@@ -1,0 +1,177 @@
+"""Admission control: bounded queueing and load shedding.
+
+The server runs engine calls on a fixed executor pool of
+``max_workers`` threads. Without admission control, load above
+capacity queues without bound — every request eventually "succeeds"
+with unbounded latency, which for a deadline-driven service is the
+worst possible behavior. :class:`AdmissionController` bounds the
+queue instead: once ``max_workers + max_queue`` requests are in
+flight, further arrivals are *shed* with a typed
+:class:`~repro.errors.AdmissionRejected` (HTTP 429) carrying a
+``Retry-After`` hint derived from the EWMA service time and the queue
+depth ahead of the rejected request.
+
+A congested (but not full) queue can additionally price out
+*expensive* requests: :class:`CostProbe` estimates a request's cost
+from the engine's cost model — :class:`~repro.core.plan.PlanStats`
+cardinalities feeding :func:`~repro.api.engine.choose_algorithm`'s
+dominance-comparison estimates — and requests whose estimate exceeds
+``soft_cost_limit`` are shed while they would have to queue
+(they still run when a worker is free immediately).
+
+Concurrency: the controller is **event-loop-confined** — every method
+is called on the event loop thread (reserve on arrival, release after
+``await run_in_executor`` resumes), so it needs no locks. That is
+exactly what the repo linter's R5 rule enforces for the serving
+package: no lock acquisition inside ``async def``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import AdmissionRejected
+
+if TYPE_CHECKING:
+    from ..api.engine import Engine
+    from ..api.spec import QuerySpec
+
+__all__ = ["AdmissionController", "CostProbe"]
+
+#: Smoothing factor of the EWMA service-time estimate.
+_EWMA_ALPHA = 0.2
+
+#: Initial service-time guess (seconds) before any request completes.
+_INITIAL_SERVICE_ESTIMATE = 0.05
+
+#: Floor of the Retry-After hint, seconds.
+_MIN_RETRY_AFTER = 0.05
+
+
+class AdmissionController:
+    """Bounded-queue admission with cost-aware soft shedding.
+
+    Parameters
+    ----------
+    max_workers:
+        Executor threads actually running engine calls.
+    max_queue:
+        Requests allowed to wait beyond the running ones; arrivals
+        past ``max_workers + max_queue`` are shed.
+    soft_cost_limit:
+        Optional cost threshold (dominance-comparison units, the
+        :class:`CostProbe` scale): congested arrivals estimated above
+        it are shed even while the queue has room. ``None`` disables
+        the soft policy.
+    """
+
+    def __init__(
+        self,
+        max_workers: int,
+        max_queue: int,
+        soft_cost_limit: float | None = None,
+    ) -> None:
+        self.max_workers = max(1, int(max_workers))
+        self.max_queue = max(0, int(max_queue))
+        self.soft_cost_limit = soft_cost_limit
+        self._in_flight = 0
+        self._ewma_service = _INITIAL_SERVICE_ESTIMATE
+        self.shed_total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Requests admitted and not yet released (running + queued)."""
+        return self._in_flight
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted requests beyond the worker count (i.e. waiting)."""
+        return max(0, self._in_flight - self.max_workers)
+
+    @property
+    def capacity(self) -> int:
+        """Hard in-flight bound (``max_workers + max_queue``)."""
+        return self.max_workers + self.max_queue
+
+    def retry_after(self) -> float:
+        """Suggested client back-off: the estimated time for the
+        current queue to drain one slot."""
+        waves = (self.queue_depth // self.max_workers) + 1
+        return max(_MIN_RETRY_AFTER, self._ewma_service * waves)
+
+    # ------------------------------------------------------------------
+    def reserve(self, cost: float | None = None) -> None:
+        """Admit one request or raise :class:`AdmissionRejected`.
+
+        ``cost`` (when known from the probe) enables the soft policy:
+        a request that would have to queue is shed when its estimate
+        exceeds ``soft_cost_limit``. Callers must pair every
+        successful ``reserve`` with exactly one :meth:`release`.
+        """
+        depth = self._in_flight
+        if depth >= self.capacity:
+            self.shed_total += 1
+            raise AdmissionRejected(
+                f"server saturated: {depth} requests in flight "
+                f"(capacity {self.capacity})",
+                retry_after=self.retry_after(),
+                queue_depth=depth,
+            )
+        if (
+            cost is not None
+            and self.soft_cost_limit is not None
+            and depth >= self.max_workers
+            and cost > self.soft_cost_limit
+        ):
+            self.shed_total += 1
+            raise AdmissionRejected(
+                f"queue congested ({depth} in flight) and estimated cost "
+                f"{cost:.3g} exceeds the soft limit {self.soft_cost_limit:.3g}",
+                retry_after=self.retry_after(),
+                queue_depth=depth,
+            )
+        self._in_flight += 1
+
+    def release(self, service_seconds: float | None = None) -> None:
+        """Return one admitted request's slot; feed the EWMA when the
+        request actually ran (``service_seconds`` is not ``None``)."""
+        self._in_flight = max(0, self._in_flight - 1)
+        if service_seconds is not None and service_seconds >= 0:
+            self._ewma_service += _EWMA_ALPHA * (
+                service_seconds - self._ewma_service
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<AdmissionController in_flight={self._in_flight}/"
+            f"{self.capacity} ewma={self._ewma_service * 1000:.1f}ms "
+            f"shed={self.shed_total}>"
+        )
+
+
+class CostProbe:
+    """Pre-admission cost estimate from the engine's cost model.
+
+    Wraps :meth:`Engine.explain`: binding the plan is cheap (group
+    index arithmetic over :class:`~repro.core.plan.PlanStats`
+    cardinalities — the same statistics that feed
+    ``delta_pairs_estimate`` on the maintenance path; no join is
+    materialized), and the probe *warms the plan cache*, so an
+    admitted request immediately reuses the bound plan. The server
+    runs probes on a dedicated single-thread executor so a slow probe
+    can never occupy a serving worker.
+    """
+
+    def __init__(self, engine: "Engine") -> None:
+        self._engine = engine
+
+    def estimate(self, inputs: tuple[object, ...], spec: "QuerySpec") -> float:
+        """Estimated cost of running ``spec`` over ``inputs``, in the
+        cost model's dominance-comparison units."""
+        report = self._engine.explain(*inputs, spec=spec)
+        if report.algorithm in report.costs:
+            return float(report.costs[report.algorithm])
+        if report.costs:
+            return float(min(report.costs.values()))
+        return 0.0

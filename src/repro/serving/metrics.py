@@ -1,0 +1,168 @@
+"""Serving metrics: per-route counters and latency histograms.
+
+The serving layer records one observation per finished (or shed)
+request: route, outcome, service latency, and time spent waiting for
+an executor slot. :class:`ServingMetrics` aggregates them into
+per-route counters plus two log-bucketed :class:`LatencyHistogram`
+objects (service latency and queue wait), and renders everything as a
+plain-JSON dict for ``GET /metrics`` and
+``Engine.cache_info()["serving"]``.
+
+Histograms are fixed-size (one ``int`` per bucket), so recording is
+O(number of buckets) in the worst case and allocation-free — cheap
+enough to sit on every request's completion path. Quantiles
+(:meth:`LatencyHistogram.quantile`) interpolate linearly inside the
+winning bucket, which is the usual monitoring-system trade-off:
+exact counts, approximate (but bounded-error) percentiles.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = ["LatencyHistogram", "RouteCounters", "ServingMetrics"]
+
+#: Upper bounds (seconds) of the histogram buckets: log-spaced from
+#: 100 µs to ~104 s, doubling each step; the last bucket is open-ended.
+_BUCKET_BOUNDS: tuple[float, ...] = tuple(1e-4 * 2**i for i in range(21))
+
+
+class LatencyHistogram:
+    """A log-bucketed latency histogram with interpolated quantiles."""
+
+    __slots__ = ("counts", "total", "sum")
+
+    def __init__(self) -> None:
+        self.counts: list[int] = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one observation (negative values clamp to zero)."""
+        seconds = max(0.0, float(seconds))
+        self.counts[bisect_left(_BUCKET_BOUNDS, seconds)] += 1
+        self.total += 1
+        self.sum += seconds
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (``0 < q <= 1``) in seconds.
+
+        Walks the cumulative counts to the winning bucket and
+        interpolates linearly between its bounds; ``0.0`` with no
+        observations. The open-ended last bucket reports its lower
+        bound (a floor, which is the conservative direction for SLOs).
+        """
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        cumulative = 0
+        for i, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if cumulative + count >= rank:
+                lower = _BUCKET_BOUNDS[i - 1] if i > 0 else 0.0
+                if i >= len(_BUCKET_BOUNDS):
+                    return lower
+                upper = _BUCKET_BOUNDS[i]
+                fraction = (rank - cumulative) / count
+                return lower + (upper - lower) * fraction
+            cumulative += count
+        return _BUCKET_BOUNDS[-1]
+
+    @property
+    def mean(self) -> float:
+        """Mean observation in seconds (0.0 with no observations)."""
+        return self.sum / self.total if self.total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Summary rendering: count, mean, p50, p99 (seconds)."""
+        return {
+            "count": float(self.total),
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+        }
+
+
+class RouteCounters:
+    """Counters + histograms for one route (not thread-safe on its own;
+    :class:`ServingMetrics` serializes access)."""
+
+    __slots__ = (
+        "requests",
+        "errors",
+        "shed",
+        "deadline_hits",
+        "latency",
+        "queue_wait",
+    )
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.shed = 0
+        self.deadline_hits = 0
+        self.latency = LatencyHistogram()
+        self.queue_wait = LatencyHistogram()
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "shed": self.shed,
+            "deadline_hits": self.deadline_hits,
+            "latency": self.latency.as_dict(),
+            "queue_wait": self.queue_wait.as_dict(),
+        }
+
+
+class ServingMetrics:
+    """Thread-safe per-route serving metrics.
+
+    Observations arrive from the event loop (sheds, parse errors) and
+    from executor threads (in-flight completions), so updates hold a
+    small internal lock; :meth:`snapshot` returns plain data and is
+    safe to call from anywhere (``Engine.cache_info`` calls it outside
+    the engine lock).
+
+    # guarded-by: _lock: _routes
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._routes: dict[str, RouteCounters] = {}
+
+    def observe(
+        self,
+        route: str,
+        seconds: float,
+        queue_wait: float = 0.0,
+        error: bool = False,
+        shed: bool = False,
+        deadline_hit: bool = False,
+    ) -> None:
+        """Record one finished (or shed) request on ``route``.
+
+        ``seconds`` is service latency (queueing excluded); ``shed``
+        requests never ran, so only their counters move.
+        """
+        with self._lock:
+            counters = self._routes.get(route)
+            if counters is None:
+                counters = self._routes[route] = RouteCounters()
+            counters.requests += 1
+            if error:
+                counters.errors += 1
+            if shed:
+                counters.shed += 1
+                return
+            if deadline_hit:
+                counters.deadline_hits += 1
+            counters.latency.record(seconds)
+            counters.queue_wait.record(queue_wait)
+
+    def snapshot(self) -> dict[str, object]:
+        """All routes' counters as plain JSON-serializable data."""
+        with self._lock:
+            return {route: c.as_dict() for route, c in self._routes.items()}

@@ -1,0 +1,172 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+Just enough protocol for the serving front-end — stdlib only, by
+design (the repo bakes in no web framework): request-line + header
+parsing with size limits, ``Content-Length`` bodies, plain JSON
+responses, and chunked ``Transfer-Encoding`` for the progressive
+JSON-lines stream. Connections are one-shot (``Connection: close``),
+which keeps the server loop trivial and is plenty for a benchmark /
+demo front-end; a production deployment would sit this behind any
+HTTP-speaking load balancer.
+
+Everything here is either an ``async`` *read* off the stream or a
+pure bytes builder — no engine calls, no locks — so the module is
+trivially compliant with the R5 serving rule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+from ..errors import ServingError
+
+__all__ = [
+    "HttpRequest",
+    "ProtocolError",
+    "chunk",
+    "json_response",
+    "last_chunk",
+    "read_request",
+    "stream_preamble",
+]
+
+#: Largest accepted request body, bytes.
+MAX_BODY_BYTES = 1 << 20
+
+#: Largest accepted header block (request line included), bytes.
+MAX_HEADER_BYTES = 32 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class ProtocolError(ServingError):
+    """The peer sent bytes this minimal HTTP parser rejects."""
+
+    code = "protocol_error"
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, path, lower-cased headers, raw body."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict[str, object]:
+        """The body parsed as a JSON object (fail-fast on anything else)."""
+        if not self.body:
+            raise ProtocolError("request body is empty; expected a JSON object")
+        try:
+            payload = json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                f"request body must be a JSON object, got {type(payload).__name__}"
+            )
+        return payload
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request off the stream; ``None`` on a clean EOF.
+
+    Raises :class:`ProtocolError` (mapped to a 4xx by the server) on
+    malformed framing or oversized headers/bodies.
+    """
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError("header block too large", status=413) from exc
+    if len(header_block) > MAX_HEADER_BYTES:
+        raise ProtocolError("header block too large", status=413)
+
+    lines = header_block.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line {lines[0]!r}")
+    method, path = parts[0].upper(), parts[1]
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise ProtocolError("malformed Content-Length") from exc
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ProtocolError("request body too large", status=413)
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise ProtocolError("connection closed mid-body") from exc
+    elif headers.get("transfer-encoding"):
+        raise ProtocolError("chunked request bodies are not supported")
+    return HttpRequest(method=method, path=path, headers=headers, body=body)
+
+
+def _head(status: int, content_type: str, extra: dict[str, str] | None) -> str:
+    head = f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+    head += f"Content-Type: {content_type}\r\n"
+    for name, value in (extra or {}).items():
+        head += f"{name}: {value}\r\n"
+    return head
+
+
+def json_response(
+    status: int,
+    payload: dict[str, object],
+    headers: dict[str, str] | None = None,
+) -> bytes:
+    """A complete JSON response with ``Connection: close`` framing."""
+    body = json.dumps(payload).encode("utf-8")
+    head = _head(status, "application/json", headers)
+    head += f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+def stream_preamble(headers: dict[str, str] | None = None) -> bytes:
+    """Response head opening a chunked JSON-lines stream."""
+    head = _head(200, "application/x-ndjson", headers)
+    head += "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    return head.encode("latin-1")
+
+
+def chunk(payload: dict[str, object]) -> bytes:
+    """One JSON line as one HTTP chunk (flushed individually, so the
+    client sees each result the moment it is decided)."""
+    line = json.dumps(payload).encode("utf-8") + b"\n"
+    return f"{len(line):x}\r\n".encode("latin-1") + line + b"\r\n"
+
+
+def last_chunk() -> bytes:
+    """The zero-length terminal chunk."""
+    return b"0\r\n\r\n"

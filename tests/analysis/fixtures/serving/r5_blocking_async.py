@@ -1,0 +1,30 @@
+"""R5 fixture: a blocking engine call directly inside ``async def``.
+
+Exactly one violation: ``broken_handler`` calls ``engine.execute``
+on the event loop thread instead of handing a sync wrapper to
+``loop.run_in_executor``. The compliant pattern below it must NOT be
+flagged — the executor receives a method *reference* (an attribute
+load), and the nested sync wrapper body is exempt by design.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class _FakeEngine:
+    def execute(self, *names: str, spec: object = None) -> object:
+        return object()
+
+
+async def broken_handler(engine: _FakeEngine, spec: object) -> object:
+    return engine.execute("left", "right", spec=spec)
+
+
+async def compliant_handler(engine: _FakeEngine, spec: object) -> object:
+    loop = asyncio.get_running_loop()
+
+    def run_sync() -> object:
+        return engine.execute("left", "right", spec=spec)
+
+    return await loop.run_in_executor(None, run_sync)

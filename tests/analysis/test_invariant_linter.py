@@ -39,6 +39,7 @@ def _source_line(path: Path, lineno: int) -> str:
         ("r3_fingerprint.py", "R3", "def fingerprint"),
         ("r4_fork_outside_layer.py", "R4", "ProcessPoolExecutor(max_workers=2)"),
         ("r4_layer/parallel.py", "R4", "ProcessPoolExecutor(max_workers=2)"),
+        ("serving/r5_blocking_async.py", "R5", "engine.execute("),
     ],
 )
 def test_fixture_produces_exactly_one_diagnostic(
@@ -81,9 +82,10 @@ def test_source_tree_has_zero_diagnostics() -> None:
     assert diagnostics == [], "\n".join(d.render(REPO_ROOT) for d in diagnostics)
 
 
-def test_strict_scope_covers_the_five_packages_and_top_level() -> None:
+def test_strict_scope_covers_the_six_packages_and_top_level() -> None:
     assert in_strict_scope(SRC_ROOT / "api" / "engine.py")
     assert in_strict_scope(SRC_ROOT / "core" / "parallel.py")
+    assert in_strict_scope(SRC_ROOT / "serving" / "server.py")
     assert in_strict_scope(SRC_ROOT / "errors.py")
     assert not in_strict_scope(SRC_ROOT / "experiments" / "harness.py")
     assert not in_strict_scope(FIXTURES / "t1_unannotated.py")
@@ -139,6 +141,59 @@ def test_incremental_merge_satisfies_r1_non_vacuously() -> None:
         if "def _merge_inserted" in line
     )
     assert merge_line in {d.line for d in flagged}
+
+
+def test_r5_sees_the_real_server_non_vacuously() -> None:
+    """The real serving front-end is in R5's scope, uses the sanctioned
+    run_in_executor pattern (clean), and tripping the pattern — calling
+    the engine directly in an async handler — is caught."""
+    import ast
+
+    from tools.check import invariants
+
+    path = SRC_ROOT / "serving" / "server.py"
+    assert check_file(path) == []
+    source = path.read_text()
+    assert "async def" in source and "run_in_executor" in source
+    # Inject a direct engine call ahead of every executor hand-off.
+    mutated = source.replace(
+        "await loop.run_in_executor(",
+        "self.engine.execute(*inputs, spec=spec) and await loop.run_in_executor(",
+    )
+    assert mutated != source
+    diags = invariants._check_async_executor_discipline(path, ast.parse(mutated))
+    assert diags and all(d.rule == "R5" for d in diags)
+
+
+def test_r5_is_scoped_to_the_serving_package() -> None:
+    """The same violating code outside a serving/ directory is not R5's
+    business — core algorithms are allowed to call the engine."""
+    import ast
+
+    from tools.check import invariants
+
+    fixture = FIXTURES / "serving" / "r5_blocking_async.py"
+    tree = ast.parse(fixture.read_text())
+    assert invariants._check_async_executor_discipline(fixture, tree)
+    elsewhere = FIXTURES / "r5_blocking_async.py"  # not on disk; path-only
+    assert invariants._check_async_executor_discipline(elsewhere, tree) == []
+
+
+def test_r5_flags_lock_acquisition_in_async_code() -> None:
+    import ast
+
+    from tools.check import invariants
+
+    source = (
+        "class S:\n"
+        "    async def handler(self):\n"
+        "        with self._lock:\n"
+        "            return self.depth\n"
+    )
+    path = SRC_ROOT / "serving" / "synthetic.py"  # path-only, for scoping
+    diags = invariants._check_async_executor_discipline(path, ast.parse(source))
+    assert len(diags) == 1 and diags[0].rule == "R5"
+    assert "lock" in diags[0].message
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,105 @@
+"""Cancellation-safety property suite for the serving deadline layer.
+
+The contract checkpoints must uphold (see ``serving/deadline.py``):
+cancelling a query at *any* checkpoint — driven deterministically by a
+counting clock that expires at exactly the m-th check — leaves every
+shared structure exactly as a completed query would. Concretely, after
+an expiry:
+
+* the partial carried by the error is a subset of the exact answer,
+* catalog versions are untouched (no phantom mutations),
+* live :class:`~repro.core.incremental.MaintainedResult` handles still
+  answer correctly and keep absorbing deltas,
+* re-issuing the identical query returns the exact full answer (the
+  result cache holds no partial entry).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Engine, QuerySpec
+from repro.errors import DeadlineExceeded
+from repro.serving.deadline import Deadline
+
+from ..helpers import make_random_pair
+
+
+def counting_clock() -> Callable[[], float]:
+    calls = [0]
+
+    def tick() -> float:
+        calls[0] += 1
+        return float(calls[0])
+
+    return tick
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=300),
+    algorithm=st.sampled_from(["naive", "grouping", "auto"]),
+)
+def test_cancellation_at_any_checkpoint_is_invisible(m: int, algorithm: str) -> None:
+    left, right = make_random_pair(seed=5, n=60, d=4, g=3)
+    spec = QuerySpec.for_ksjq(k=8, algorithm=algorithm)
+    exact = Engine().execute(left, right, spec=spec).pair_set()
+
+    engine = Engine()
+    engine.register("left", left)
+    engine.register("right", right)
+    with engine.maintain("left", "right", spec=QuerySpec.for_ksjq(k=8)) as live:
+        live_before = live.result().pair_set()
+        versions_before = engine.catalog.versions()
+
+        try:
+            result = engine.execute(
+                "left", "right", spec=spec,
+                deadline=Deadline(m, clock=counting_clock()),
+            )
+        except DeadlineExceeded as exc:
+            assert set(exc.partial_pairs) <= exact
+        else:
+            assert result.pair_set() == exact
+
+        # No phantom mutations, no disturbed handles, no poisoned cache.
+        assert engine.catalog.versions() == versions_before
+        assert live.result().pair_set() == live_before
+        assert engine.execute("left", "right", spec=spec).pair_set() == exact
+
+        # The maintained handle still absorbs deltas after the expiry.
+        records = engine.catalog["left"].relation.records()
+        engine.catalog["left"].insert_rows([dict(records[0])])
+        recomputed = Engine().execute(
+            engine.catalog["left"].relation,
+            engine.catalog["right"].relation,
+            QuerySpec.for_ksjq(k=8),
+        ).pair_set()
+        assert live.result().pair_set() == recomputed
+
+
+@settings(max_examples=15, deadline=None)
+@given(m=st.integers(min_value=1, max_value=120))
+def test_stream_cancellation_is_invisible(m: int) -> None:
+    """The progressive generator obeys the same contract: whatever was
+    yielded before expiry is a subset, and the engine stays consistent."""
+    left, right = make_random_pair(seed=5, n=60, d=4, g=3)
+    spec = QuerySpec.for_ksjq(k=8)
+    exact = Engine().execute(left, right, spec=spec).pair_set()
+
+    engine = Engine()
+    collected: list[tuple[int, ...]] = []
+    try:
+        for pair in engine.stream(
+            left, right, spec=spec, deadline=Deadline(m, clock=counting_clock())
+        ):
+            collected.append(tuple(int(x) for x in pair))
+    except DeadlineExceeded as exc:
+        assert set(collected) <= set(exc.partial_pairs) <= exact
+    else:
+        assert set(collected) == exact
+    assert engine.execute(left, right, spec=spec).pair_set() == exact

@@ -1,0 +1,89 @@
+"""Fixtures for the serving suite: a real server on a background loop.
+
+The harness is deliberately the same shape a production client sees —
+an actual ``asyncio.start_server`` socket spoken to through
+``http.client`` — so these tests exercise the full request path
+(framing, admission, executor hand-off, streaming), not mocked
+internals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.api.engine import Engine
+from repro.datagen.synthetic import generate_relation_pair
+from repro.serving.server import KSJQServer, ServingConfig
+
+__all__ = ["RunningServer", "demo_engine"]
+
+
+def demo_engine(n: int = 200, seed: int = 42) -> Engine:
+    """Engine with the demo ``left``/``right`` pair registered.
+
+    At ``n=200, d=6, g=10`` the joined space is 40k rows: ``k=10`` is
+    milliseconds, ``k=12`` under the naive algorithm is ~1s — enough
+    dynamic range to exercise deadlines and saturation deterministically.
+    """
+    left, right = generate_relation_pair(n=n, d=6, g=10, a=0, seed=seed)
+    engine = Engine()
+    engine.register("left", left)
+    engine.register("right", right)
+    return engine
+
+
+class RunningServer:
+    """A :class:`KSJQServer` running on a dedicated event-loop thread."""
+
+    def __init__(self, engine: Engine, config: ServingConfig) -> None:
+        self.engine = engine
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+        self._thread.start()
+        self.server = KSJQServer(engine, config)
+        asyncio.run_coroutine_threadsafe(self.server.start(), self.loop).result(10)
+        self.port = self.server.port
+
+    def close(self) -> None:
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self.loop).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(10)
+        self.loop.close()
+
+    # ------------------------------------------------------------------
+    def connection(self, timeout: float = 60) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection("127.0.0.1", self.port, timeout=timeout)
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        raw: bytes | None = None,
+        timeout: float = 60,
+    ):
+        """One round trip; returns ``(status, headers, parsed json)``."""
+        conn = self.connection(timeout=timeout)
+        payload = raw
+        if payload is None and body is not None:
+            payload = json.dumps(body).encode("utf-8")
+        conn.request(method, path, body=payload)
+        response = conn.getresponse()
+        data = response.read()
+        conn.close()
+        return response.status, dict(response.getheaders()), (
+            json.loads(data) if data else None
+        )
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One shared server over the demo engine (2 workers, queue of 2)."""
+    running = RunningServer(demo_engine(), ServingConfig(workers=2, max_queue=2))
+    yield running
+    running.close()

@@ -1,0 +1,104 @@
+"""Admission controller and cost probe behavior."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.engine import Engine
+from repro.api.spec import QuerySpec
+from repro.errors import AdmissionRejected
+from repro.serving.admission import AdmissionController, CostProbe
+
+from ..helpers import make_random_pair
+
+
+class TestAdmissionController:
+    def test_hard_shed_at_capacity(self):
+        controller = AdmissionController(max_workers=2, max_queue=1)
+        for _ in range(3):  # 2 running + 1 queued
+            controller.reserve()
+        with pytest.raises(AdmissionRejected) as err:
+            controller.reserve()
+        assert err.value.code == "admission_rejected"
+        assert err.value.queue_depth == 3
+        assert err.value.retry_after > 0
+        assert controller.shed_total == 1
+        # Releasing one slot re-opens admission.
+        controller.release(0.01)
+        controller.reserve()
+
+    def test_queue_depth_counts_only_waiters(self):
+        controller = AdmissionController(max_workers=2, max_queue=4)
+        controller.reserve()
+        assert controller.queue_depth == 0  # still a free worker
+        controller.reserve()
+        controller.reserve()
+        assert controller.in_flight == 3
+        assert controller.queue_depth == 1
+
+    def test_soft_cost_limit_sheds_expensive_work_only_when_congested(self):
+        controller = AdmissionController(max_workers=1, max_queue=4, soft_cost_limit=100.0)
+        # Idle server: even an expensive request is admitted.
+        controller.reserve(cost=1e9)
+        # Congested: cheap work queues, expensive work is shed.
+        controller.reserve(cost=50.0)
+        with pytest.raises(AdmissionRejected):
+            controller.reserve(cost=101.0)
+        assert controller.shed_total == 1
+        # Cost unknown (probe disabled): the soft policy never applies.
+        controller.reserve(cost=None)
+
+    def test_retry_after_grows_with_queue_depth(self):
+        controller = AdmissionController(max_workers=1, max_queue=10)
+        controller.release(1.0)  # push the EWMA well above the floor
+        baseline = controller.retry_after()
+        for _ in range(4):
+            controller.reserve()
+        assert controller.retry_after() > baseline
+
+    def test_release_feeds_the_ewma(self):
+        controller = AdmissionController(max_workers=1, max_queue=0)
+        before = controller.retry_after()
+        for _ in range(20):
+            controller.reserve()
+            controller.release(2.0)
+        assert controller.retry_after() > before
+        # A shed (never-ran) release must not poison the estimate.
+        estimate = controller.retry_after()
+        controller.reserve()
+        controller.release(None)
+        assert controller.retry_after() == estimate
+
+    def test_release_never_goes_negative(self):
+        controller = AdmissionController(max_workers=1, max_queue=0)
+        controller.release()
+        assert controller.in_flight == 0
+
+
+class TestCostProbe:
+    def test_estimate_is_positive_and_warms_the_plan_cache(self):
+        left, right = make_random_pair(seed=5, n=60, d=4, g=3)
+        engine = Engine()
+        engine.register("left", left)
+        engine.register("right", right)
+        probe = CostProbe(engine)
+        spec = QuerySpec.for_ksjq(k=8)
+        cost = probe.estimate(("left", "right"), spec)
+        assert isinstance(cost, float) and cost > 0
+        # The probe bound the plan; executing the query now hits it.
+        before = engine.cache_info()["hits"]
+        engine.execute("left", "right", spec=spec)
+        assert engine.cache_info()["hits"] > before
+
+    def test_estimate_is_deterministic(self):
+        """Repeat probes of one spec must price identically — the soft
+        shed decision cannot wobble between retries of one request."""
+        left, right = make_random_pair(seed=5, n=60, d=4, g=3)
+        engine = Engine()
+        engine.register("left", left)
+        engine.register("right", right)
+        probe = CostProbe(engine)
+        spec = QuerySpec.for_ksjq(k=8)
+        assert probe.estimate(("left", "right"), spec) == probe.estimate(
+            ("left", "right"), spec
+        )

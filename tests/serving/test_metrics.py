@@ -1,0 +1,89 @@
+"""Serving metrics: histogram math and per-route aggregation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving.metrics import LatencyHistogram, ServingMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram_reports_zero(self):
+        histogram = LatencyHistogram()
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.mean == 0.0
+        assert histogram.as_dict()["count"] == 0.0
+
+    def test_quantile_lands_in_the_observed_bucket(self):
+        histogram = LatencyHistogram()
+        for _ in range(100):
+            histogram.record(0.001)
+        # 0.001 falls in the (0.0008, 0.0016] bucket; interpolation
+        # must stay inside it for every quantile.
+        for q in (0.5, 0.9, 0.99):
+            assert 0.0008 <= histogram.quantile(q) <= 0.0016
+        assert histogram.mean == pytest.approx(0.001)
+
+    def test_p99_separates_tail_from_body(self):
+        histogram = LatencyHistogram()
+        for _ in range(99):
+            histogram.record(0.001)
+        histogram.record(1.0)
+        assert histogram.quantile(0.50) < 0.01
+        assert histogram.quantile(0.999) > 0.5
+
+    def test_negative_values_clamp_to_zero(self):
+        histogram = LatencyHistogram()
+        histogram.record(-5.0)
+        assert histogram.total == 1
+        assert histogram.sum == 0.0
+
+    def test_as_dict_shape(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.2)
+        assert set(histogram.as_dict()) == {"count", "mean", "p50", "p99"}
+
+
+class TestServingMetrics:
+    def test_observe_aggregates_per_route(self):
+        metrics = ServingMetrics()
+        metrics.observe("/query", 0.1, queue_wait=0.02)
+        metrics.observe("/query", 0.2, deadline_hit=True)
+        metrics.observe("/query", 0.0, shed=True)
+        metrics.observe("/find_k", 0.05, error=True)
+        snap = metrics.snapshot()
+        q = snap["/query"]
+        assert q["requests"] == 3
+        assert q["shed"] == 1
+        assert q["deadline_hits"] == 1
+        assert q["latency"]["count"] == 2.0  # shed requests never ran
+        assert snap["/find_k"]["errors"] == 1
+
+    def test_shed_requests_record_no_latency(self):
+        metrics = ServingMetrics()
+        metrics.observe("/query", 123.0, shed=True)
+        snap = metrics.snapshot()
+        assert snap["/query"]["latency"]["count"] == 0.0
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        metrics = ServingMetrics()
+        metrics.observe("/query", 0.1)
+        json.dumps(metrics.snapshot())  # must not raise
+
+    def test_concurrent_observers_lose_nothing(self):
+        metrics = ServingMetrics()
+
+        def hammer() -> None:
+            for _ in range(500):
+                metrics.observe("/query", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.snapshot()["/query"]["requests"] == 4000

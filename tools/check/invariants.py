@@ -1,6 +1,6 @@
 """AST linter for the reproduction's machine-checkable invariants.
 
-Four rules, each tied to a correctness argument of the engine (the
+Five rules, each tied to a correctness argument of the engine (the
 prose versions live in ``docs/static-analysis.md``):
 
 R1 — **no-unverified-merge.** k-dominance is non-transitive (paper
@@ -38,6 +38,18 @@ inside the parallel execution layer (a module named ``parallel.py``),
 and only under its main-thread check: forking while sibling threads
 run (``execute_many`` batch lanes) risks child processes inheriting
 locks held mid-operation.
+
+R5 — **async-executor-discipline.** In the serving package (any file
+under a ``serving`` directory), ``async def`` bodies must never call a
+blocking engine entry point (``execute``, ``stream``, ``explain``,
+...) directly, nor acquire a lock (``with <lock>:`` /
+``.acquire()``): either would stall the event loop for the duration
+of a query, which is exactly the head-of-line blocking the serving
+layer exists to avoid. Engine work must be handed to
+``loop.run_in_executor`` as a *reference* to a sync wrapper — passing
+``self._run_sync`` is fine (an attribute load, not a call); calling
+it is not. Nested sync ``def`` bodies are exempt: they are the
+wrappers the executor runs on a worker thread.
 """
 
 from __future__ import annotations
@@ -52,7 +64,7 @@ from . import Diagnostic
 
 __all__ = ["check_file", "RULES"]
 
-RULES = ("R1", "R2", "R3", "R4")
+RULES = ("R1", "R2", "R3", "R4", "R5")
 
 # --- R1 configuration -------------------------------------------------
 #: Kernels producing *unverified* local candidate supersets.
@@ -61,6 +73,24 @@ CANDIDATE_GENERATORS = frozenset({"k_dominant_candidates_block"})
 VERIFIERS = frozenset({"k_dominated_any", "is_k_dominated"})
 #: Calls that combine per-shard results into one candidate set.
 MERGE_CALLS = frozenset({"concatenate", "hstack", "vstack"})
+
+# --- R5 configuration -------------------------------------------------
+#: Attribute calls that block for the duration of a query: the engine's
+#: entry points, plus ``Future.result`` (the classic accidental
+#: event-loop staller).
+BLOCKING_ENGINE_CALLS = frozenset(
+    {
+        "execute",
+        "execute_many",
+        "explain",
+        "maintain",
+        "prepare",
+        "query",
+        "result",
+        "stream",
+        "stream_window",
+    }
+)
 
 
 def check_file(path: Path) -> list[Diagnostic]:
@@ -75,6 +105,7 @@ def check_file(path: Path) -> list[Diagnostic]:
     diagnostics.extend(_check_lock_discipline(path, tree))
     diagnostics.extend(_check_fingerprint_completeness(path, tree))
     diagnostics.extend(_check_fork_safety(path, tree))
+    diagnostics.extend(_check_async_executor_discipline(path, tree))
     return diagnostics
 
 
@@ -395,6 +426,88 @@ def _check_fork_safety(path: Path, tree: ast.Module) -> list[Diagnostic]:
                 )
             )
     return diagnostics
+
+
+def _check_async_executor_discipline(path: Path, tree: ast.Module) -> list[Diagnostic]:
+    """R5: no blocking engine call or lock acquisition in serving async code."""
+    if "serving" not in path.parts:
+        return []
+    diagnostics: list[Diagnostic] = []
+    for fn in _function_defs(tree):
+        if not isinstance(fn, ast.AsyncFunctionDef):
+            continue
+        for node in _async_body_nodes(fn):
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = func.attr if isinstance(func, ast.Attribute) else None
+                if name in BLOCKING_ENGINE_CALLS:
+                    diagnostics.append(
+                        Diagnostic(
+                            path,
+                            node.lineno,
+                            "R5",
+                            f"async-executor-discipline: blocking call "
+                            f".{name}(...) directly inside `async def "
+                            f"{fn.name}`; engine work stalls the event loop — "
+                            "hand a sync wrapper to loop.run_in_executor "
+                            "instead (passing the method is fine; calling it "
+                            "is not)",
+                        )
+                    )
+                elif name == "acquire":
+                    diagnostics.append(
+                        Diagnostic(
+                            path,
+                            node.lineno,
+                            "R5",
+                            f"async-executor-discipline: lock .acquire() inside "
+                            f"`async def {fn.name}` blocks the event loop; "
+                            "serving-layer async code must stay lock-free "
+                            "(the admission controller is event-loop-confined "
+                            "for exactly this reason)",
+                        )
+                    )
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    if _mentions_lock(item.context_expr):
+                        diagnostics.append(
+                            Diagnostic(
+                                path,
+                                node.lineno,
+                                "R5",
+                                f"async-executor-discipline: `with <lock>` "
+                                f"inside `async def {fn.name}` blocks the "
+                                "event loop; serving-layer async code must "
+                                "stay lock-free",
+                            )
+                        )
+                        break
+    return diagnostics
+
+
+def _async_body_nodes(fn: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk an async def's body without descending into nested defs.
+
+    Nested sync ``def``\\ s are the executor wrappers (they run on a
+    worker thread); nested ``async def``\\ s are visited on their own by
+    the outer loop.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _mentions_lock(expr: ast.AST) -> bool:
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Name) and "lock" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "lock" in sub.attr.lower():
+            return True
+    return False
 
 
 def _guarded_by_main_thread_check(tree: ast.Module, call: ast.Call) -> bool:

@@ -7,8 +7,9 @@ only, so ``python -m tools.check`` catches unannotated code even on
 machines without mypy installed:
 
 T1 — every function and method in the strictly-typed packages
-(``api``, ``core``, ``relational``, ``skyline``, ``datagen``, plus the
-top-level modules) carries a return annotation and an annotation on
+(``api``, ``core``, ``relational``, ``skyline``, ``datagen``,
+``serving``, plus the top-level modules) carries a return annotation
+and an annotation on
 every parameter (``self``/``cls`` excepted). Nested defs count too —
 mypy strict checks them — but lambdas are exempt (they cannot be
 annotated).
@@ -35,7 +36,7 @@ __all__ = [
 #: Sub-packages of ``repro`` held to the strict profile. ``experiments``
 #: is the figure-reproduction harness — typed, but not yet strictly
 #: (matching the mypy per-module override in pyproject.toml).
-STRICT_PACKAGES = ("api", "core", "relational", "skyline", "datagen")
+STRICT_PACKAGES = ("api", "core", "relational", "skyline", "datagen", "serving")
 
 
 def in_strict_scope(path: Path) -> bool:

@@ -1,0 +1,139 @@
+"""CI smoke test for the serving subsystem, outside pytest.
+
+Boots ``python -m repro.serving`` as a real subprocess, waits for its
+"serving on host:port" banner, then exercises the wire protocol with
+nothing but the stdlib HTTP client:
+
+1. ``GET /healthz`` answers ok,
+2. a progressive ``POST /query`` streams chunked ndjson and the first
+   skyline pair reaches the client *before* the stream completes —
+   by the client's clock and by the server's per-line timestamps,
+3. the streamed pair set matches a plain (non-progressive) query.
+
+Exits non-zero with a diagnostic on any violation.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import Any, Optional
+
+BOOT_TIMEOUT_S = 60.0
+QUERY = {"datasets": ["left", "right"], "k": 11, "algorithm": "grouping"}
+
+
+def boot_server() -> "tuple[subprocess.Popen[str], str, int]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serving", "--n", "200"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    assert proc.stdout is not None
+    started = time.monotonic()
+    while True:
+        if time.monotonic() - started > BOOT_TIMEOUT_S:
+            proc.kill()
+            raise SystemExit("server never printed its banner")
+        line = proc.stdout.readline()
+        if not line:
+            proc.wait()
+            raise SystemExit(f"server exited early with code {proc.returncode}")
+        if line.startswith("serving on "):
+            address = line[len("serving on "):].strip()
+            if address.startswith("http://"):
+                address = address[len("http://"):]
+            host, _, port = address.rpartition(":")
+            return proc, host, int(port)
+
+
+def request_json(
+    host: str, port: int, method: str, path: str, body: Optional[dict] = None
+) -> "tuple[int, Any]":
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    conn.request(method, path, body=json.dumps(body).encode() if body else None)
+    response = conn.getresponse()
+    payload = json.loads(response.read())
+    conn.close()
+    return response.status, payload
+
+
+def stream_progressive(host: str, port: int) -> None:
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    conn.request(
+        "POST", "/query", body=json.dumps({**QUERY, "progressive": True}).encode()
+    )
+    response = conn.getresponse()
+    headers = dict(response.getheaders())
+    assert headers.get("Transfer-Encoding") == "chunked", headers
+    assert headers.get("Content-Type") == "application/x-ndjson", headers
+
+    lines: "list[dict]" = []
+    received_at: "list[float]" = []
+    while True:
+        raw = response.readline()
+        if not raw:
+            break
+        raw = raw.strip()
+        if not raw:
+            continue
+        lines.append(json.loads(raw))
+        received_at.append(time.monotonic())
+        if lines[-1].get("done"):
+            break
+    conn.close()
+
+    done = lines[-1]
+    assert done.get("done") is True, f"stream ended without a done line: {done}"
+    assert done["partial"] is False, done
+    pairs = [tuple(line["pair"]) for line in lines[:-1]]
+    assert pairs, "the progressive stream yielded no pairs"
+    assert done["count"] == len(pairs)
+
+    # The point of the exercise: the first result preceded completion.
+    assert received_at[0] < received_at[-1], "first pair did not precede done"
+    assert lines[0]["emitted_at"] < done["emitted_at"]
+    first_lead_ms = (received_at[-1] - received_at[0]) * 1000.0
+
+    status, full = request_json(host, port, "POST", "/query", QUERY)
+    assert status == 200, (status, full)
+    assert {tuple(p) for p in full["pairs"]} == set(pairs), "stream != exact answer"
+    print(
+        f"progressive ok: {len(pairs)} pairs, first arrived "
+        f"{first_lead_ms:.1f} ms before completion"
+    )
+
+
+def main() -> int:
+    proc, host, port = boot_server()
+    try:
+        status, health = request_json(host, port, "GET", "/healthz")
+        assert status == 200 and health["status"] == "ok", (status, health)
+        print(f"healthz ok on {host}:{port}")
+        stream_progressive(host, port)
+
+        status, metrics = request_json(host, port, "GET", "/metrics")
+        assert status == 200 and metrics["routes"]["/query"]["requests"] >= 2
+        print("metrics ok:", json.dumps(metrics["routes"]["/query"]["latency"]))
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+    print("serving smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
