@@ -1,0 +1,97 @@
+"""Cold index build vs warm repeated queries through the catalog cache.
+
+Sweeps the Fig. 3b base-relation-size ladder (d=7, a=2, g=10, k=11,
+aggregate sum, exact mode) with ``algorithm="indexed"``:
+
+* ``cold`` — a fresh engine answers one indexed query from scratch:
+  both per-side :class:`~repro.core.DominanceIndex` builds, the join,
+  cell pruning, candidate generation and verification;
+* ``warm`` — the same engine answers the same query repeatedly: the
+  catalog serves the version-keyed indexes, the cached plan serves the
+  joined view and the memoized cell partition, so each repeat is
+  (memoized candidates ->) verification-only.
+
+The acceptance bar is a recorded ``speedup_vs_cold`` >= 2x per warm
+query at the largest ladder point — the warm path is the serving
+scenario the index exists for (many queries between mutations).
+"""
+
+import pytest
+
+from repro.api import Engine, QuerySpec
+
+from .conftest import dataset, record_artifact, scaled_n, skip_if_oversized
+
+PAPER_NS = [3300, 10_000, 15_200]
+N_REPEATS = 5
+
+SPEC = QuerySpec.for_ksjq(k=11, aggregate="sum", mode="exact", algorithm="indexed")
+
+_cold_elapsed = {}
+_cold_counts = {}
+
+
+def _registered_engine(paper_n):
+    left, right = dataset(paper_n=paper_n, d=7, a=2)
+    engine = Engine()
+    engine.register("left", left)
+    engine.register("right", right)
+    return engine
+
+
+@pytest.mark.parametrize("paper_n", PAPER_NS)
+@pytest.mark.benchmark(group="index")
+def test_cold_build_and_query(benchmark, paper_n):
+    skip_if_oversized(scaled_n(paper_n), 10)
+
+    def setup():
+        return (_registered_engine(paper_n),), {}
+
+    def run(engine):
+        return engine.execute("left", "right", SPEC).count
+
+    final = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1, warmup_rounds=0)
+    elapsed = benchmark.stats.stats.total
+    _cold_elapsed[paper_n] = elapsed
+    _cold_counts[paper_n] = final
+    benchmark.extra_info["skyline"] = final
+    benchmark.extra_info["index_builds"] = 2
+    record_artifact(benchmark, "cold", elapsed)
+
+
+@pytest.mark.parametrize("paper_n", PAPER_NS)
+@pytest.mark.benchmark(group="index")
+def test_warm_repeated_query(benchmark, paper_n):
+    skip_if_oversized(scaled_n(paper_n), 10)
+    engine = _registered_engine(paper_n)
+    engine.execute("left", "right", SPEC)  # builds + memoizes, untimed
+
+    def run():
+        count = 0
+        for _ in range(N_REPEATS):
+            count = engine.execute("left", "right", SPEC).count
+        return count
+
+    final = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    per_query = benchmark.stats.stats.total / N_REPEATS
+    info = engine.cache_info()
+    benchmark.extra_info["skyline"] = final
+    benchmark.extra_info["repeats"] = N_REPEATS
+    benchmark.extra_info["index_hits"] = info["index_hits"]
+    assert info["index_builds"] == 2, "warm repeats must not rebuild"
+    cold = _cold_elapsed.get(paper_n)
+    if cold:
+        speedup = round(cold / max(per_query, 1e-9), 3)
+        benchmark.extra_info["speedup_vs_cold"] = speedup
+        # Acceptance bar: at the largest ladder point a warm query runs
+        # at least 2x faster than the cold build-and-query.
+        if paper_n == PAPER_NS[-1]:
+            assert speedup >= 2.0, (
+                f"warm indexed query only {speedup}x faster than cold "
+                f"at paper_n={paper_n}"
+            )
+    if paper_n in _cold_counts:
+        assert final == _cold_counts[paper_n], (
+            f"warm skyline {final} != cold skyline {_cold_counts[paper_n]}"
+        )
+    record_artifact(benchmark, "warm", per_query * N_REPEATS)

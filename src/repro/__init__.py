@@ -86,6 +86,7 @@ from .core import (
     CascadePlan,
     CascadeResult,
     CascadeStats,
+    DominanceIndex,
     FATE_TABLE,
     Categorization,
     Category,
@@ -108,9 +109,11 @@ from .core import (
     ksjq_progressive,
     make_plan,
     run_cartesian,
+    run_cascade_indexed,
     run_cascade_parallel,
     run_dominator,
     run_grouping,
+    run_indexed,
     run_naive,
     run_parallel,
 )
@@ -141,7 +144,7 @@ from .relational import (
     ThetaOp,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AdmissionRejected",
@@ -154,6 +157,7 @@ __all__ = [
     "Category",
     "Dataset",
     "DeadlineExceeded",
+    "DominanceIndex",
     "Engine",
     "ExplainReport",
     "FATE_TABLE",
@@ -199,9 +203,11 @@ __all__ = [
     "ksjq_progressive",
     "make_plan",
     "run_cartesian",
+    "run_cascade_indexed",
     "run_cascade_parallel",
     "run_dominator",
     "run_grouping",
+    "run_indexed",
     "run_naive",
     "run_parallel",
     "__version__",

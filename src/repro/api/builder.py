@@ -68,6 +68,7 @@ class QueryBuilder:
         self._method = "binary"
         self._objective = "at_least"
         self._parallelism: int | str = "auto"
+        self._use_index: bool | str = "auto"
 
     # ------------------------------------------------------------------
     # Configuration (each returns self)
@@ -148,6 +149,18 @@ class QueryBuilder:
         self._parallelism = parallelism
         return self
 
+    def use_index(self, use_index: bool | str = True) -> "QueryBuilder":
+        """Dominance-index policy: ``"auto"`` (default), ``True``, ``False``.
+
+        ``"auto"`` lets the cost model weigh the cell-pruned indexed
+        path against the others (warm indexes tip the scale);
+        ``True`` forces it under ``algorithm="auto"``; ``False``
+        guarantees no index is built or consulted for this query. See
+        :mod:`repro.core.index` and ``explain()``'s ``index:`` line.
+        """
+        self._use_index = use_index
+        return self
+
     def method(self, method: str) -> "QueryBuilder":
         """find-k search method: ``"binary"``, ``"range"`` or ``"naive"``."""
         self._method = method
@@ -214,6 +227,7 @@ class QueryBuilder:
                     aggregate=self._aggregate,
                     mode=self._mode,
                     parallelism=self._parallelism,
+                    use_index=self._use_index,
                 )
             return QuerySpec.for_ksjq(
                 k=self._k,
@@ -223,6 +237,7 @@ class QueryBuilder:
                 aggregate=self._aggregate,
                 theta=theta,
                 parallelism=self._parallelism,
+                use_index=self._use_index,
             )
         if self._delta is not None:
             if cascade:
@@ -240,6 +255,7 @@ class QueryBuilder:
                 aggregate=self._aggregate,
                 theta=theta,
                 parallelism=self._parallelism,
+                use_index=self._use_index,
             )
         raise ParameterError("set .k(...) or .delta(...) before executing a query")
 

@@ -15,6 +15,18 @@ code and figure reruns do not thrash caches; re-registering with *new*
 content replaces the snapshot through the existing :class:`Dataset`
 handle, bumping its version like any other mutation.
 
+The catalog is also where per-dataset **dominance indexes**
+(:class:`repro.core.index.DominanceIndex`) persist across queries: one
+entry per dataset uid, built lazily at first indexed query, keyed by
+the exact relation snapshot (and its uid-carrying version token) it was
+built over. The ``MutationDelta`` feed maintains them — an append whose
+delta chains directly onto the indexed version re-digitizes just the
+new tail via ``with_inserted_rows``; any other mutation (deletes,
+replaces, or a missed intermediate version) invalidates the entry and
+the next indexed query rebuilds. Lookups hit only on snapshot
+*identity*, so a stale entry can never serve a newer (or older)
+snapshot than the plan being executed.
+
 All operations are thread-safe.
 """
 
@@ -25,6 +37,7 @@ import threading
 import weakref
 from typing import TYPE_CHECKING
 
+from ..core.index import DominanceIndex, IndexStats
 from ..errors import CatalogError
 from ..relational.dataset import Dataset, MutationDelta
 from ..relational.relation import Relation
@@ -35,6 +48,17 @@ if TYPE_CHECKING:
 __all__ = ["Catalog"]
 
 
+class _IndexEntry:
+    """One cached index: the exact snapshot it covers, pinned by identity."""
+
+    __slots__ = ("relation", "version", "index")
+
+    def __init__(self, relation: Relation, version: int, index: DominanceIndex) -> None:
+        self.relation = relation
+        self.version = version
+        self.index = index
+
+
 class Catalog:
     """Thread-safe name -> :class:`Dataset` registry with mutation fan-out.
 
@@ -42,12 +66,17 @@ class Catalog:
     ``Dataset._lock`` (e.g. :meth:`versions`), never the reverse —
     datasets notify listeners only after releasing their own lock.
 
-    # guarded-by: _lock: _datasets, _subscribers, _delta_subscribers
+    # guarded-by: _lock: _datasets, _subscribers, _delta_subscribers, _indexes, _index_stats
     """
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
         self._datasets: dict[str, Dataset] = {}
+        # Dominance indexes by dataset *uid* (not name): a drop +
+        # re-register mints a new uid, so a successor dataset can never
+        # inherit its predecessor's index.
+        self._indexes: dict[int, _IndexEntry] = {}
+        self._index_stats = IndexStats()
         # Bound-method subscribers (engine invalidation hooks) are held
         # weakly: a shared catalog must not keep every engine that ever
         # subscribed — and its caches — alive forever.
@@ -100,9 +129,11 @@ class Catalog:
     def drop(self, name: str) -> None:
         """Remove a dataset from the catalog (existing snapshots stay valid)."""
         with self._lock:
-            if name not in self._datasets:
+            dataset = self._datasets.get(name)
+            if dataset is None:
                 raise CatalogError(f"no dataset named {name!r} to drop")
             del self._datasets[name]
+            self._indexes.pop(dataset.uid, None)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -147,6 +178,94 @@ class Catalog:
         """Current ``name -> version`` map across the catalog."""
         with self._lock:
             return {name: ds.version for name, ds in self._datasets.items()}
+
+    # ------------------------------------------------------------------
+    # Dominance indexes (repro.core.index)
+    # ------------------------------------------------------------------
+    def dominance_index(self, dataset: Dataset, relation: Relation) -> DominanceIndex:
+        """The persisted index over ``relation``, building (and caching)
+        it on a miss.
+
+        ``relation`` is the snapshot the caller's plan was built over.
+        The cache hits only when the stored entry covers *that exact
+        object* — version numbers alone would be ambiguous across a
+        drop + re-register, and any mismatch means the plan predates or
+        postdates the cached index. If ``relation`` is no longer the
+        dataset's current snapshot (the query raced a mutation), a
+        one-off index is built and **not** cached, so the cache never
+        holds an index the next query cannot use.
+        """
+        with self._lock:
+            entry = self._indexes.get(dataset.uid)
+            if entry is not None and entry.relation is relation:
+                self._index_stats.hits += 1
+                return entry.index
+        current, version = dataset.snapshot()
+        if current is not relation:
+            with self._lock:
+                self._index_stats.builds += 1
+            return DominanceIndex.build(relation)
+        index = DominanceIndex.build(
+            relation, token=("ds", dataset.name, dataset.uid, version)
+        )
+        with self._lock:
+            self._index_stats.builds += 1
+            self._indexes[dataset.uid] = _IndexEntry(relation, version, index)
+        return index
+
+    def peek_dominance_index(
+        self, dataset: Dataset, relation: Relation
+    ) -> DominanceIndex | None:
+        """The cached index over exactly ``relation``, or ``None`` —
+        never builds, never counts a hit (used by ``explain`` and the
+        cost model to probe warm/cold state without side effects)."""
+        with self._lock:
+            entry = self._indexes.get(dataset.uid)
+        if entry is not None and entry.relation is relation:
+            return entry.index
+        return None
+
+    def record_index_build(self, built: bool) -> None:
+        """Count a plan-local (non-persisted) index build or re-use, so
+        ``cache_info`` reflects every index the engine touched."""
+        with self._lock:
+            if built:
+                self._index_stats.builds += 1
+            else:
+                self._index_stats.hits += 1
+
+    def index_info(self) -> dict[str, int]:
+        """Snapshot of the index life-cycle counters."""
+        with self._lock:
+            return self._index_stats.as_dict()
+
+    def _maintain_index(self, dataset: Dataset, delta: MutationDelta) -> None:
+        """Delta-feed maintenance: appends re-digitize the tail, all
+        other mutations invalidate (the next indexed query rebuilds).
+
+        The entry is popped first so a concurrent indexed query can at
+        worst build a fresh one-off index over whichever snapshot it
+        holds — it can never observe the pre-mutation entry as current.
+        An insert delta is applied only when it chains directly onto the
+        indexed version *and* the dataset still sits at the delta's
+        version (no missed intermediate mutations, no races).
+        """
+        with self._lock:
+            entry = self._indexes.pop(dataset.uid, None)
+        if entry is None:
+            return
+        if delta.kind == "insert" and entry.version == delta.version - 1:
+            current, version = dataset.snapshot()
+            if version == delta.version and len(current) == delta.new_size:
+                index = entry.index.with_inserted_rows(
+                    current, token=("ds", dataset.name, dataset.uid, version)
+                )
+                with self._lock:
+                    self._indexes[dataset.uid] = _IndexEntry(current, version, index)
+                    self._index_stats.maintained += 1
+                return
+        with self._lock:
+            self._index_stats.invalidations += 1
 
     # ------------------------------------------------------------------
     # Mutation fan-out
@@ -201,6 +320,10 @@ class Catalog:
             self._delta_subscribers.append(ref)
 
     def _fan_out_delta(self, dataset: Dataset, delta: MutationDelta) -> None:
+        # Maintain (or invalidate) the dominance index before delta
+        # subscribers run: a maintained-result recompute triggered by
+        # this delta then sees a fresh index, never a stale one.
+        self._maintain_index(dataset, delta)
         with self._lock:
             callbacks = [ref() for ref in self._delta_subscribers]
             if any(cb is None for cb in callbacks):  # prune dead subscribers

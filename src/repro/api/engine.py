@@ -50,7 +50,7 @@ import weakref
 from collections import OrderedDict
 from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, cast
 
 from ..core.cartesian import run_cartesian
@@ -64,6 +64,7 @@ from ..core.dominator import run_dominator
 from ..core.find_k import find_k_at_least_delta, find_k_at_most_delta
 from ..core.grouping import run_grouping
 from ..core.incremental import DEFAULT_FALLBACK_RATIO
+from ..core.index import run_cascade_indexed, run_indexed
 from ..core.naive import run_naive
 from ..core.parallel import (
     WORKER_SPAWN_COST,
@@ -87,6 +88,7 @@ from .spec import QuerySpec
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .._typing import AggregateLike, HopsLike, ThetaLike
     from ..core.incremental import MaintainedResult
+    from ..core.index import DominanceIndex
     from ..relational.dataset import MutationDelta
     from ..relational.join import ThetaCondition
     from ..serving.metrics import ServingMetrics
@@ -120,7 +122,11 @@ def _parallel_cost(join_size: float, workers: int) -> float:
 
 
 def choose_algorithm(
-    plan: JoinPlan, mode: str = "faithful", workers: int = 1
+    plan: JoinPlan,
+    mode: str = "faithful",
+    workers: int = 1,
+    index_state: str | None = None,
+    index_span: float | None = None,
 ) -> tuple[str, dict[str, float], str]:
     """Pick the cheapest applicable algorithm for a two-way plan.
 
@@ -139,14 +145,22 @@ def choose_algorithm(
       (cartesian join kind only, where it is always chosen);
     * ``parallel`` — the sharded two-phase path (candidate generation
       per shard + cross-shard verification), considered only when
-      ``workers > 1``: ``spawn*W + J^2/W^2 + J*sqrt(J)/W``.
+      ``workers > 1``: ``spawn*W + J^2/W^2 + J*sqrt(J)/W``;
+    * ``indexed`` — the cell-pruned exact path, considered only when
+      the caller reports an index state (``index_state`` of ``"warm"``
+      or ``"cold"``, with the indexes' mean cell span as the
+      selectivity signal): :meth:`PlanStats.indexed_cost`. The engine
+      passes ``"warm"`` for auto specs whose side indexes already
+      exist and ``None`` otherwise (see ``_competing``), so a cold
+      build never wins auto by surprise.
 
     Feasibility trumps cost: a non-strictly-monotone aggregate restricts
-    the choice to the exact algorithms (``naive``, and ``parallel`` when
-    workers are available — both work on the materialized joined view
-    and never rely on monotonicity), and in faithful mode with ``a >= 2``
-    the always-exact ``naive``/``parallel`` are excluded so auto stays
-    within the paper-faithful answer family.
+    the choice to the exact algorithms (``naive``, ``indexed``, and
+    ``parallel`` when workers are available — all work on the
+    materialized joined view and never rely on monotonicity), and in
+    faithful mode with ``a >= 2`` the always-exact exact-family
+    algorithms are excluded so auto stays within the paper-faithful
+    answer family.
     """
     stats = plan.stats()
     J = float(stats.join_size)
@@ -156,6 +170,8 @@ def choose_algorithm(
         costs = {"naive": J * J}
         if workers > 1:
             costs["parallel"] = _parallel_cost(J, workers)
+        if index_state is not None:
+            costs["indexed"] = stats.indexed_cost(index_state, index_span)
         chosen = min(costs, key=lambda name: (costs[name], name))
         return (
             chosen,
@@ -183,6 +199,8 @@ def choose_algorithm(
         costs["naive"] = J * J
         if workers > 1:
             costs["parallel"] = _parallel_cost(J, workers)
+        if index_state is not None:
+            costs["indexed"] = stats.indexed_cost(index_state, index_span)
     chosen = min(costs, key=lambda name: (costs[name], name))
     reason = (
         f"cheapest estimated cost over join size {stats.join_size} "
@@ -191,13 +209,18 @@ def choose_algorithm(
     )
     if not exact_family_ok:
         reason += (
-            "; naive/parallel excluded: faithful mode with a >= 2 aggregates"
+            "; exact family (naive/parallel/indexed) excluded: "
+            "faithful mode with a >= 2 aggregates"
         )
     return chosen, costs, reason
 
 
 def choose_cascade_algorithm(
-    plan: CascadePlan, mode: str = "faithful", workers: int = 1
+    plan: CascadePlan,
+    mode: str = "faithful",
+    workers: int = 1,
+    index_state: str | None = None,
+    index_span: float | None = None,
 ) -> tuple[str, dict[str, float], str]:
     """Pick the cheapest applicable algorithm for an m-way cascade plan.
 
@@ -209,7 +232,10 @@ def choose_cascade_algorithm(
     * ``pruned`` — per-relation Theorem-4 pruning plus sub-quadratic
       verification of the surviving candidates: ``C + S*sqrt(S)``;
     * ``parallel`` — the sharded two-phase path over the chain set,
-      considered only when ``workers > 1``.
+      considered only when ``workers > 1``;
+    * ``indexed`` — end-point cell pruning over the chain set,
+      considered only when the engine reports an index state:
+      :meth:`CascadeStats.indexed_cost`.
 
     A non-strictly-monotone aggregate restricts the choice to the exact
     chain-set algorithms — ``naive``, and ``parallel`` when workers are
@@ -225,6 +251,8 @@ def choose_cascade_algorithm(
         costs = {"naive": S * S}
         if workers > 1:
             costs["parallel"] = _parallel_cost(S, workers)
+        if index_state is not None:
+            costs["indexed"] = stats.indexed_cost(index_state, index_span)
         chosen = min(costs, key=lambda name: (costs[name], name))
         return (
             chosen,
@@ -235,6 +263,8 @@ def choose_cascade_algorithm(
     costs = {"naive": S * S, "pruned": C + S * math.sqrt(S)}
     if workers > 1:
         costs["parallel"] = _parallel_cost(S, workers)
+    if index_state is not None:
+        costs["indexed"] = stats.indexed_cost(index_state, index_span)
     chosen = min(costs, key=lambda name: (costs[name], name))
     reason = (
         f"cheapest estimated cost over {stats.join_size} chains across "
@@ -268,8 +298,14 @@ class ExplainReport:
     shards:
         The :class:`~repro.core.parallel.ShardPlan` the execution layer
         would use (``None`` for find-k specs, whose probe evaluations
-        run serially). Only consulted by the ``auto``/``parallel``
-        algorithms; explicitly requested serial algorithms ignore it.
+        run serially). Only consulted by the ``auto``/``parallel``/
+        ``indexed`` algorithms; explicitly requested serial algorithms
+        ignore it.
+    index:
+        State of the dominance-index layer for this query: ``None``
+        for specs the layer never touches, otherwise a line like
+        ``"warm (mean cell span 0.31); consumed by the indexed path"``
+        or ``"disabled (use_index=False)"``.
     """
 
     spec: QuerySpec
@@ -279,6 +315,7 @@ class ExplainReport:
     stats: PlanStats | CascadeStats | None = None
     cache_hit: bool = False
     shards: ShardPlan | None = None
+    index: str | None = None
 
     def _plan_line(self) -> str:
         line = f"plan: {'cache hit' if self.cache_hit else 'prepared'}"
@@ -309,8 +346,13 @@ class ExplainReport:
                 "estimated costs: "
                 + ", ".join(f"{name}={cost:,.0f}" for name, cost in ranked)
             )
+        if self.index is not None:
+            lines.append(f"index: {self.index}")
         if self.shards is not None:
-            if self.shards.is_parallel and self.algorithm != "parallel":
+            if self.shards.is_parallel and self.algorithm not in (
+                "parallel",
+                "indexed",
+            ):
                 lines.append(
                     f"execution: serial — {self.algorithm} chosen over the "
                     f"parallel path ({self.shards.workers} workers were "
@@ -509,6 +551,93 @@ class Engine:
             tuple(rel for rel, _ in resolved),
             tuple(tok for _, tok in resolved),
         )
+
+    # ------------------------------------------------------------------
+    # Dominance indexes (core.index), persisted via the catalog
+    # ------------------------------------------------------------------
+    def _dataset_for(self, obj: object) -> Dataset | None:
+        """The registered dataset behind one query input, if any.
+
+        Mirrors :meth:`_resolve`'s keying rules: a name resolves via
+        the catalog; a :class:`Dataset` handle counts only when it *is*
+        this engine's registered dataset of that name (a foreign
+        handle's versions are not comparable to ours); anything else —
+        an anonymous relation — has no catalog-persisted index.
+        """
+        if isinstance(obj, str):
+            return self._catalog.peek(obj)
+        if isinstance(obj, Dataset) and self._catalog.peek(obj.name) is obj:
+            return obj
+        return None
+
+    @staticmethod
+    def _side_relation(plan: JoinPlan | CascadePlan, side: str) -> Relation:
+        """The base relation snapshot behind one index side of a plan."""
+        if isinstance(plan, CascadePlan):
+            return plan.relations[0] if side == "first" else plan.relations[-1]
+        return plan.left if side == "left" else plan.right
+
+    def _side_index(
+        self,
+        plan: JoinPlan | CascadePlan,
+        inputs: tuple[QueryInput, ...],
+        side: str,
+    ) -> "DominanceIndex":
+        """The :class:`~repro.core.index.DominanceIndex` for one side.
+
+        Registered-dataset inputs use the catalog's version-keyed
+        persistent cache (built on first use, maintained through the
+        delta feed); anonymous inputs fall back to the plan-local memo
+        — same lifetime as the plan's other derived structures — with
+        the build/hit accounted in the catalog's counters either way.
+        """
+        pos = 0 if side in ("left", "first") else -1
+        relation = self._side_relation(plan, side)
+        if inputs:
+            dataset = self._dataset_for(inputs[pos])
+            if dataset is not None:
+                return self._catalog.dominance_index(dataset, relation)
+        index, built = plan.side_index(side)
+        self._catalog.record_index_build(built)
+        return index
+
+    def _peek_index_state(
+        self,
+        plan: JoinPlan | CascadePlan,
+        spec: QuerySpec,
+        inputs: tuple[QueryInput, ...],
+    ) -> tuple[str | None, float | None]:
+        """Would the indexed path run warm or cold for this query?
+
+        Returns ``(state, mean_span)`` without building anything:
+        ``state`` is ``None`` when the indexed path is off the table
+        (``use_index=False``, or a find-k spec — its probe evaluations
+        run the faithful serial path), ``"warm"`` when both side
+        indexes already exist (catalog entry or plan memo), ``"cold"``
+        otherwise. ``mean_span`` averages the known indexes'
+        ``mean_cell_span`` as the cost model's selectivity signal.
+        """
+        if spec.use_index is False or spec.problem != "ksjq":
+            return None, None
+        sides = (
+            ("first", "last") if isinstance(plan, CascadePlan) else ("left", "right")
+        )
+        spans: list[float] = []
+        state = "warm"
+        for pos, side in zip((0, -1), sides):
+            index = plan.peek_side_index(side)
+            if index is None and inputs:
+                dataset = self._dataset_for(inputs[pos])
+                if dataset is not None:
+                    index = self._catalog.peek_dominance_index(
+                        dataset, self._side_relation(plan, side)
+                    )
+            if index is None:
+                state = "cold"
+            else:
+                spans.append(index.mean_cell_span)
+        span = sum(spans) / len(spans) if spans else None
+        return state, span
 
     def _on_dataset_mutated(self, dataset: Dataset) -> None:
         """Catalog hook: drop exactly the cache entries keyed on an old
@@ -763,9 +892,11 @@ class Engine:
     def cache_info(self) -> dict[str, object]:
         """Counters + size/capacity of the plan cache, the maintenance
         counters (``maintained`` / ``fallback_recomputes`` /
-        ``delta_rows``), under the ``"results"`` key the result cache,
-        and — when a serving front-end is attached — its per-route
-        counters under the ``"serving"`` key."""
+        ``delta_rows``), the dominance-index life cycle
+        (``index_builds`` / ``index_hits`` / ``index_invalidations`` /
+        ``index_maintained``), under the ``"results"`` key the result
+        cache, and — when a serving front-end is attached — its
+        per-route counters under the ``"serving"`` key."""
         with self._lock:
             info: dict[str, object] = self.cache_stats.as_dict()
             info["size"] = len(self._plans)
@@ -778,6 +909,10 @@ class Engine:
             metrics = (
                 self._serving_metrics() if self._serving_metrics is not None else None
             )
+        # Outside the engine lock: the catalog notifies this engine
+        # under its own lock, so taking the catalog lock while holding
+        # ours would invert that order.
+        info.update(self._catalog.index_info())
         if metrics is not None:
             info["serving"] = metrics.snapshot()
         return info
@@ -886,6 +1021,8 @@ class Engine:
     ) -> QueryResult:
         inputs, spec = self._split_args(args, spec)
         if plan is not None:
+            # A caller-supplied plan may not match `inputs` (legacy
+            # facade convention) — run with plan-local indexes only.
             return self._run(plan, spec).with_provenance(spec, plan)
 
         tokens: tuple[object, ...] | None = None
@@ -906,7 +1043,7 @@ class Engine:
                 self.result_stats.misses += 1
 
         plan = self._bind(inputs, spec)
-        result = self._run(plan, spec).with_provenance(spec, plan)
+        result = self._run(plan, spec, inputs).with_provenance(spec, plan)
 
         if tokens is not None:
             result_key = ("result", tokens, self._result_cache_spec(spec))
@@ -937,11 +1074,25 @@ class Engine:
             return spec
         return spec.replace(parallelism="auto")
 
-    def _run(self, plan: JoinPlan | CascadePlan, spec: QuerySpec) -> QueryResult:
+    def _run(
+        self,
+        plan: JoinPlan | CascadePlan,
+        spec: QuerySpec,
+        inputs: tuple[QueryInput, ...] = (),
+    ) -> QueryResult:
+        """Dispatch one bound (plan, spec) pair to its runner.
+
+        ``inputs`` are the original query inputs when known — the
+        indexed path uses them to look up catalog-persisted indexes
+        for registered datasets. Callers without them (maintained
+        results recomputing from a stored plan, ``plan=`` overrides)
+        pass nothing and the indexed path falls back to plan-local
+        indexes.
+        """
         if isinstance(plan, CascadePlan):
-            return self._run_cascade(plan, spec)
+            return self._run_cascade(plan, spec, inputs)
         if spec.problem == "ksjq":
-            return self._run_ksjq(plan, spec)
+            return self._run_ksjq(plan, spec, inputs)
         return self._run_find_k(plan, spec)
 
     def execute_many(
@@ -1034,19 +1185,40 @@ class Engine:
         inputs, spec = self._split_args(args, spec)
         return QueryHandle(self, inputs, spec)
 
-    def _run_ksjq(self, plan: JoinPlan, spec: QuerySpec) -> KSJQResult:
+    def _run_ksjq(
+        self,
+        plan: JoinPlan,
+        spec: QuerySpec,
+        inputs: tuple[QueryInput, ...] = (),
+    ) -> KSJQResult:
         assert spec.k is not None  # validated by QuerySpec.__post_init__
         algorithm = spec.algorithm
         shards: ShardPlan | None = None
-        if algorithm in ("auto", "parallel"):
+        if algorithm in ("auto", "parallel", "indexed"):
             stats = plan.stats()
             shards = plan_shards(
                 stats.join_size, spec.parallelism, stats.joined_width
             )
         if algorithm == "auto":
             assert shards is not None
-            algorithm, _, _ = choose_algorithm(
-                plan, spec.mode, workers=shards.workers
+            if spec.use_index is True:
+                algorithm = "indexed"
+            else:
+                index_state, index_span = self._peek_index_state(
+                    plan, spec, inputs
+                )
+                algorithm, _, _ = choose_algorithm(
+                    plan,
+                    spec.mode,
+                    workers=shards.workers,
+                    index_state=_competing(index_state),
+                    index_span=index_span,
+                )
+        if algorithm == "indexed":
+            left_index = self._side_index(plan, inputs, "left")
+            right_index = self._side_index(plan, inputs, "right")
+            return run_indexed(
+                plan, spec.k, left_index, right_index, shards=shards
             )
         if algorithm == "parallel":
             return run_parallel(plan, spec.k, shards=shards)
@@ -1058,7 +1230,12 @@ class Engine:
             return run_dominator(plan, spec.k, mode=spec.mode)
         return run_cartesian(plan, spec.k, mode=spec.mode)
 
-    def _run_cascade(self, plan: CascadePlan, spec: QuerySpec) -> CascadeResult:
+    def _run_cascade(
+        self,
+        plan: CascadePlan,
+        spec: QuerySpec,
+        inputs: tuple[QueryInput, ...] = (),
+    ) -> CascadeResult:
         if spec.problem != "ksjq":
             raise ParameterError(
                 "find_k is only defined over two-way joins; run ksjq at "
@@ -1067,15 +1244,31 @@ class Engine:
         assert spec.k is not None  # validated by QuerySpec.__post_init__
         algorithm = spec.algorithm
         shards: ShardPlan | None = None
-        if algorithm in ("auto", "parallel"):
+        if algorithm in ("auto", "parallel", "indexed"):
             stats = plan.stats()
             shards = plan_shards(
                 stats.join_size, spec.parallelism, stats.joined_width
             )
         if algorithm == "auto":
             assert shards is not None
-            algorithm, _, _ = choose_cascade_algorithm(
-                plan, spec.mode, workers=shards.workers
+            if spec.use_index is True:
+                algorithm = "indexed"
+            else:
+                index_state, index_span = self._peek_index_state(
+                    plan, spec, inputs
+                )
+                algorithm, _, _ = choose_cascade_algorithm(
+                    plan,
+                    spec.mode,
+                    workers=shards.workers,
+                    index_state=_competing(index_state),
+                    index_span=index_span,
+                )
+        if algorithm == "indexed":
+            first_index = self._side_index(plan, inputs, "first")
+            last_index = self._side_index(plan, inputs, "last")
+            return run_cascade_indexed(
+                plan, spec.k, first_index, last_index, shards=shards
             )
         if algorithm == "parallel":
             return run_cascade_parallel(plan, spec.k, shards=shards)
@@ -1149,8 +1342,13 @@ class Engine:
         """Report the algorithm choice and cost estimates for a spec."""
         relations, spec = self._split_args(args, spec)
         cache_hit = False
+        inputs: tuple[QueryInput, ...] = relations
         if plan is None:
             plan, cache_hit = self._bind_with_hit(relations, spec)
+        else:
+            # Caller-supplied plan: `relations` may not describe it, so
+            # probe plan-local indexes only (matches _run's behavior).
+            inputs = ()
         stats = plan.stats()
         shards = (
             plan_shards(stats.join_size, spec.parallelism, stats.joined_width)
@@ -1158,17 +1356,55 @@ class Engine:
             else None
         )
         workers = shards.workers if shards is not None else 1
+        index_state, index_span = self._peek_index_state(plan, spec, inputs)
+
+        def index_line(algorithm: str) -> str | None:
+            if spec.problem != "ksjq":
+                return (
+                    "not applicable (find_k probe evaluations run the "
+                    "serial faithful path)"
+                )
+            if spec.use_index is False:
+                return "disabled (use_index=False)"
+            assert index_state is not None  # ksjq and not disabled
+            detail = index_state
+            if index_span is not None:
+                detail += f" (mean cell span {index_span:.2f})"
+            if algorithm == "indexed":
+                return f"{detail}; consumed by the indexed path"
+            return f"{detail}; unused by {algorithm}"
+
         if isinstance(plan, CascadePlan):
-            if spec.algorithm == "auto":
+            if spec.algorithm == "auto" and spec.use_index is True:
+                algorithm = "indexed"
+                _, costs, _ = choose_cascade_algorithm(
+                    plan,
+                    spec.mode,
+                    workers=workers,
+                    index_state=index_state,
+                    index_span=index_span,
+                )
+                reason = "use_index=True forces the indexed path"
+            elif spec.algorithm == "auto":
                 algorithm, costs, reason = choose_cascade_algorithm(
-                    plan, spec.mode, workers=workers
+                    plan,
+                    spec.mode,
+                    workers=workers,
+                    index_state=_competing(index_state),
+                    index_span=index_span,
                 )
             else:
                 algorithm = spec.algorithm
                 _, costs, _ = choose_cascade_algorithm(
-                    plan, spec.mode, workers=workers
+                    plan,
+                    spec.mode,
+                    workers=workers,
+                    index_state=index_state,
+                    index_span=index_span,
                 )
                 reason = "explicitly requested"
+            if algorithm == "indexed" and shards is not None:
+                shards = replace(shards, partition="cells")
             return ExplainReport(
                 spec=spec,
                 algorithm=algorithm,
@@ -1177,16 +1413,39 @@ class Engine:
                 stats=stats,
                 cache_hit=cache_hit,
                 shards=shards,
+                index=index_line(algorithm),
             )
         if spec.problem == "ksjq":
-            if spec.algorithm == "auto":
+            if spec.algorithm == "auto" and spec.use_index is True:
+                algorithm = "indexed"
+                _, costs, _ = choose_algorithm(
+                    plan,
+                    spec.mode,
+                    workers=workers,
+                    index_state=index_state,
+                    index_span=index_span,
+                )
+                reason = "use_index=True forces the indexed path"
+            elif spec.algorithm == "auto":
                 algorithm, costs, reason = choose_algorithm(
-                    plan, spec.mode, workers=workers
+                    plan,
+                    spec.mode,
+                    workers=workers,
+                    index_state=_competing(index_state),
+                    index_span=index_span,
                 )
             else:
                 algorithm = spec.algorithm
-                _, costs, _ = choose_algorithm(plan, spec.mode, workers=workers)
+                _, costs, _ = choose_algorithm(
+                    plan,
+                    spec.mode,
+                    workers=workers,
+                    index_state=index_state,
+                    index_span=index_span,
+                )
                 reason = "explicitly requested"
+            if algorithm == "indexed" and shards is not None:
+                shards = replace(shards, partition="cells")
             return ExplainReport(
                 spec=spec,
                 algorithm=algorithm,
@@ -1195,6 +1454,7 @@ class Engine:
                 stats=stats,
                 cache_hit=cache_hit,
                 shards=shards,
+                index=index_line(algorithm),
             )
         # find_k: cost = expected number of probe points per method.
         d1, d2 = plan.left.schema.d, plan.right.schema.d
@@ -1223,6 +1483,7 @@ class Engine:
             costs=costs,
             stats=stats,
             cache_hit=cache_hit,
+            index=index_line(spec.method),
         )
 
     def __repr__(self) -> str:
@@ -1238,6 +1499,20 @@ def _plan_args(
 ) -> tuple[str, AggregateLike | None, tuple[ThetaCondition, ...]]:
     """(join, aggregate, theta) positional args for :meth:`Engine.plan`."""
     return spec.join, spec.aggregate, spec.theta
+
+
+def _competing(index_state: str | None) -> str | None:
+    """The index state ``algorithm="auto"`` lets compete on cost.
+
+    Only *warm* indexes enter the auto cost race: a cold build is a
+    deliberate investment the caller opts into (``algorithm="indexed"``
+    or ``use_index=True``) — letting it compete by default would flip
+    the engine's established auto choices on every first query. Once
+    any indexed query has built (and the catalog persisted) the side
+    indexes, subsequent auto queries see ``"warm"`` and the cost model
+    weighs the indexed path like any other.
+    """
+    return index_state if index_state == "warm" else None
 
 
 def _stale(tokens: object, uid: int, version: int) -> bool:

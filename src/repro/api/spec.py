@@ -43,7 +43,7 @@ __all__ = [
     "OBJECTIVES",
 ]
 
-ALGORITHMS = ("auto", "grouping", "dominator", "naive", "cartesian", "parallel")
+ALGORITHMS = ("auto", "grouping", "dominator", "naive", "cartesian", "parallel", "indexed")
 JOIN_KINDS = ("equality", "cartesian", "theta", "cascade")
 MODES = ("faithful", "exact")
 FIND_K_METHODS = ("binary", "range", "naive")
@@ -73,6 +73,7 @@ class QuerySpec:
     objective: str = "at_least"
     mode: str = "faithful"
     parallelism: int | str = "auto"
+    use_index: bool | str = "auto"
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -91,6 +92,16 @@ class QuerySpec:
             raise ParameterError(
                 f"parallelism must be 'auto' or a positive integer worker "
                 f"count, got {par!r}"
+            )
+        # use_index is a tri-state knob; identity checks keep 1/0 (which
+        # compare equal to True/False) from sneaking through as booleans.
+        if not (
+            self.use_index is True
+            or self.use_index is False
+            or self.use_index == "auto"
+        ):
+            raise ParameterError(
+                f"use_index must be True, False or 'auto', got {self.use_index!r}"
             )
 
         # Normalize theta to a hashable tuple of conditions.
@@ -171,6 +182,10 @@ class QuerySpec:
             raise JoinError(
                 f"algorithm='cartesian' requires a cartesian join, got join={self.join!r}"
             )
+        if self.algorithm == "indexed" and self.use_index is False:
+            raise ParameterError(
+                "algorithm='indexed' contradicts use_index=False; drop one"
+            )
         if self.k is None:
             raise ParameterError("a ksjq spec requires k")
         if not isinstance(self.k, int) or isinstance(self.k, bool):
@@ -215,6 +230,7 @@ class QuerySpec:
         aggregate: AggregateLike | None = None,
         theta: ThetaLike | None = None,
         parallelism: int | str = "auto",
+        use_index: bool | str = "auto",
     ) -> "QuerySpec":
         """Spec for Problems 1-2 (skyline join at a fixed k).
 
@@ -222,6 +238,12 @@ class QuerySpec:
         (:mod:`repro.core.parallel`): ``"auto"`` lets the engine decide
         serial-vs-parallel by cost, an integer demands that many
         workers for the parallel path.
+
+        ``use_index`` governs the dominance-index layer
+        (:mod:`repro.core.index`): ``"auto"`` lets the cost model weigh
+        the indexed path against the others, ``True`` makes
+        ``algorithm="auto"`` take it, and ``False`` guarantees no index
+        is consulted or built on behalf of this query.
         """
         return cls(
             problem="ksjq",
@@ -232,6 +254,7 @@ class QuerySpec:
             algorithm=algorithm,
             mode=mode,
             parallelism=parallelism,
+            use_index=use_index,
         )
 
     @classmethod
@@ -243,6 +266,7 @@ class QuerySpec:
         aggregate: AggregateLike | None = None,
         mode: str = "faithful",
         parallelism: int | str = "auto",
+        use_index: bool | str = "auto",
     ) -> "QuerySpec":
         """Spec for an m-way cascade KSJQ (paper Sec. 2.3).
 
@@ -262,6 +286,7 @@ class QuerySpec:
             algorithm=algorithm,
             mode=mode,
             parallelism=parallelism,
+            use_index=use_index,
         )
 
     @classmethod
@@ -275,13 +300,17 @@ class QuerySpec:
         aggregate: AggregateLike | None = None,
         theta: ThetaLike | None = None,
         parallelism: int | str = "auto",
+        use_index: bool | str = "auto",
     ) -> "QuerySpec":
         """Spec for Problems 3-4 (tune k from a cardinality target).
 
         ``parallelism`` is accepted for interface symmetry but the
         find-k searches run their probe evaluations serially (the
         paper's bound computations are sequential by nature); it is
-        validated and carried, not acted on.
+        validated and carried, not acted on. ``use_index`` likewise:
+        the find-k probes run the paper's bound computations and exact
+        evaluations index-free, so the knob is carried for symmetry
+        (and fingerprinted) but never triggers an index build.
         """
         return cls(
             problem="find_k",
@@ -293,6 +322,7 @@ class QuerySpec:
             objective=objective,
             mode=mode,
             parallelism=parallelism,
+            use_index=use_index,
         )
 
     # ------------------------------------------------------------------
@@ -333,6 +363,7 @@ class QuerySpec:
                 self.objective,
                 self.mode,
                 self.parallelism,
+                self.use_index,
             )
         )
         return hashlib.sha1(payload.encode()).hexdigest()[:16]
@@ -366,4 +397,6 @@ class QuerySpec:
         parts.append(f"mode={self.mode}")
         if self.parallelism != "auto":
             parts.append(f"parallelism={self.parallelism}")
+        if self.use_index != "auto":
+            parts.append(f"use_index={self.use_index}")
         return ", ".join(parts)

@@ -32,6 +32,13 @@ from .incremental import (
     MaintainedResult,
     MaintenanceCounters,
 )
+from .index import (
+    CellPartition,
+    DominanceIndex,
+    IndexStats,
+    run_cascade_indexed,
+    run_indexed,
+)
 from .naive import run_naive
 from .parallel import (
     ShardPlan,
@@ -55,11 +62,14 @@ __all__ = [
     "CascadePlan",
     "CascadeResult",
     "CascadeStats",
+    "CellPartition",
     "DEFAULT_FALLBACK_RATIO",
+    "DominanceIndex",
     "FATE_TABLE",
     "Categorization",
     "Category",
     "Fate",
+    "IndexStats",
     "FindKResult",
     "FindKStep",
     "Hop",
@@ -88,10 +98,12 @@ __all__ = [
     "make_plan",
     "plan_shards",
     "run_cartesian",
+    "run_cascade_indexed",
     "run_cascade_naive",
     "run_cascade_parallel",
     "run_cascade_pruned",
     "run_dominator",
+    "run_indexed",
     "run_grouping",
     "run_naive",
     "run_parallel",

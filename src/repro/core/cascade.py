@@ -81,7 +81,7 @@ __all__ = [
     "run_cascade_pruned",
 ]
 
-CASCADE_ALGORITHMS = ("auto", "naive", "pruned", "parallel")
+CASCADE_ALGORITHMS = ("auto", "naive", "pruned", "parallel", "indexed")
 
 
 @dataclass(frozen=True)
@@ -498,8 +498,8 @@ def cascade_progressive(
     if algorithm not in ("naive", "pruned"):
         raise ParameterError(
             f"progressive cascades support 'naive' and 'pruned', got "
-            f"{algorithm!r}; the sharded parallel path decides candidates "
-            "in bulk and does not stream"
+            f"{algorithm!r}; the sharded parallel and indexed paths decide "
+            "candidates in bulk and do not stream"
         )
     if algorithm == "pruned":
         plan.require_strict_aggregate("pruned")

@@ -38,7 +38,7 @@ import numpy as np
 from ..errors import AlgorithmError, SoundnessWarning
 from ..relational.join import JoinedView
 from ..serving.deadline import Deadline, PartialProvider, active_deadline
-from ..skyline.dominance import is_k_dominated
+from ..skyline.dominance import is_k_dominated, k_dominated_any
 from .categorize import Categorization
 from .params import KSJQParams
 from .plan import JoinPlan
@@ -152,19 +152,22 @@ def run_grouping(plan: JoinPlan, k: int, mode: str = "faithful") -> KSJQResult:
             )
             if cells["SN*SN"].shape[0]:
                 vectors = vec_view.oriented_for_pairs(cells["SN*SN"])
-                keep: list[int] = []
-                partial = (
-                    _partial_provider(accepted, cells["SN*SN"], keep)
-                    if deadline is not None
-                    else None
-                )
-                for i in range(vectors.shape[0]):
-                    if deadline is not None:
+                if deadline is None:
+                    # One blocked many-vs-matrix kernel pass instead of a
+                    # Python-level per-row loop; identical keeps in
+                    # identical order.
+                    dominated = k_dominated_any(full_matrix, vectors, k)
+                    checked += vectors.shape[0]
+                    accepted.append(cells["SN*SN"][~dominated])
+                else:
+                    keep: list[int] = []
+                    partial = _partial_provider(accepted, cells["SN*SN"], keep)
+                    for i in range(vectors.shape[0]):
                         deadline.check(partial)
-                    if not is_k_dominated(full_matrix, vectors[i], k):
-                        keep.append(i)
-                checked += vectors.shape[0]
-                accepted.append(cells["SN*SN"][keep])
+                        if not is_k_dominated(full_matrix, vectors[i], k):
+                            keep.append(i)
+                    checked += vectors.shape[0]
+                    accepted.append(cells["SN*SN"][keep])
         else:
             checked += _verify_exact(
                 plan, vec_view, params, cells, accepted, deadline=deadline

@@ -156,7 +156,8 @@ class MaintainedResult:
         # which may pick them — can return paper-faithful supersets, and
         # fall back to full recompute on every mutation instead.
         self._delta_capable = spec.join != "cascade" and (
-            spec.mode == "exact" or spec.algorithm in ("naive", "parallel")
+            spec.mode == "exact"
+            or spec.algorithm in ("naive", "parallel", "indexed")
         )
         self._lock = threading.RLock()
         self._closed = False

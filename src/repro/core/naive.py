@@ -6,6 +6,13 @@ ground truth the optimized algorithms are tested against), but it pays
 the full join cost and the full skyline cost, and produces no results
 until the join finishes.
 
+Invariant relied on by the differential fuzz suite
+(``tests/property/test_property_index.py``): this runner never touches
+the dominance-index layer (:mod:`repro.core.index`) — no
+``DominanceIndex`` build, no cell pruning, no memoized candidate
+supersets — so the indexed path's byte-identity is checked against an
+independently computed answer, not against itself. Keep it that way.
+
 When a serving deadline is active (:func:`~repro.serving.deadline
 .active_deadline`), the skyline pass switches to the chunked
 :func:`~repro.core.verify.checkpointed_skyline` — the same answer, but

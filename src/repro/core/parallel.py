@@ -142,12 +142,19 @@ class ShardPlan:
     reason:
         Human-readable justification of the decision (reported by
         ``Engine.explain``).
+    partition:
+        How the candidate rows are split across shards: ``"rows"``
+        (contiguous slices, the default) or ``"cells"`` (whole joined
+        cells of a :class:`repro.core.index.CellPartition`, LPT-balanced
+        — the indexed path relabels its plan so ``explain`` reports the
+        cell sharding).
     """
 
     workers: int
     n_rows: int
     executor: str
     reason: str
+    partition: str = "rows"
 
     @property
     def n_shards(self) -> int:
@@ -162,10 +169,13 @@ class ShardPlan:
     def describe(self) -> str:
         """One-line human-readable rendering."""
         if not self.is_parallel:
+            if self.partition != "rows":
+                return f"serial ({self.partition} partition) — {self.reason}"
             return f"serial — {self.reason}"
+        shard_kind = "shards" if self.partition == "rows" else "cell buckets"
         return (
             f"{self.workers} {self.executor} workers over {self.n_shards} "
-            f"shards of ~{self.n_rows // max(1, self.n_shards)} rows — "
+            f"{shard_kind} of ~{self.n_rows // max(1, self.n_shards)} rows — "
             f"{self.reason}"
         )
 
@@ -259,6 +269,13 @@ def _shard_candidates(args: tuple[IntVector, int, int]) -> IntVector:
     return k_dominant_candidates_block(shard_matrix, k) + offset
 
 
+def _subset_candidates(args: tuple[FloatMatrix, IntVector, int]) -> IntVector:
+    """Phase 1, one cell bucket: local candidate superset of a
+    non-contiguous row subset, mapped back to global indices."""
+    bucket_matrix, rows, k = args
+    return rows[k_dominant_candidates_block(bucket_matrix, k)]
+
+
 def _verify_chunk(args: tuple[int, IntVector, int]) -> BoolVector:
     """Phase 2, one candidate chunk: dominated flags vs the full data
     (looked up in :data:`_SHARED_PAYLOADS` — inherited via fork for
@@ -333,6 +350,10 @@ def _sharded_skyline(
     shards: ShardPlan,
     clock: PhaseClock,
     partial_of: Callable[[Sequence[int]], tuple[tuple[int, ...], ...]] | None = None,
+    row_subsets: Sequence[IntVector] | None = None,
+    sorted_matrix: FloatMatrix | None = None,
+    candidate_memo: dict[int, IntVector] | None = None,
+    memo_lock: threading.RLock | None = None,
 ) -> tuple[IntVector, int]:
     """The two-phase partition-and-merge skyline over ``matrix``.
 
@@ -340,6 +361,19 @@ def _sharded_skyline(
     generation. Phase 2 ("remaining"): cross-shard verification of the
     merged candidates against all rows. Returns ``(sorted surviving row
     indices, number of candidates verified)``.
+
+    ``row_subsets`` replaces the default contiguous sharding with
+    explicit candidate row lists — the indexed path passes LPT-balanced
+    cell buckets whose union is the *unpruned* rows only. That is sound
+    because phase 2 is unchanged: candidates are always verified against
+    **all** rows of ``matrix`` (pruned tuples are provably non-winning
+    yet still k-dominate others), so the answer stays byte-identical to
+    the unpruned paths. ``sorted_matrix`` optionally supplies the
+    pre-sorted verification matrix (a plan-level memo) and
+    ``candidate_memo``/``memo_lock`` a per-``k`` candidate-superset memo
+    filled under the lock: a repeated query skips phase 1 entirely and
+    re-verifies the memoized superset — exactness never depends on the
+    memo since verification is exact for *any* superset of the answer.
 
     When a serving deadline is active, checks run between the phases
     and between verification *waves*: the candidate chunks shrink to
@@ -358,15 +392,34 @@ def _sharded_skyline(
     with clock.phase("grouping"):
         if deadline is not None:
             deadline.check(partial)
-        bounds = shard_bounds(n, shards.n_shards)
-        locals_ = _map_tasks(
-            _shard_candidates,
-            [(matrix[start:stop], start, k) for start, stop in bounds],
-            shards,
-        )
         candidates = (
-            np.sort(np.concatenate(locals_)) if locals_ else np.empty(0, dtype=np.intp)
+            candidate_memo.get(k) if candidate_memo is not None else None
         )
+        if candidates is None:
+            if row_subsets is not None:
+                locals_ = _map_tasks(
+                    _subset_candidates,
+                    [(matrix[rows], rows, k) for rows in row_subsets if rows.size],
+                    shards,
+                )
+            else:
+                bounds = shard_bounds(n, shards.n_shards)
+                locals_ = _map_tasks(
+                    _shard_candidates,
+                    [(matrix[start:stop], start, k) for start, stop in bounds],
+                    shards,
+                )
+            candidates = (
+                np.sort(np.concatenate(locals_))
+                if locals_
+                else np.empty(0, dtype=np.intp)
+            )
+            if candidate_memo is not None:
+                if memo_lock is not None:
+                    with memo_lock:
+                        candidate_memo[k] = candidates
+                else:
+                    candidate_memo[k] = candidates
     with clock.phase("remaining"):
         if candidates.size == 0:
             return candidates, 0
@@ -377,7 +430,8 @@ def _sharded_skyline(
         # still eliminate), with strong rows stacked first for early
         # exit. The sorted matrix travels to workers as fork-inherited
         # shared state, not one pickled copy per chunk.
-        sorted_matrix = sort_rows_for_early_exit(matrix)
+        if sorted_matrix is None:
+            sorted_matrix = sort_rows_for_early_exit(matrix)
         if deadline is None:
             chunk_bounds = shard_bounds(candidates.size, shards.n_shards)
             with _shared_payload(sorted_matrix) as payload_key:

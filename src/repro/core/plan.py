@@ -11,6 +11,7 @@ dominator-based runs are guaranteed to answer the same query.
 from __future__ import annotations
 
 import hashlib
+import math
 import threading
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -43,6 +44,7 @@ if TYPE_CHECKING:
         JoinKey,
         ThetaLike,
     )
+    from .index import CellPartition, DominanceIndex
 
 __all__ = [
     "JoinPlan",
@@ -147,6 +149,33 @@ class PlanStats:
         against in :class:`repro.core.incremental.MaintainedResult`."""
         return float(self.join_size) * float(self.join_size)
 
+    # ------------------------------------------------------------------
+    # Dominance-index cost model (repro.core.index)
+    # ------------------------------------------------------------------
+    def indexed_cost(self, state: str = "cold", span: float | None = None) -> float:
+        """Estimated comparisons of the index-accelerated exact path.
+
+        The indexed runner pays one cell-partition pass over the joined
+        view (``O(J)``), then candidate generation + verification over
+        the rows that *survive* cell pruning — modeled as the parallel
+        path's ``J * sqrt(J)`` generation/verification term scaled by
+        the survival fraction. ``span`` is the indexes'
+        ``mean_cell_span`` selectivity signal when known (tight cells →
+        strong pruning); without it a neutral 0.5 is assumed.
+        ``state="cold"`` adds the build cost the first query pays: one
+        ``O(n log n)`` sort-and-digitize pass per side plus the
+        cell-bound pruning scan of the joined matrix.
+        """
+        if state not in ("cold", "warm"):
+            raise ParameterError(f"state must be 'cold' or 'warm', got {state!r}")
+        j = float(self.join_size)
+        survive = min(1.0, max(span if span is not None else 0.5, 0.05))
+        cost = j + survive * j * math.sqrt(j)
+        if state == "cold":
+            n1, n2 = float(max(self.n_left, 1)), float(max(self.n_right, 1))
+            cost += n1 * math.log2(n1 + 1) + n2 * math.log2(n2 + 1) + j
+        return cost
+
     def as_dict(self) -> PlanStatsDict:
         return {
             "kind": self.kind,
@@ -183,7 +212,7 @@ class JoinPlan:
     lock-free fast-path *reads* are legal but every write must hold
     ``_memo_lock``.
 
-    # guarded-by-writes: _memo_lock: _view, _left_groups, _right_groups, _left_theta, _right_theta, _stats
+    # guarded-by-writes: _memo_lock: _view, _left_groups, _right_groups, _left_theta, _right_theta, _stats, _side_indexes, _cell_partitions
     """
 
     def __init__(
@@ -224,6 +253,8 @@ class JoinPlan:
         self._left_theta: ThetaGroupIndex | ConjunctiveThetaIndex | None = None
         self._right_theta: ThetaGroupIndex | ConjunctiveThetaIndex | None = None
         self._stats: PlanStats | None = None
+        self._side_indexes: dict[str, DominanceIndex] = {}
+        self._cell_partitions: dict[tuple[object, object], CellPartition] = {}
         # Cached plans are shared by every concurrent Engine.execute
         # caller, so lazy builds are guarded (double-checked) by a
         # reentrant lock: derived structures are built exactly once.
@@ -378,6 +409,67 @@ class JoinPlan:
                         else ConjunctiveThetaIndex(indexes)
                     )
         return self._right_theta
+
+    # ------------------------------------------------------------------
+    # Dominance indexes (repro.core.index)
+    # ------------------------------------------------------------------
+    def side_index(self, side: str) -> tuple[DominanceIndex, bool]:
+        """A dominance index for one base side, plan-locally memoized.
+
+        The fallback when a side is not a registered dataset (anonymous
+        relations, ``plan=`` overrides): the Catalog cannot persist an
+        index for it, so the plan carries its own. Returns ``(index,
+        built_now)`` so the engine can count builds vs. hits.
+        """
+        if side not in ("left", "right"):
+            raise ParameterError(f"side must be 'left' or 'right', got {side!r}")
+        index = self._side_indexes.get(side)
+        if index is not None:
+            return index, False
+        with self._memo_lock:
+            index = self._side_indexes.get(side)
+            if index is not None:
+                return index, False
+            from .index import DominanceIndex
+
+            index = DominanceIndex.build(self.left if side == "left" else self.right)
+            self._side_indexes[side] = index
+            return index, True
+
+    def peek_side_index(self, side: str) -> DominanceIndex | None:
+        """The plan-local index for ``side`` if already built (no build)."""
+        return self._side_indexes.get(side)
+
+    def cell_partition(
+        self, left_index: DominanceIndex, right_index: DominanceIndex
+    ) -> CellPartition:
+        """The joined-cell partition for one pair of side indexes.
+
+        Memoized by the indexes' snapshot tokens, so repeated indexed
+        queries through a cached plan skip the partition pass (and,
+        via the partition's own per-``k`` memos, the pruning and
+        candidate-generation passes too).
+        """
+        key = (left_index.token, right_index.token)
+        partition = self._cell_partitions.get(key)
+        if partition is None:
+            with self._memo_lock:
+                partition = self._cell_partitions.get(key)
+                if partition is None:
+                    from .index import CellPartition, joined_cell_ids
+
+                    view = self.view()
+                    partition = CellPartition(
+                        view.oriented(),
+                        joined_cell_ids(
+                            left_index,
+                            right_index,
+                            view.pairs[:, 0],
+                            view.pairs[:, 1],
+                        ),
+                    )
+                    self._cell_partitions[key] = partition
+        return partition
 
     # ------------------------------------------------------------------
     # Categorization (SS/SN/NN) per join kind
@@ -549,6 +641,25 @@ class CascadeStats:
         """Number of relations in the chain."""
         return len(self.base_sizes)
 
+    def indexed_cost(self, state: str = "cold", span: float | None = None) -> float:
+        """Estimated comparisons of the index-accelerated cascade path.
+
+        The m-way counterpart of :meth:`PlanStats.indexed_cost`: one
+        cell-partition pass over the chain matrix plus generation and
+        verification over the survival fraction; ``state="cold"`` adds
+        the first/last-relation index builds and the pruning scan.
+        """
+        if state not in ("cold", "warm"):
+            raise ParameterError(f"state must be 'cold' or 'warm', got {state!r}")
+        s = float(self.join_size)
+        survive = min(1.0, max(span if span is not None else 0.5, 0.05))
+        cost = s + survive * s * math.sqrt(s)
+        if state == "cold":
+            first = float(max(self.base_sizes[0], 1))
+            last = float(max(self.base_sizes[-1], 1))
+            cost += first * math.log2(first + 1) + last * math.log2(last + 1) + s
+        return cost
+
     def as_dict(self) -> CascadeStatsDict:
         return {
             "kind": self.kind,
@@ -585,7 +696,7 @@ class CascadePlan:
     Memoization contract (checked by the repo linter's R2 rule); reads
     are double-checked-locking fast paths, writes hold ``_memo_lock``.
 
-    # guarded-by-writes: _memo_lock: _chains, _oriented, _sorted, _pruned, _pruned_candidates, _groups, _stats
+    # guarded-by-writes: _memo_lock: _chains, _oriented, _sorted, _pruned, _pruned_candidates, _groups, _stats, _side_indexes, _cell_partitions
     """
 
     kind = "cascade"
@@ -620,6 +731,8 @@ class CascadePlan:
         self._pruned_candidates: dict[int, tuple[IntMatrix, FloatMatrix]] = {}
         self._groups: list[dict[tuple[object, object], list[int]]] | None = None
         self._stats: CascadeStats | None = None
+        self._side_indexes: dict[str, DominanceIndex] = {}
+        self._cell_partitions: dict[tuple[object, object], CellPartition] = {}
         # Shared by concurrent engine callers; see JoinPlan._memo_lock.
         self._memo_lock = threading.RLock()
 
@@ -738,6 +851,60 @@ class CascadePlan:
                     matrix = cascade_oriented(self.relations, candidates, self.aggregate)
                     self._pruned_candidates[k] = (candidates, matrix)
         return self._pruned_candidates[k]
+
+    # ------------------------------------------------------------------
+    # Dominance indexes (repro.core.index)
+    # ------------------------------------------------------------------
+    def side_index(self, side: str) -> tuple[DominanceIndex, bool]:
+        """Plan-local dominance index over the first or last relation.
+
+        Cascades are bucketed by their end-point relations (chains are
+        enumerated first-relation-major, and the last relation is the
+        other independent axis). ``side`` is ``"first"`` or ``"last"``;
+        returns ``(index, built_now)`` like :meth:`JoinPlan.side_index`.
+        """
+        if side not in ("first", "last"):
+            raise ParameterError(f"side must be 'first' or 'last', got {side!r}")
+        index = self._side_indexes.get(side)
+        if index is not None:
+            return index, False
+        with self._memo_lock:
+            index = self._side_indexes.get(side)
+            if index is not None:
+                return index, False
+            from .index import DominanceIndex
+
+            relation = self.relations[0] if side == "first" else self.relations[-1]
+            index = DominanceIndex.build(relation)
+            self._side_indexes[side] = index
+            return index, True
+
+    def peek_side_index(self, side: str) -> DominanceIndex | None:
+        """The plan-local index for ``side`` if already built (no build)."""
+        return self._side_indexes.get(side)
+
+    def cell_partition(
+        self, first_index: DominanceIndex, last_index: DominanceIndex
+    ) -> CellPartition:
+        """Joined-cell partition of the chain set by its end-point cells
+        (memoized by index tokens; see :meth:`JoinPlan.cell_partition`)."""
+        key = (first_index.token, last_index.token)
+        partition = self._cell_partitions.get(key)
+        if partition is None:
+            with self._memo_lock:
+                partition = self._cell_partitions.get(key)
+                if partition is None:
+                    from .index import CellPartition, joined_cell_ids
+
+                    chains = self.chains()
+                    partition = CellPartition(
+                        self.oriented(),
+                        joined_cell_ids(
+                            first_index, last_index, chains[:, 0], chains[:, -1]
+                        ),
+                    )
+                    self._cell_partitions[key] = partition
+        return partition
 
     def stats(self) -> CascadeStats:
         """Exact chain-count statistics without materializing the chains."""

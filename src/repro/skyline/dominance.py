@@ -38,6 +38,7 @@ __all__ = [
     "k_dominator_mask",
     "is_k_dominated",
     "k_dominated_any",
+    "cells_k_dominated",
     "dominator_rows",
 ]
 
@@ -183,6 +184,44 @@ def k_dominated_any(
             undecided = undecided[~dominated]
             start += rows.shape[0]
     return out
+
+
+def cells_k_dominated(
+    matrix: FloatMatrix,
+    cell_lower_bounds: FloatMatrix,
+    k: int,
+) -> BoolVector:
+    """Per-cell flag: is the cell provably non-winning at ``k``?
+
+    The cell-bound pruning kernel of :mod:`repro.core.index`. Cell ``C``
+    is flagged iff some **actual row** ``w`` of ``matrix`` satisfies
+    ``#{j : w_j <= lb_C[j]} >= k`` and ``exists j : w_j < lb_C[j]``,
+    where ``lb_C`` is the componentwise minimum over ``C``'s actual
+    rows. Every tuple ``t`` of a flagged cell is then *directly*
+    k-dominated by ``w``: on the ``>= k`` better-or-equal coordinates
+    ``w_j <= lb_C[j] <= t_j``, and on the strict one
+    ``w_j < lb_C[j] <= t_j``. No transitivity is assumed — the witness
+    is one real tuple, one hop — which is what makes this sound even
+    though k-dominance is cyclic for small ``k``. A row of ``C`` can
+    never be its own witness: it sits at or above ``lb_C`` everywhere,
+    so the strict condition fails.
+
+    Computationally this is exactly :func:`k_dominated_any` with the
+    cell lower bounds in the role of the test vectors; pass ``matrix``
+    pre-sorted by :func:`repro.core.verify.sort_rows_for_early_exit` so
+    most cells are decided within the first blocks.
+
+    Parameters
+    ----------
+    matrix:
+        (n x d) oriented matrix of all actual rows (candidate
+        witnesses) — the *full* data, never a pruned subset.
+    cell_lower_bounds:
+        (c x d) componentwise minima of each cell's actual rows.
+    k:
+        Dominance threshold.
+    """
+    return k_dominated_any(matrix, cell_lower_bounds, k)
 
 
 def dominator_rows(

@@ -1,0 +1,261 @@
+"""Dominance-index lifecycle through the Catalog and Engine.
+
+The index cache is keyed by the dataset's uid-carrying version token:
+every mutation either *maintains* the index (appends re-use the grid
+geometry) or *invalidates* it, and a dropped-and-re-registered dataset
+can never be served a stale index even under the same name. Every
+transition is observable through ``Engine.cache_info()``'s
+``index_builds`` / ``index_hits`` / ``index_invalidations`` /
+``index_maintained`` counters, and every post-mutation answer is
+checked against a fresh naive run.
+"""
+
+import pytest
+
+from repro.api import Engine, QuerySpec
+from repro.errors import ParameterError
+
+from ..helpers import make_random_pair
+
+K = 10  # nonempty for the (n=40, d=5, g=3) pair used below
+
+
+def index_counters(engine):
+    info = engine.cache_info()
+    return {
+        key: info[key]
+        for key in (
+            "index_builds",
+            "index_hits",
+            "index_invalidations",
+            "index_maintained",
+        )
+    }
+
+
+def naive_answer(engine, k=K):
+    return engine.execute(
+        "L", "R", QuerySpec.for_ksjq(k=k, algorithm="naive")
+    ).pairs.tobytes()
+
+
+def indexed_answer(engine, k=K):
+    return engine.execute(
+        "L", "R", QuerySpec.for_ksjq(k=k, algorithm="indexed")
+    ).pairs.tobytes()
+
+
+@pytest.fixture
+def engine():
+    left, right = make_random_pair(seed=7, n=40, d=5, g=3)
+    eng = Engine()
+    eng.register("L", left)
+    eng.register("R", right)
+    return eng
+
+
+def some_records(engine, name, count=3):
+    """Valid insertable records, cloned from the dataset's own rows."""
+    return list(engine.catalog[name].relation.records())[:count]
+
+
+class TestLifecycleCounters:
+    def test_miss_build_then_hit(self, engine):
+        assert index_counters(engine) == {
+            "index_builds": 0,
+            "index_hits": 0,
+            "index_invalidations": 0,
+            "index_maintained": 0,
+        }
+        want = naive_answer(engine)
+        assert indexed_answer(engine) == want
+        after_cold = index_counters(engine)
+        assert after_cold["index_builds"] == 2  # one per side
+        assert after_cold["index_hits"] == 0
+        # Warm repeat: both sides hit, nothing rebuilt.
+        assert indexed_answer(engine) == want
+        after_warm = index_counters(engine)
+        assert after_warm["index_builds"] == 2
+        assert after_warm["index_hits"] == 2
+        # A different k reuses the same indexes too.
+        assert indexed_answer(engine, k=9) == naive_answer(engine, k=9)
+        assert index_counters(engine)["index_builds"] == 2
+
+    def test_insert_maintains_and_stays_correct(self, engine):
+        indexed_answer(engine)  # build
+        engine.catalog["L"].insert_rows(some_records(engine, "L"))
+        counters = index_counters(engine)
+        assert counters["index_maintained"] == 1
+        assert counters["index_invalidations"] == 0
+        # The maintained index serves the new version as a hit, and the
+        # answer over the mutated data matches naive exactly.
+        before_hits = counters["index_hits"]
+        assert indexed_answer(engine) == naive_answer(engine)
+        after = index_counters(engine)
+        assert after["index_builds"] == 2  # no rebuild
+        assert after["index_hits"] >= before_hits + 1
+
+    def test_delete_invalidates_then_rebuilds(self, engine):
+        indexed_answer(engine)  # build
+        engine.catalog["R"].delete_rows([0, 3])
+        counters = index_counters(engine)
+        assert counters["index_invalidations"] == 1
+        assert indexed_answer(engine) == naive_answer(engine)
+        assert index_counters(engine)["index_builds"] == 3  # R rebuilt
+
+    def test_replace_invalidates(self, engine):
+        indexed_answer(engine)
+        fresh_left, _ = make_random_pair(seed=99, n=30, d=5, g=3)
+        engine.catalog["L"].replace(fresh_left)
+        assert index_counters(engine)["index_invalidations"] == 1
+        assert indexed_answer(engine) == naive_answer(engine)
+
+    def test_mutation_cycle_end_to_end(self, engine):
+        """miss -> build -> hit -> mutate -> correct answer, repeatedly."""
+        for round_no in range(3):
+            assert indexed_answer(engine) == naive_answer(engine)
+            engine.catalog["L"].insert_rows(some_records(engine, "L", 1))
+            engine.catalog["R"].delete_rows([round_no])
+        assert indexed_answer(engine) == naive_answer(engine)
+        counters = index_counters(engine)
+        assert counters["index_maintained"] == 3  # one per insert
+        assert counters["index_invalidations"] == 3  # one per delete
+
+    def test_drop_and_reregister_never_serves_stale(self, engine):
+        first = indexed_answer(engine)
+        builds = index_counters(engine)["index_builds"]
+        # Same name, different data: the uid-carrying token must miss.
+        replacement, _ = make_random_pair(seed=23, n=35, d=5, g=3)
+        engine.catalog.drop("L")
+        engine.register("L", replacement)
+        second = indexed_answer(engine)
+        assert index_counters(engine)["index_builds"] == builds + 1
+        assert second == naive_answer(engine)
+        assert second != first  # genuinely different data, not a replay
+
+    def test_use_index_false_never_builds(self, engine):
+        result = engine.execute(
+            "L", "R", QuerySpec.for_ksjq(k=K, use_index=False)
+        )
+        assert result.algorithm != "indexed"
+        counters = index_counters(engine)
+        assert counters["index_builds"] == 0
+        assert counters["index_hits"] == 0
+
+    def test_find_k_never_builds(self, engine):
+        engine.execute("L", "R", QuerySpec.for_find_k(delta=10, use_index=True))
+        assert index_counters(engine)["index_builds"] == 0
+
+    def test_anonymous_relations_use_plan_local_indexes(self):
+        """Unregistered inputs still run indexed — via plan-local builds
+        that are *counted* but never cached in the catalog."""
+        left, right = make_random_pair(seed=3, n=25, d=4, g=3)
+        engine = Engine()
+        spec = QuerySpec.for_ksjq(k=8, algorithm="indexed")
+        want = engine.execute(
+            left, right, QuerySpec.for_ksjq(k=8, algorithm="naive")
+        ).pairs.tobytes()
+        assert engine.execute(left, right, spec).pairs.tobytes() == want
+        assert index_counters(engine)["index_builds"] == 2
+        # Re-running through the cached plan reuses the plan-local
+        # indexes: no further builds.
+        assert engine.execute(left, right, spec).pairs.tobytes() == want
+        assert index_counters(engine)["index_builds"] == 2
+
+
+class TestMaintainedComposition:
+    def test_maintained_result_survives_mutations(self, engine):
+        spec = QuerySpec.for_ksjq(k=K, algorithm="indexed")
+        live = engine.maintain("L", "R", spec=spec)
+        engine.catalog["L"].insert_rows(some_records(engine, "L"))
+        engine.catalog["R"].delete_rows([1])
+        assert live.result().pairs.tobytes() == naive_answer(engine)
+
+    def test_maintained_result_use_index_auto(self, engine):
+        live = engine.maintain("L", "R", spec=QuerySpec.for_ksjq(k=K))
+        engine.catalog["L"].insert_rows(some_records(engine, "L", 2))
+        assert live.result().pairs.tobytes() == naive_answer(engine)
+
+
+class TestExplain:
+    def test_cold_then_warm(self, engine):
+        spec = QuerySpec.for_ksjq(k=K, algorithm="indexed")
+        cold = engine.explain("L", "R", spec)
+        assert cold.index is not None
+        assert cold.index.startswith("cold")
+        assert cold.index.endswith("consumed by the indexed path")
+        engine.execute("L", "R", spec)
+        warm = engine.explain("L", "R", spec)
+        assert warm.index.startswith("warm (mean cell span ")
+        assert "consumed by the indexed path" in warm.index
+        assert "index:" in warm.summary()
+
+    def test_unused_line_names_the_chosen_algorithm(self, engine):
+        report = engine.explain("L", "R", QuerySpec.for_ksjq(k=K, algorithm="naive"))
+        assert report.index.endswith("unused by naive")
+
+    def test_disabled_line(self, engine):
+        report = engine.explain("L", "R", QuerySpec.for_ksjq(k=K, use_index=False))
+        assert report.index == "disabled (use_index=False)"
+        assert "index: disabled (use_index=False)" in report.summary()
+
+    def test_find_k_not_applicable(self, engine):
+        report = engine.explain("L", "R", QuerySpec.for_find_k(delta=10))
+        assert report.index.startswith("not applicable")
+
+    def test_use_index_true_forces_indexed(self, engine):
+        report = engine.explain("L", "R", QuerySpec.for_ksjq(k=K, use_index=True))
+        assert report.algorithm == "indexed"
+        assert report.reason == "use_index=True forces the indexed path"
+        assert "indexed" in report.costs
+        assert report.shards is not None
+        assert report.shards.partition == "cells"
+        assert "(cells partition)" in report.summary()
+
+    def test_warm_auto_lets_indexed_compete(self, engine):
+        """Cold auto never pays a speculative build; once warm, the
+        indexed path enters the cost race (and is taken if cheapest)."""
+        cold = engine.explain("L", "R", QuerySpec.for_ksjq(k=K))
+        assert "indexed" not in cold.costs
+        engine.execute("L", "R", QuerySpec.for_ksjq(k=K, algorithm="indexed"))
+        warm = engine.explain("L", "R", QuerySpec.for_ksjq(k=K))
+        assert "indexed" in warm.costs
+        executed = engine.execute("L", "R", QuerySpec.for_ksjq(k=K))
+        assert executed.algorithm == warm.algorithm
+
+
+class TestSpecValidation:
+    def test_truthy_nonbool_rejected(self):
+        with pytest.raises(ParameterError, match="use_index"):
+            QuerySpec.for_ksjq(k=5, use_index=1)
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(ParameterError, match="use_index"):
+            QuerySpec.for_ksjq(k=5, use_index="yes")
+
+    def test_indexed_with_use_index_false_contradiction(self):
+        with pytest.raises(ParameterError, match="contradicts"):
+            QuerySpec.for_ksjq(k=5, algorithm="indexed", use_index=False)
+
+    def test_use_index_is_fingerprinted(self):
+        prints = {
+            QuerySpec.for_ksjq(k=5, use_index=ui).fingerprint()
+            for ui in ("auto", True, False)
+        }
+        assert len(prints) == 3
+
+    def test_describe_mentions_non_default_use_index(self):
+        assert "use_index=True" in QuerySpec.for_ksjq(k=5, use_index=True).describe()
+        assert "use_index" not in QuerySpec.for_ksjq(k=5).describe()
+
+
+class TestBuilder:
+    def test_builder_knob_round_trip(self, engine):
+        result = engine.query("L", "R").k(K).use_index().run()
+        assert result.algorithm == "indexed"
+        assert result.pairs.tobytes() == naive_answer(engine)
+
+    def test_builder_disable(self, engine):
+        result = engine.query("L", "R").k(K).use_index(False).run()
+        assert result.algorithm != "indexed"
+        assert index_counters(engine)["index_builds"] == 0
