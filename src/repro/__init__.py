@@ -14,6 +14,9 @@ K-Dominant Skylines" (ICDE 2017), as a reusable Python library:
 * :mod:`repro.serving` — the asyncio HTTP/JSON front-end: per-request
   deadlines with verified partial answers, bounded-queue admission
   control, progressive streaming (``python -m repro.serving``);
+* :mod:`repro.resilience` — deterministic fault injection, bounded
+  retry/backoff, the recovery ladder behind the parallel executors,
+  and the serving circuit breaker (see ``docs/resilience.md``);
 * :mod:`repro.datagen` — synthetic generators and the flight dataset;
 * :mod:`repro.experiments` — the harness regenerating every figure of
   the paper's evaluation.
@@ -122,11 +125,13 @@ from .errors import (
     AggregateError,
     AlgorithmError,
     CatalogError,
+    CircuitOpen,
     DeadlineExceeded,
     JoinError,
     ParameterError,
     ReproError,
     ReproWarning,
+    ResilienceError,
     SchemaError,
     ServingError,
     SoundnessWarning,
@@ -144,7 +149,7 @@ from .relational import (
     ThetaOp,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AdmissionRejected",
@@ -155,6 +160,7 @@ __all__ = [
     "CatalogError",
     "Categorization",
     "Category",
+    "CircuitOpen",
     "Dataset",
     "DeadlineExceeded",
     "DominanceIndex",
@@ -181,6 +187,7 @@ __all__ = [
     "RelationSchema",
     "ReproError",
     "ReproWarning",
+    "ResilienceError",
     "Role",
     "SchemaError",
     "ServingError",

@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING
 from ..core.index import DominanceIndex, IndexStats
 from ..errors import CatalogError
 from ..relational.dataset import Dataset, MutationDelta
+from ..resilience import resilience_stats
 from ..relational.relation import Relation
 
 if TYPE_CHECKING:
@@ -239,6 +240,17 @@ class Catalog:
         with self._lock:
             return self._index_stats.as_dict()
 
+    def quarantine_index(self, dataset: Dataset) -> None:
+        """Drop the persisted index entry for ``dataset`` after a
+        failure (resilience quarantine: the engine's indexed dispatch
+        calls this when an index load, build, or indexed run raised —
+        the next indexed query rebuilds from a fresh snapshot instead
+        of hitting the same poisoned entry forever). Counted as an
+        invalidation in the life-cycle counters."""
+        with self._lock:
+            if self._indexes.pop(dataset.uid, None) is not None:
+                self._index_stats.invalidations += 1
+
     def _maintain_index(self, dataset: Dataset, delta: MutationDelta) -> None:
         """Delta-feed maintenance: appends re-digitize the tail, all
         other mutations invalidate (the next indexed query rebuilds).
@@ -257,9 +269,19 @@ class Catalog:
         if delta.kind == "insert" and entry.version == delta.version - 1:
             current, version = dataset.snapshot()
             if version == delta.version and len(current) == delta.new_size:
-                index = entry.index.with_inserted_rows(
-                    current, token=("ds", dataset.name, dataset.uid, version)
-                )
+                try:
+                    index = entry.index.with_inserted_rows(
+                        current, token=("ds", dataset.name, dataset.uid, version)
+                    )
+                except Exception:  # noqa: BLE001 - degradation boundary
+                    # Failed maintenance quarantines the (already
+                    # popped) entry: count it and let the next indexed
+                    # query rebuild from scratch. Never re-install a
+                    # possibly half-maintained index.
+                    resilience_stats().record("index_quarantines")
+                    with self._lock:
+                        self._index_stats.invalidations += 1
+                    return
                 with self._lock:
                     self._indexes[dataset.uid] = _IndexEntry(current, version, index)
                     self._index_stats.maintained += 1

@@ -77,10 +77,11 @@ from ..core.parallel import (
 from ..core.plan import CascadePlan, CascadeStats, JoinPlan, PlanStats
 from ..core.progressive import ksjq_progressive
 from ..core.result import FindKResult, KSJQResult, QueryResult
-from ..errors import AlgorithmError, ParameterError
+from ..errors import AlgorithmError, DeadlineExceeded, ParameterError
 from ..relational.aggregates import AggregateFunction, get_aggregate
 from ..relational.dataset import Dataset
 from ..relational.relation import Relation
+from ..resilience import armed_plan, resilience_stats
 from ..serving.deadline import Deadline
 from .catalog import Catalog
 from .spec import QuerySpec
@@ -306,6 +307,11 @@ class ExplainReport:
         for specs the layer never touches, otherwise a line like
         ``"warm (mean cell span 0.31); consumed by the indexed path"``
         or ``"disabled (use_index=False)"``.
+    resilience:
+        Fault-tolerance posture and recovery totals: whether a
+        :class:`~repro.resilience.FaultPlan` is armed, plus the
+        process-wide recovery counters (shard retries, pool rebuilds,
+        executor degradations, index quarantines) accumulated so far.
     """
 
     spec: QuerySpec
@@ -316,6 +322,7 @@ class ExplainReport:
     cache_hit: bool = False
     shards: ShardPlan | None = None
     index: str | None = None
+    resilience: str | None = None
 
     def _plan_line(self) -> str:
         line = f"plan: {'cache hit' if self.cache_hit else 'prepared'}"
@@ -360,6 +367,8 @@ class ExplainReport:
                 )
             else:
                 lines.append(f"execution: {self.shards.describe()}")
+        if self.resilience is not None:
+            lines.append(f"resilience: {self.resilience}")
         return "\n".join(lines)
 
 
@@ -600,6 +609,25 @@ class Engine:
         index, built = plan.side_index(side)
         self._catalog.record_index_build(built)
         return index
+
+    def _quarantine_indexes(
+        self, plan: JoinPlan | CascadePlan, inputs: tuple[QueryInput, ...]
+    ) -> None:
+        """Drop the catalog's persisted side indexes after a failure.
+
+        Called from the graceful-degradation handlers of the indexed
+        dispatch: whatever broke (a corrupt index, a failed build), the
+        quarantined entries are rebuilt from scratch on the next
+        indexed query instead of poisoning every future one. Counted as
+        ``index_quarantines`` in the resilience snapshot.
+        """
+        if inputs:
+            for pos in (0, -1):
+                dataset = self._dataset_for(inputs[pos])
+                if dataset is not None:
+                    self._catalog.quarantine_index(dataset)
+        plan.drop_side_indexes()
+        resilience_stats().record("index_quarantines")
 
     def _peek_index_state(
         self,
@@ -913,6 +941,11 @@ class Engine:
         # under its own lock, so taking the catalog lock while holding
         # ours would invert that order.
         info.update(self._catalog.index_info())
+        # Recovery counters (shard_retries / pool_rebuilds /
+        # degradations / index_quarantines / ...) are process-wide —
+        # the shard executor has no engine reference — so every engine
+        # reports the same snapshot.
+        info["resilience"] = resilience_stats().snapshot()
         if metrics is not None:
             info["serving"] = metrics.snapshot()
         return info
@@ -1215,11 +1248,24 @@ class Engine:
                     index_span=index_span,
                 )
         if algorithm == "indexed":
-            left_index = self._side_index(plan, inputs, "left")
-            right_index = self._side_index(plan, inputs, "right")
-            return run_indexed(
-                plan, spec.k, left_index, right_index, shards=shards
-            )
+            try:
+                left_index = self._side_index(plan, inputs, "left")
+                right_index = self._side_index(plan, inputs, "right")
+                return run_indexed(
+                    plan, spec.k, left_index, right_index, shards=shards
+                )
+            except (DeadlineExceeded, ParameterError):
+                raise  # verified partials / caller errors pass through
+            except Exception:  # noqa: BLE001 - degradation boundary
+                # A corrupt or unloadable index must never fail (or
+                # wrong-answer) the query: quarantine both sides and
+                # fall back to the exact non-indexed plan.
+                self._quarantine_indexes(plan, inputs)
+                algorithm = (
+                    "parallel"
+                    if shards is not None and shards.is_parallel
+                    else "naive"
+                )
         if algorithm == "parallel":
             return run_parallel(plan, spec.k, shards=shards)
         if algorithm == "naive":
@@ -1265,11 +1311,22 @@ class Engine:
                     index_span=index_span,
                 )
         if algorithm == "indexed":
-            first_index = self._side_index(plan, inputs, "first")
-            last_index = self._side_index(plan, inputs, "last")
-            return run_cascade_indexed(
-                plan, spec.k, first_index, last_index, shards=shards
-            )
+            try:
+                first_index = self._side_index(plan, inputs, "first")
+                last_index = self._side_index(plan, inputs, "last")
+                return run_cascade_indexed(
+                    plan, spec.k, first_index, last_index, shards=shards
+                )
+            except (DeadlineExceeded, ParameterError):
+                raise  # verified partials / caller errors pass through
+            except Exception:  # noqa: BLE001 - degradation boundary
+                # Same quarantine-and-degrade contract as _run_ksjq.
+                self._quarantine_indexes(plan, inputs)
+                algorithm = (
+                    "parallel"
+                    if shards is not None and shards.is_parallel
+                    else "naive"
+                )
         if algorithm == "parallel":
             return run_cascade_parallel(plan, spec.k, shards=shards)
         if algorithm == "naive":
@@ -1414,6 +1471,7 @@ class Engine:
                 cache_hit=cache_hit,
                 shards=shards,
                 index=index_line(algorithm),
+                resilience=_resilience_line(),
             )
         if spec.problem == "ksjq":
             if spec.algorithm == "auto" and spec.use_index is True:
@@ -1455,6 +1513,7 @@ class Engine:
                 cache_hit=cache_hit,
                 shards=shards,
                 index=index_line(algorithm),
+                resilience=_resilience_line(),
             )
         # find_k: cost = expected number of probe points per method.
         d1, d2 = plan.left.schema.d, plan.right.schema.d
@@ -1484,6 +1543,7 @@ class Engine:
             stats=stats,
             cache_hit=cache_hit,
             index=index_line(spec.method),
+            resilience=_resilience_line(),
         )
 
     def __repr__(self) -> str:
@@ -1499,6 +1559,24 @@ def _plan_args(
 ) -> tuple[str, AggregateLike | None, tuple[ThetaCondition, ...]]:
     """(join, aggregate, theta) positional args for :meth:`Engine.plan`."""
     return spec.join, spec.aggregate, spec.theta
+
+
+def _resilience_line() -> str:
+    """Posture + recovery totals for :attr:`ExplainReport.resilience`."""
+    plan = armed_plan()
+    posture = (
+        f"fault plan armed (seed {plan.seed}, {len(plan.specs)} specs)"
+        if plan is not None
+        else "checkpoints disarmed"
+    )
+    snap = resilience_stats().snapshot()
+    return (
+        f"{posture}; recovery ladder process→thread→serial; so far: "
+        f"{snap['shard_retries']} shard retries, "
+        f"{snap['pool_rebuilds']} pool rebuilds, "
+        f"{snap['degradations']} degradations, "
+        f"{snap['index_quarantines']} index quarantines"
+    )
 
 
 def _competing(index_state: str | None) -> str | None:

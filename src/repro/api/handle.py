@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..core.result import QueryResult
-from ..errors import ParameterError
+from ..errors import ParameterError, ResilienceError
 from .spec import QuerySpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -123,6 +123,34 @@ class QueryHandle:
             assert self._result is not None
             return self._result
         return self.execute()
+
+    def refresh_or_stale(self) -> tuple[QueryResult, bool]:
+        """Refresh, degrading to the stale cached result when the
+        engine's recovery ladder is exhausted.
+
+        The graceful-degradation companion of :meth:`refresh` (see
+        ``docs/resilience.md``): a transiently sick engine — every
+        retry/rebuild/degrade rung failed with a typed
+        :class:`~repro.errors.ResilienceError` — should not take down a
+        caller that holds a previously *verified* (if stale) answer.
+
+        Returns
+        -------
+        tuple[QueryResult, bool]
+            ``(result, fresh)`` — ``fresh`` is ``False`` when the
+            result predates the inputs' current versions. With no
+            cached result to fall back on, the
+            :class:`~repro.errors.ResilienceError` propagates.
+        """
+        if self.is_fresh():
+            assert self._result is not None
+            return self._result, True
+        try:
+            return self.execute(), True
+        except ResilienceError:
+            if self._result is None:
+                raise
+            return self._result, False
 
     def explain(self) -> "ExplainReport":
         """What executing this handle *now* would do, without doing it.

@@ -47,6 +47,7 @@ import numpy as np
 
 from ..errors import ParameterError
 from ..relational.join import JoinedView
+from ..resilience import checkpoint, resilience_stats
 from ..skyline.dominance import k_dominated_any
 from ..skyline.kdominant import k_dominant_candidates_block
 from .plan import CascadePlan, JoinPlan
@@ -124,7 +125,13 @@ class MaintainedResult:
     locked-install / unlocked-notify split) and never while the engine
     holds its lock. Internal helpers re-enter it.
 
-    # guarded-by: _lock: _plan, _versions, _pairs, _matrix, _winners, _result, _closed, _counters
+    Resilience: a delta application that *fails* midway (an injected
+    ``"delta.apply"`` fault, or any unexpected error) can never poison
+    the handle — the failure marks the handle **dirty** and the next
+    :meth:`result` read recomputes from fresh snapshots instead of
+    re-raising forever (see ``docs/resilience.md``).
+
+    # guarded-by: _lock: _plan, _versions, _pairs, _matrix, _winners, _result, _closed, _counters, _dirty
     """
 
     def __init__(
@@ -161,6 +168,7 @@ class MaintainedResult:
         )
         self._lock = threading.RLock()
         self._closed = False
+        self._dirty = False
         self._counters = MaintenanceCounters()
         self._plan: JoinPlan | CascadePlan | None = None
         self._versions: dict[int, int] = {}
@@ -185,10 +193,24 @@ class MaintainedResult:
             return self._closed
 
     def result(self) -> QueryResult:
-        """The current answer (always reflects every processed delta)."""
+        """The current answer (always reflects every processed delta).
+
+        A handle dirtied by a failed delta application recomputes here,
+        on the read path — one recompute amortized over any number of
+        failed deltas, and a raising delta never wedges the handle.
+        """
         with self._lock:
+            if self._dirty:
+                self._recompute()
             assert self._result is not None  # set by __init__
             return self._result
+
+    @property
+    def dirty(self) -> bool:
+        """Did a failed delta leave the cached answer stale (the next
+        read will recompute)?"""
+        with self._lock:
+            return self._dirty
 
     @property
     def count(self) -> int:
@@ -250,19 +272,28 @@ class MaintainedResult:
                 return  # not our input / already covered by a recompute
             relation, version = dataset.snapshot()
             in_sync = delta.version == recorded + 1 and version == delta.version
-            if (
-                in_sync
-                and self._delta_capable
-                and delta.kind in ("insert", "delete")
-                and self._within_budget(dataset, delta)
-            ):
-                if delta.kind == "insert":
-                    self._apply_insert(dataset, relation, delta)
+            try:
+                if (
+                    in_sync
+                    and self._delta_capable
+                    and delta.kind in ("insert", "delete")
+                    and self._within_budget(dataset, delta)
+                ):
+                    if delta.kind == "insert":
+                        self._apply_insert(dataset, relation, delta)
+                    else:
+                        self._apply_delete(dataset, relation, delta)
+                    fallback = False
                 else:
-                    self._apply_delete(dataset, relation, delta)
-                fallback = False
-            else:
-                self._recompute()
+                    self._recompute()
+            except Exception:  # noqa: BLE001 - degradation boundary
+                # A failed application must not poison the handle:
+                # mark it dirty so the next read recomputes from fresh
+                # snapshots, and count the degradation. The stale
+                # cached answer is never served — result() checks the
+                # flag under this same lock.
+                self._dirty = True
+                resilience_stats().record("delta_failures")
             self._counters.applied_deltas += 1
             self._counters.delta_rows += delta.rows_touched
             if fallback:
@@ -319,6 +350,7 @@ class MaintainedResult:
             self._plan = plan
             result = self._engine._run(plan, self._spec)
             self._result = result.with_provenance(self._spec, plan)
+            self._dirty = False
             if self._delta_capable:
                 assert isinstance(plan, JoinPlan)
                 assert isinstance(result, KSJQResult)
@@ -351,6 +383,7 @@ class MaintainedResult:
         """Maintain under an append: generate the delta pairs, merge and
         verify them, evict the winners the newcomers now dominate."""
         with self._lock:
+            checkpoint("delta.apply")
             assert isinstance(self._plan, JoinPlan)
             assert self._spec.k is not None
             clock = PhaseClock()
@@ -448,6 +481,7 @@ class MaintainedResult:
         """Maintain under a delete: drop the removed pairs, compact the
         row indices, re-promote previously-dominated candidates."""
         with self._lock:
+            checkpoint("delta.apply")
             assert isinstance(self._plan, JoinPlan)
             assert self._spec.k is not None
             clock = PhaseClock()

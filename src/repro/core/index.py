@@ -55,6 +55,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from ..relational.relation import Relation
+from ..resilience import checkpoint
 from ..skyline.dominance import cells_k_dominated
 from .result import KSJQResult
 from .timing import PhaseClock
@@ -227,6 +228,7 @@ class DominanceIndex:
     ) -> "DominanceIndex":
         """Build from scratch: choose grid columns, cut quantile edges,
         digitize every row. ``O(n log n)``."""
+        checkpoint("index.build")
         matrix = relation.oriented()
         n = matrix.shape[0]
         grid_columns = _choose_grid_columns(matrix)
@@ -255,6 +257,7 @@ class DominanceIndex:
         geometry stays fixed — only the appended tail is digitized and
         the per-cell structure refreshed), skipping the variance scan
         and quantile passes of a cold :meth:`build`."""
+        checkpoint("index.maintain")
         matrix = relation.oriented()
         tail = matrix[self.n_rows :]
         codes = np.concatenate(

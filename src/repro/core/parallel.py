@@ -28,6 +28,15 @@ one shard (or one worker) runs inline. :func:`plan_shards` makes that
 decision from the plan's exact cardinality statistics and is what
 ``Engine.explain`` reports.
 
+Execution is **resilient**: shard tasks are pure, so transient
+failures — a crashed pool worker, an injected fault from
+:mod:`repro.resilience` — are absorbed by re-executing only the failed
+shard buckets with bounded backoff, rebuilding broken pools, and
+degrading process → thread → serial (see ``docs/resilience.md``).
+Because the cross-shard verification pass always re-checks merged
+candidates against the full matrix, recovery never changes the answer:
+recovered runs stay byte-identical to the clean serial path.
+
 ``Engine.execute_many`` composes with per-query parallelism through
 :func:`batch_workers`: while a batch fans out over N threads, each
 query's auto-resolved worker count is capped to its fair share of the
@@ -42,6 +51,7 @@ import itertools
 import multiprocessing
 import os
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -50,6 +60,13 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..resilience import (
+    InjectedFault,
+    RetryPolicy,
+    checkpoint,
+    resilience_stats,
+    retry_call,
+)
 from ..serving.deadline import DEFAULT_CHECK_INTERVAL, active_deadline
 from ..skyline.dominance import k_dominated_any
 from ..skyline.kdominant import k_dominant_candidates_block
@@ -266,6 +283,7 @@ _shared_keys = itertools.count()
 def _shard_candidates(args: tuple[IntVector, int, int]) -> IntVector:
     """Phase 1, one shard: local candidate superset, as global indices."""
     shard_matrix, offset, k = args
+    checkpoint("shard.candidates")
     return k_dominant_candidates_block(shard_matrix, k) + offset
 
 
@@ -273,6 +291,7 @@ def _subset_candidates(args: tuple[FloatMatrix, IntVector, int]) -> IntVector:
     """Phase 1, one cell bucket: local candidate superset of a
     non-contiguous row subset, mapped back to global indices."""
     bucket_matrix, rows, k = args
+    checkpoint("shard.candidates")
     return rows[k_dominant_candidates_block(bucket_matrix, k)]
 
 
@@ -281,6 +300,7 @@ def _verify_chunk(args: tuple[int, IntVector, int]) -> BoolVector:
     (looked up in :data:`_SHARED_PAYLOADS` — inherited via fork for
     process workers, shared memory for threads)."""
     payload_key, vectors, k = args
+    checkpoint("shard.verify")
     return k_dominated_any(_SHARED_PAYLOADS[payload_key], vectors, k)
 
 
@@ -304,6 +324,111 @@ def _fork_context() -> multiprocessing.context.BaseContext | None:
         return None
 
 
+#: Backoff schedule shared by every rung of the recovery ladder: up to
+#: two retries, 5 ms doubling to a 100 ms ceiling, half-jittered.
+SHARD_RETRY_POLICY = RetryPolicy(max_attempts=3, base_delay=0.005, max_delay=0.1)
+
+#: Shard-task failures the recovery ladder absorbs: injected faults and
+#: OS-level transients. Shard tasks are pure functions, so any *other*
+#: exception is a bug in the kernels and must propagate unchanged.
+_RECOVERABLE = (InjectedFault, OSError)
+
+
+def _serial_tasks(
+    fn: Callable[[tuple], np.ndarray], tasks: Sequence[tuple]
+) -> list[np.ndarray]:
+    """Run tasks inline, retrying transient failures in place.
+
+    The ladder's last rung: a fault that outlasts the retry policy here
+    propagates as its typed :class:`~repro.errors.ResilienceError`
+    (or ``OSError``) — never a silently dropped shard.
+    """
+    return [
+        retry_call(lambda t=task: fn(t), policy=SHARD_RETRY_POLICY)
+        for task in tasks
+    ]
+
+
+def _map_on_processes(
+    fn: Callable[[tuple], np.ndarray],
+    tasks: Sequence[tuple],
+    workers: int,
+    context: multiprocessing.context.BaseContext | None,
+) -> list[np.ndarray] | None:
+    """Run tasks on a process pool, recovering from worker crashes.
+
+    A dead worker (SIGKILL, OOM, injected crash) surfaces as
+    ``BrokenProcessPool`` on the futures of every task that was in
+    flight; a transient task failure comes back as the future's
+    exception. Either way only the *failed* tasks are re-executed — on
+    a rebuilt pool when the old one broke — under the bounded
+    :data:`SHARD_RETRY_POLICY`. Returns results in task order, or
+    ``None`` when the policy is exhausted and the caller should degrade
+    to threads. Pools are only ever created on the main thread: forking
+    while sibling batch-lane threads run (``execute_many``) risks
+    inheriting locks held mid-operation.
+    """
+    on_main_thread = threading.current_thread() is threading.main_thread()
+    if on_main_thread:
+        results: list[np.ndarray | None] = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        for attempt in range(SHARD_RETRY_POLICY.max_attempts):
+            if attempt:
+                resilience_stats().record("pool_rebuilds")
+                resilience_stats().record("shard_retries", len(pending))
+                time.sleep(SHARD_RETRY_POLICY.delay(attempt - 1))
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(pending)), mp_context=context
+                ) as pool:
+                    futures = {i: pool.submit(fn, tasks[i]) for i in pending}
+                    failed = []
+                    for i, future in futures.items():
+                        try:
+                            results[i] = future.result()
+                        except (*_RECOVERABLE, BrokenProcessPool):
+                            failed.append(i)
+                    pending = failed
+            except (OSError, BrokenProcessPool):
+                # The pool itself could not start or broke while
+                # submitting; everything still pending gets retried.
+                pass
+            if not pending:
+                return [r for r in results if r is not None]
+    return None
+
+
+def _map_on_threads(
+    fn: Callable[[tuple], np.ndarray],
+    tasks: Sequence[tuple],
+    workers: int,
+) -> list[np.ndarray] | None:
+    """Run tasks on a thread pool with per-task transient retries.
+
+    Returns results in task order, or ``None`` when a task keeps
+    failing past the policy and the caller should fall back to serial
+    execution (whose final failure propagates typed).
+    """
+    results: list[np.ndarray | None] = [None] * len(tasks)
+    pending = list(range(len(tasks)))
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        for attempt in range(SHARD_RETRY_POLICY.max_attempts):
+            if attempt:
+                resilience_stats().record("shard_retries", len(pending))
+                time.sleep(SHARD_RETRY_POLICY.delay(attempt - 1))
+            futures = {i: pool.submit(fn, tasks[i]) for i in pending}
+            failed = []
+            for i, future in futures.items():
+                try:
+                    results[i] = future.result()
+                except _RECOVERABLE:
+                    failed.append(i)
+            pending = failed
+            if not pending:
+                return [r for r in results if r is not None]
+    return None
+
+
 def _map_tasks(
     fn: Callable[[tuple], np.ndarray],
     tasks: Sequence[tuple],
@@ -312,36 +437,39 @@ def _map_tasks(
 ) -> list[np.ndarray]:
     """Run ``fn`` over ``tasks`` on the shard plan's executor.
 
-    Results come back in task order, and exceptions raised by ``fn``
-    propagate. Pool-level failures degrade to threads instead of
-    failing the query: a process pool that cannot start or fork its
-    workers (``OSError`` — workers spawn lazily inside ``map``, so
-    fork failures surface there, not in the constructor), or whose
-    workers are killed (``BrokenProcessPool``); the tasks are pure, so
-    re-running them on threads is safe. ``needs_shared_state`` marks
-    functions reading :data:`_SHARED_PAYLOADS`; they require
-    fork-inherited memory, so on platforms without fork they run on
-    threads. Processes are also only used from the main thread:
-    forking while sibling batch-lane threads run (``execute_many``)
-    risks inheriting locks held mid-operation, so lane queries use
-    threads.
+    Results come back in task order, and non-transient exceptions
+    raised by ``fn`` propagate. Transient failures walk the **recovery
+    ladder** (see ``docs/resilience.md``): failed tasks are retried in
+    place with exponential backoff and jitter, a broken process pool is
+    rebuilt and only the failed shard buckets re-executed, and when a
+    rung's retry budget is exhausted execution degrades
+    process → thread → serial (counted in
+    :func:`repro.resilience.resilience_stats`). Correctness never rests
+    on the ladder: shard tasks are pure, and the mandatory cross-shard
+    verification re-checks every merged candidate against the full
+    matrix, so re-executed shards cannot change the answer.
+
+    ``needs_shared_state`` marks functions reading
+    :data:`_SHARED_PAYLOADS`; they require fork-inherited memory, so on
+    platforms without fork they run on threads. Processes are also only
+    used from the main thread (see :func:`_map_on_processes`).
     """
     if not shards.is_parallel or len(tasks) <= 1:
-        return [fn(task) for task in tasks]
+        return _serial_tasks(fn, tasks)
     workers = min(shards.workers, len(tasks))
-    on_main_thread = threading.current_thread() is threading.main_thread()
-    if shards.executor == "process" and on_main_thread:
+    main = threading.current_thread() is threading.main_thread()
+    if shards.executor == "process" and main:
         context = _fork_context() if needs_shared_state else None
         if not needs_shared_state or context is not None:
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=workers, mp_context=context
-                ) as pool:
-                    return list(pool.map(fn, tasks))
-            except (OSError, BrokenProcessPool):
-                pass  # workers could not fork or were killed: degrade
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, tasks))
+            results = _map_on_processes(fn, tasks, workers, context)
+            if results is not None:
+                return results
+            resilience_stats().record("degradations")  # process → thread
+    results = _map_on_threads(fn, tasks, workers)
+    if results is not None:
+        return results
+    resilience_stats().record("degradations")  # thread → serial
+    return _serial_tasks(fn, tasks)
 
 
 def _sharded_skyline(

@@ -440,6 +440,14 @@ class JoinPlan:
         """The plan-local index for ``side`` if already built (no build)."""
         return self._side_indexes.get(side)
 
+    def drop_side_indexes(self) -> None:
+        """Forget the plan-local side indexes and the partitions derived
+        from them (resilience quarantine: after a failed indexed run the
+        next indexed query rebuilds from scratch)."""
+        with self._memo_lock:
+            self._side_indexes = {}
+            self._cell_partitions = {}
+
     def cell_partition(
         self, left_index: DominanceIndex, right_index: DominanceIndex
     ) -> CellPartition:
@@ -882,6 +890,13 @@ class CascadePlan:
     def peek_side_index(self, side: str) -> DominanceIndex | None:
         """The plan-local index for ``side`` if already built (no build)."""
         return self._side_indexes.get(side)
+
+    def drop_side_indexes(self) -> None:
+        """Forget the plan-local side indexes and derived partitions
+        (resilience quarantine; see :meth:`JoinPlan.drop_side_indexes`)."""
+        with self._memo_lock:
+            self._side_indexes = {}
+            self._cell_partitions = {}
 
     def cell_partition(
         self, first_index: DominanceIndex, last_index: DominanceIndex

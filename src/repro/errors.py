@@ -15,9 +15,11 @@ __all__ = [
     "AggregateError",
     "AlgorithmError",
     "CatalogError",
+    "ResilienceError",
     "ServingError",
     "DeadlineExceeded",
     "AdmissionRejected",
+    "CircuitOpen",
     "ReproWarning",
     "SoundnessWarning",
 ]
@@ -70,6 +72,23 @@ class CatalogError(ReproError):
     Raised when a query names a dataset that was never registered, or
     when a registration conflicts with an existing entry.
     """
+
+
+class ResilienceError(ReproError):
+    """A fault-tolerance path exhausted its recovery options.
+
+    The resilience layer (see :mod:`repro.resilience`) retries
+    transient shard failures, rebuilds broken process pools, and
+    degrades process → thread → serial before giving up. When every
+    rung of that ladder fails — or a fault-injection checkpoint fires
+    deliberately — the failure surfaces as this *typed* error rather
+    than a silently wrong (unverified) answer. Carries a stable
+    machine-readable ``code`` so the serving layer can render it as a
+    structured 503 instead of a traceback.
+    """
+
+    #: Machine-readable error code rendered in JSON error bodies.
+    code = "resilience_exhausted"
 
 
 class ServingError(ReproError):
@@ -151,6 +170,28 @@ class AdmissionRejected(ServingError):
         super().__init__(message)
         self.retry_after = retry_after
         self.queue_depth = queue_depth
+
+
+class CircuitOpen(ServingError):
+    """The serving circuit breaker is open: engine execution is being
+    shed while the breaker waits out its reset timeout.
+
+    Raised (and rendered as HTTP 503 with a ``Retry-After`` hint) when
+    :class:`repro.resilience.CircuitBreaker` has seen
+    ``failure_threshold`` consecutive engine failures and has not yet
+    admitted a successful half-open probe.
+
+    Attributes
+    ----------
+    retry_after:
+        Seconds until the breaker next admits a probe request.
+    """
+
+    code = "circuit_open"
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class ReproWarning(UserWarning):

@@ -1,0 +1,59 @@
+"""Fault injection and fault tolerance for the KSJQ stack.
+
+Production-scale serving treats partial failure as the normal case;
+this package makes the reproduction behave that way while preserving
+its central guarantee — an answer is either *byte-identical to the
+clean serial exact path* or a *typed*
+:class:`~repro.errors.ResilienceError`, never silently wrong. The
+paper's own two-phase candidate/verify structure is what makes that
+cheap: a lost shard can be re-executed and its candidates re-verified
+against the full joined matrix without touching the non-transitivity
+argument (see ``docs/resilience.md``).
+
+Pieces:
+
+* :mod:`~repro.resilience.faults` — named checkpoints
+  (``checkpoint("shard.verify")``) and the seeded, deterministic
+  :class:`FaultPlan` that injects worker crashes, stragglers, index
+  corruption and transient I/O errors at them. Zero overhead disarmed.
+* :mod:`~repro.resilience.retry` — :class:`RetryPolicy` (exponential
+  backoff, deterministic jitter) and :func:`retry_call`.
+* :mod:`~repro.resilience.breaker` — the serving
+  :class:`CircuitBreaker`.
+* :mod:`~repro.resilience.stats` — process-wide recovery counters
+  (``shard_retries``, ``pool_rebuilds``, ``degradations``,
+  ``index_quarantines``, ...) surfaced by ``Engine.cache_info()``.
+"""
+
+from .breaker import CircuitBreaker
+from .faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    arm,
+    armed_plan,
+    arming,
+    checkpoint,
+    disarm,
+)
+from .retry import RetryPolicy, retry_call
+from .stats import COUNTER_NAMES, ResilienceStats, resilience_stats
+
+__all__ = [
+    "CircuitBreaker",
+    "COUNTER_NAMES",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "ResilienceStats",
+    "RetryPolicy",
+    "arm",
+    "armed_plan",
+    "arming",
+    "checkpoint",
+    "disarm",
+    "resilience_stats",
+    "retry_call",
+]

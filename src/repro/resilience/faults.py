@@ -1,0 +1,259 @@
+"""Deterministic fault injection at named checkpoints.
+
+The execution layers (:mod:`repro.core.parallel`, ``core/index``,
+``core/incremental``, ``serving/server``) call
+:func:`checkpoint` with a stable *site* name at the points where real
+deployments fail: shard candidate generation (``"shard.candidates"``),
+cross-shard verification (``"shard.verify"``), index builds and
+incremental maintenance (``"index.build"`` / ``"index.maintain"``),
+delta application (``"delta.apply"``) and serving execution
+(``"serving.execute"``). When no plan is armed the call is a single
+``None`` comparison — measurably zero overhead — so the checkpoints
+stay compiled into production paths.
+
+A :class:`FaultPlan` arms a seeded, deterministic schedule of
+:class:`FaultSpec` entries against those sites:
+
+``crash``
+    Inside a process-pool worker, the worker dies hard
+    (``os._exit``) — the parent observes a genuine
+    ``BrokenProcessPool``, exactly like a SIGKILLed or OOM-killed
+    worker. On threads or the main process (where dying would take the
+    interpreter down) it degrades to raising :class:`InjectedFault`.
+``slow``
+    The checkpoint sleeps for ``delay`` seconds (a straggler shard).
+``corrupt`` / ``io``
+    The checkpoint raises :class:`InjectedFault` (a typed
+    :class:`~repro.errors.ResilienceError`), modelling a corrupted
+    index page or a transient I/O error respectively.
+
+Hit counters live in :mod:`multiprocessing` shared memory created at
+construction time, so fork-inherited pool workers consume the *same*
+fault budget as the parent: a ``times=1`` crash fires exactly once
+even across pool rebuilds — without shared counters every re-forked
+worker would inherit a zero count and crash forever.
+
+Determinism: which hit fires depends only on the per-site hit number
+(and, for ``rate`` specs, on the plan ``seed``), never on wall-clock
+time or process identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from collections.abc import Iterable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ResilienceError
+from .stats import resilience_stats
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "InjectedFault",
+    "arm",
+    "disarm",
+    "armed_plan",
+    "arming",
+    "checkpoint",
+]
+
+#: Failure modes a :class:`FaultSpec` can inject.
+FAULT_KINDS = ("crash", "slow", "corrupt", "io")
+
+#: Exit status of a deliberately crashed pool worker (visible in the
+#: parent's ``BrokenProcessPool`` message; any non-zero value works).
+CRASH_EXIT_CODE = 13
+
+
+class InjectedFault(ResilienceError):
+    """A fault-injection checkpoint fired.
+
+    Typed (via :class:`~repro.errors.ResilienceError`) so the chaos
+    suite can distinguish a deliberately surfaced failure from a
+    silently wrong answer, and picklable so process-pool workers can
+    send it back to the parent.
+    """
+
+    def __init__(self, site: str, kind: str) -> None:
+        super().__init__(f"injected {kind!r} fault at checkpoint {site!r}")
+        self.site = site
+        self.kind = kind
+
+    def __reduce__(self) -> tuple[type, tuple[str, str]]:
+        return (type(self), (self.site, self.kind))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault at one checkpoint site.
+
+    Attributes
+    ----------
+    site:
+        Checkpoint name the fault is bound to (``"shard.verify"``...).
+    kind:
+        One of :data:`FAULT_KINDS`.
+    times:
+        How many hits fire after the ``after`` skip; ``None`` means
+        every hit fires (a *persistent* fault the retry ladder cannot
+        outlast). Ignored when ``rate`` is set.
+    after:
+        Hits of the site to let through cleanly before firing.
+    delay:
+        Sleep duration in seconds for ``slow`` faults.
+    rate:
+        Optional probability in ``[0, 1]``: each hit past ``after``
+        fires with this probability, derived deterministically from the
+        plan seed and the hit number.
+    """
+
+    site: str
+    kind: str = "io"
+    times: int | None = 1
+    after: int = 0
+    delay: float = 0.01
+    rate: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.after < 0:
+            raise ValueError("after must be >= 0")
+        if self.times is not None and self.times < 0:
+            raise ValueError("times must be >= 0 (or None for unbounded)")
+        if self.rate is not None and not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+
+    def fires(self, hit: int, seed: int) -> bool:
+        """Should the ``hit``-th observation of the site (0-based) fire?
+
+        Pure function of ``(spec, hit, seed)`` — never of time or
+        process identity — so armed runs are reproducible.
+        """
+        if hit < self.after:
+            return False
+        if self.rate is not None:
+            # Deterministic per-hit coin flip: blake2b of (site, seed,
+            # hit) scaled into [0, 1). Unlike hash() it is stable
+            # across processes and PYTHONHASHSEED values, and unlike a
+            # CRC it decorrelates neighboring seeds and hit numbers.
+            token = f"{self.site}:{seed}:{hit}".encode()
+            digest = hashlib.blake2b(token, digest_size=8).digest()
+            return int.from_bytes(digest, "big") / 2.0**64 < self.rate
+        if self.times is None:
+            return True
+        return hit < self.after + self.times
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of faults across checkpoints.
+
+    Hit counters are shared-memory values (fork-inherited by pool
+    workers) synchronized by their own locks; the plan object itself
+    holds no further mutable state, so one plan may be armed while
+    queries run on many threads and processes at once.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), seed: int = 0) -> None:
+        self.specs = tuple(specs)
+        self.seed = int(seed)
+        self._hits = tuple(
+            multiprocessing.Value("l", 0) for _ in self.specs
+        )
+        by_site: dict[str, list[tuple[FaultSpec, Any]]] = {}
+        for spec, counter in zip(self.specs, self._hits):
+            by_site.setdefault(spec.site, []).append((spec, counter))
+        self._by_site = {site: tuple(entries) for site, entries in by_site.items()}
+
+    def hits(self, site: str) -> int:
+        """Total observed hits of ``site``'s first spec (test hook)."""
+        total = 0
+        for _spec, counter in self._by_site.get(site, ()):
+            with counter.get_lock():
+                total = max(total, int(counter.value))
+        return total
+
+    def hit(self, site: str) -> None:
+        """Record one observation of ``site`` and fire any due fault."""
+        for spec, counter in self._by_site.get(site, ()):
+            with counter.get_lock():
+                hit = int(counter.value)
+                counter.value = hit + 1
+            if not spec.fires(hit, self.seed):
+                continue
+            resilience_stats().record("faults_injected")
+            if spec.kind == "slow":
+                time.sleep(spec.delay)
+                continue
+            if spec.kind == "crash" and multiprocessing.parent_process() is not None:
+                # A real worker death: the parent sees BrokenProcessPool,
+                # exactly as if the OOM killer took the worker.
+                os._exit(CRASH_EXIT_CODE)
+            raise InjectedFault(site, spec.kind)
+
+    def __repr__(self) -> str:
+        sites = sorted({spec.site for spec in self.specs})
+        return (
+            f"<FaultPlan seed={self.seed} specs={len(self.specs)} "
+            f"sites={sites}>"
+        )
+
+
+#: The armed plan. ``None`` (disarmed) keeps :func:`checkpoint` on its
+#: single-comparison fast path.
+_armed: FaultPlan | None = None
+
+
+def arm(plan: FaultPlan) -> FaultPlan:
+    """Arm ``plan`` process-wide; returns it for chaining."""
+    global _armed
+    _armed = plan
+    return plan
+
+
+def disarm() -> None:
+    """Disarm fault injection (checkpoints return to zero overhead)."""
+    global _armed
+    _armed = None
+
+
+def armed_plan() -> FaultPlan | None:
+    """The currently armed plan, or ``None`` when disarmed."""
+    return _armed
+
+
+@contextmanager
+def arming(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Arm ``plan`` for the duration of a ``with`` block (test helper)."""
+    previous = _armed
+    arm(plan)
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            disarm()
+        else:
+            arm(previous)
+
+
+def checkpoint(site: str) -> None:
+    """Observe the named checkpoint; inject a fault if one is due.
+
+    Disarmed (the production state) this is one global load and a
+    ``None`` comparison — cheap enough to sit inside per-shard worker
+    functions without measurable overhead (see
+    ``benchmarks/bench_resilience.py``).
+    """
+    plan = _armed
+    if plan is None:
+        return
+    plan.hit(site)

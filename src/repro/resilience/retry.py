@@ -1,0 +1,87 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+Thundering-herd avoidance wants jitter; reproducible chaos tests want
+determinism. :class:`RetryPolicy` squares the two by deriving its
+jitter from a seeded per-attempt hash rather than a live RNG: two runs
+with the same policy sleep the same schedule, while two policies with
+different seeds (e.g. one per shard) de-synchronize.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TypeVar
+
+from ..errors import ResilienceError
+
+__all__ = ["RetryPolicy", "retry_call"]
+
+T = TypeVar("T")
+
+#: Failures worth retrying by default: injected or transient faults
+#: (ResilienceError) and OS-level hiccups. Anything else is a bug and
+#: must propagate.
+DEFAULT_RETRYABLE: tuple[type[BaseException], ...] = (ResilienceError, OSError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for bounded retries.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries including the first (``3`` = one try + two retries).
+    base_delay:
+        Backoff before the first retry, seconds; doubles per attempt.
+    max_delay:
+        Backoff ceiling, seconds.
+    jitter:
+        Fraction of the backoff randomized away (``0.5`` → each sleep
+        lands in ``[0.5·d, d]``). Deterministic given ``seed``.
+    seed:
+        Jitter seed; vary it per call site to de-synchronize retries.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.005
+    max_delay: float = 0.25
+    jitter: float = 0.5
+    seed: int = 0
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (0-based), seconds."""
+        backoff = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        if self.jitter <= 0.0:
+            return backoff
+        token = f"retry:{self.seed}:{attempt}".encode()
+        unit = zlib.crc32(token) / 0xFFFFFFFF  # deterministic in [0, 1]
+        return backoff * (1.0 - self.jitter * unit)
+
+
+def retry_call(
+    fn: Callable[[], T],
+    policy: RetryPolicy | None = None,
+    retryable: tuple[type[BaseException], ...] = DEFAULT_RETRYABLE,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` under ``policy``, retrying ``retryable`` failures.
+
+    The final failure propagates typed and unchanged — a caller that
+    exhausts the policy sees the underlying
+    :class:`~repro.errors.ResilienceError` (or ``OSError``), never a
+    silently absorbed one.
+    """
+    active = policy if policy is not None else RetryPolicy()
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retryable:
+            attempt += 1
+            if attempt >= active.max_attempts:
+                raise
+            sleep(active.delay(attempt - 1))

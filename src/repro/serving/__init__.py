@@ -8,6 +8,8 @@ Turns an :class:`repro.api.Engine` into a long-lived service:
 * :mod:`repro.serving.admission` — bounded-queue admission control and
   load shedding (:class:`AdmissionController`), with a cost probe over
   the engine's plan statistics;
+* :mod:`repro.serving.client` — client-side retry/backoff honoring the
+  server's ``Retry-After`` hints (:func:`request_with_backoff`);
 * :mod:`repro.serving.metrics` — per-route counters and latency
   histograms (:class:`ServingMetrics`) surfaced at ``/metrics`` and in
   ``Engine.cache_info()``;
@@ -30,6 +32,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .admission import AdmissionController, CostProbe
+    from .client import parse_retry_after, request_with_backoff
     from .deadline import DEFAULT_CHECK_INTERVAL, Deadline, active_deadline
     from .metrics import LatencyHistogram, ServingMetrics
     from .server import KSJQServer, ServingConfig
@@ -44,6 +47,8 @@ __all__ = [
     "ServingConfig",
     "ServingMetrics",
     "active_deadline",
+    "parse_retry_after",
+    "request_with_backoff",
 ]
 
 _LAZY = {
@@ -56,6 +61,8 @@ _LAZY = {
     "ServingMetrics": "metrics",
     "KSJQServer": "server",
     "ServingConfig": "server",
+    "parse_retry_after": "client",
+    "request_with_backoff": "client",
 }
 
 

@@ -133,6 +133,12 @@ class AdmissionController:
             )
         self._in_flight += 1
 
+    def record_shed(self) -> None:
+        """Count one request shed *outside* :meth:`reserve` — e.g. by
+        the serving circuit breaker — so ``shed_total`` stays the single
+        load-shedding total reported at ``/metrics``."""
+        self.shed_total += 1
+
     def release(self, service_seconds: float | None = None) -> None:
         """Return one admitted request's slot; feed the EWMA when the
         request actually ran (``service_seconds`` is not ``None``)."""

@@ -1,0 +1,94 @@
+"""Client-side backoff: honoring ``Retry-After`` on 429/503 responses.
+
+The serving layer sheds load two ways — admission rejection (429,
+server *busy*) and an open circuit breaker (503, server *sick*) — and
+both responses carry a ``Retry-After`` header sized from the server's
+own state (queue drain estimate, breaker reset timeout). A
+well-behaved client should wait *that long*, not a guessed constant:
+:func:`request_with_backoff` is the loop the repo's own benchmark and
+smoke clients use, kept transport-agnostic (the caller supplies the
+``send`` callable) so it works over the test harness's raw-socket
+client as well as any HTTP library.
+
+Retries are bounded (``max_attempts``) and the per-attempt wait is
+capped (``max_backoff``); when the server names no ``Retry-After`` the
+helper falls back to deterministic exponential backoff from
+:class:`repro.resilience.RetryPolicy` — the same jitter discipline the
+execution layer uses, so chaos runs stay reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping
+from typing import TypeVar
+
+from ..resilience import RetryPolicy
+
+__all__ = ["RETRYABLE_STATUSES", "parse_retry_after", "request_with_backoff"]
+
+#: Statuses the serving layer uses for load shedding; anything else is
+#: either success or a non-transient error and is returned immediately.
+RETRYABLE_STATUSES: tuple[int, ...] = (429, 503)
+
+#: Fallback backoff when a retryable response names no ``Retry-After``.
+_FALLBACK_POLICY = RetryPolicy(
+    max_attempts=16, base_delay=0.05, max_delay=2.0, jitter=0.25, seed=0
+)
+
+R = TypeVar("R")
+
+
+def parse_retry_after(headers: Mapping[str, str]) -> float | None:
+    """The ``Retry-After`` delay in seconds, or ``None`` when absent.
+
+    Only the delta-seconds form (which this repo's server emits) is
+    understood; HTTP-date values and garbage return ``None`` so the
+    caller falls back to its own backoff schedule.
+    """
+    for name, value in headers.items():
+        if name.lower() == "retry-after":
+            try:
+                delay = float(value)
+            except (TypeError, ValueError):
+                return None
+            return max(0.0, delay)
+    return None
+
+
+def request_with_backoff(
+    send: Callable[[], tuple[int, Mapping[str, str], R]],
+    max_attempts: int = 4,
+    max_backoff: float = 2.0,
+    sleep: Callable[[float], None] = time.sleep,
+) -> tuple[int, Mapping[str, str], R]:
+    """Issue ``send()`` until it stops being shed, honoring the server's
+    ``Retry-After`` hints.
+
+    Parameters
+    ----------
+    send:
+        Zero-argument callable performing one request; returns
+        ``(status, headers, body)``. Transport errors propagate — this
+        helper only handles *shed* responses, not broken sockets.
+    max_attempts:
+        Total attempts (first try included); must be >= 1. The last
+        attempt's response is returned even when still shed, so callers
+        always see a real server response.
+    max_backoff:
+        Cap (seconds) on any single wait, whatever the server asks for.
+    sleep:
+        Injectable for tests; defaults to :func:`time.sleep`.
+    """
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+    attempt = 0
+    while True:
+        status, headers, body = send()
+        attempt += 1
+        if status not in RETRYABLE_STATUSES or attempt >= max_attempts:
+            return status, headers, body
+        delay = parse_retry_after(headers)
+        if delay is None:
+            delay = _FALLBACK_POLICY.delay(attempt)
+        sleep(min(max_backoff, delay))

@@ -94,6 +94,7 @@ class RouteCounters:
         "errors",
         "shed",
         "deadline_hits",
+        "degraded",
         "latency",
         "queue_wait",
     )
@@ -103,6 +104,7 @@ class RouteCounters:
         self.errors = 0
         self.shed = 0
         self.deadline_hits = 0
+        self.degraded = 0
         self.latency = LatencyHistogram()
         self.queue_wait = LatencyHistogram()
 
@@ -112,6 +114,7 @@ class RouteCounters:
             "errors": self.errors,
             "shed": self.shed,
             "deadline_hits": self.deadline_hits,
+            "degraded": self.degraded,
             "latency": self.latency.as_dict(),
             "queue_wait": self.queue_wait.as_dict(),
         }
@@ -141,11 +144,14 @@ class ServingMetrics:
         error: bool = False,
         shed: bool = False,
         deadline_hit: bool = False,
+        degraded: bool = False,
     ) -> None:
         """Record one finished (or shed) request on ``route``.
 
         ``seconds`` is service latency (queueing excluded); ``shed``
-        requests never ran, so only their counters move.
+        requests never ran, so only their counters move. ``degraded``
+        marks responses served below full fidelity — deadline partials
+        and resilience-exhaustion bodies (see :mod:`repro.resilience`).
         """
         with self._lock:
             counters = self._routes.get(route)
@@ -154,6 +160,8 @@ class ServingMetrics:
             counters.requests += 1
             if error:
                 counters.errors += 1
+            if degraded:
+                counters.degraded += 1
             if shed:
                 counters.shed += 1
                 return

@@ -33,6 +33,16 @@ structured JSON bodies — never tracebacks: deadline expiry is a 200
 with ``"partial": true`` and the verified partial answer; saturation
 is a 429 with ``Retry-After``.
 
+Resilience (see :mod:`repro.resilience` and ``docs/resilience.md``):
+responses served below full fidelity — deadline partials and
+resilience-exhaustion bodies — carry ``"degraded": true``; exhaustion
+of the engine's recovery ladder is a typed 503 (never a 500), and a
+:class:`~repro.resilience.CircuitBreaker` sheds doomed work with 503 +
+``Retry-After`` after ``breaker_threshold`` consecutive engine
+failures. ``ServingConfig.fault_plan`` arms deterministic fault
+injection for chaos tests; :func:`repro.serving.client
+.request_with_backoff` is the matching client-side retry helper.
+
 Threading model (enforced by the repo linter's R5 rule): the event
 loop never blocks — every engine call runs on a fixed
 ``ThreadPoolExecutor`` via ``loop.run_in_executor`` (so per-query
@@ -54,9 +64,12 @@ from typing import TYPE_CHECKING
 from ..api.spec import QuerySpec
 from ..errors import (
     AdmissionRejected,
+    CircuitOpen,
     DeadlineExceeded,
     ReproError,
+    ResilienceError,
 )
+from ..resilience import CircuitBreaker, FaultPlan, arm, checkpoint
 from .admission import AdmissionController, CostProbe
 from .deadline import Deadline
 from .metrics import ServingMetrics
@@ -99,6 +112,15 @@ class ServingConfig:
         while congested (see :mod:`repro.serving.admission`).
     probe_costs:
         Run the pre-admission cost probe (also warms the plan cache).
+    breaker_threshold, breaker_reset_s:
+        Circuit-breaker tuning: consecutive engine failures that trip
+        the breaker open, and how long it stays open before admitting
+        one half-open probe (see
+        :class:`~repro.resilience.CircuitBreaker`).
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` armed when the
+        server is constructed — chaos testing hook; ``None`` (the
+        default) leaves fault checkpoints as disarmed no-ops.
     """
 
     host: str = "127.0.0.1"
@@ -109,6 +131,9 @@ class ServingConfig:
     max_deadline_ms: float = 30_000.0
     soft_cost_limit: float | None = None
     probe_costs: bool = True
+    breaker_threshold: int = 8
+    breaker_reset_s: float = 1.0
+    fault_plan: FaultPlan | None = None
 
 
 def _error_code(exc: BaseException) -> str:
@@ -134,6 +159,8 @@ def _error_dict(exc: BaseException) -> dict[str, object]:
     if isinstance(exc, AdmissionRejected):
         body["retry_after_ms"] = round(exc.retry_after * 1000.0, 3)
         body["queue_depth"] = exc.queue_depth
+    if isinstance(exc, CircuitOpen):
+        body["retry_after_ms"] = round(exc.retry_after * 1000.0, 3)
     return body
 
 
@@ -252,6 +279,12 @@ class KSJQServer:
             soft_cost_limit=self.config.soft_cost_limit,
         )
         self._probe = CostProbe(engine)
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            reset_timeout=self.config.breaker_reset_s,
+        )
+        if self.config.fault_plan is not None:
+            arm(self.config.fault_plan)
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="ksjq-worker"
         )
@@ -357,6 +390,10 @@ class KSJQServer:
                         "capacity": self.admission.capacity,
                         "shed_total": self.admission.shed_total,
                     },
+                    "breaker": {
+                        "state": self.breaker.state,
+                        "retry_after": self.breaker.retry_after,
+                    },
                 },
             )
         if request.path == "/query":
@@ -431,6 +468,23 @@ class KSJQServer:
     ) -> bytes | None:
         loop = asyncio.get_running_loop()
 
+        # The breaker check runs before the cost probe: when the engine
+        # is sick, probing it is exactly the work the breaker exists to
+        # shed. Open-state rejections are 503s (not 429s) so clients
+        # can distinguish "server sick" from "server busy".
+        if not self.breaker.allow():
+            exc = CircuitOpen(
+                "circuit breaker open after repeated engine failures",
+                retry_after=max(self.breaker.retry_after, 0.05),
+            )
+            self.admission.record_shed()
+            self.metrics.observe(route, 0.0, shed=True)
+            return json_response(
+                503,
+                {"error": _error_dict(exc)},
+                headers={"Retry-After": f"{exc.retry_after:.3f}"},
+            )
+
         cost: float | None = None
         if self.config.probe_costs:
             try:
@@ -466,14 +520,38 @@ class KSJQServer:
                 await self._stream_query(route, writer, inputs, spec, deadline)
                 service_seconds = time.monotonic() - admitted_at
                 return None
-            started, outcome = await loop.run_in_executor(
-                self._executor, self._run_sync, inputs, spec, deadline
-            )
+            try:
+                started, outcome = await loop.run_in_executor(
+                    self._executor, self._run_sync, inputs, spec, deadline
+                )
+            except Exception:
+                # Untyped failures never escape _run_sync's ReproError
+                # net by design; if one does, it still counts against
+                # the breaker before the 500 boundary renders it.
+                self.breaker.record_failure()
+                raise
+            self._judge_breaker(outcome)
             service_seconds = time.monotonic() - started
             queue_wait = started - admitted_at
             return self._render_outcome(route, outcome, service_seconds, queue_wait)
         finally:
             self.admission.release(service_seconds)
+
+    def _judge_breaker(self, outcome: "QueryResult | ReproError") -> None:
+        """Feed one engine outcome to the circuit breaker.
+
+        Only *server-side* failures count: resilience exhaustion trips
+        the breaker, successful runs (including verified deadline
+        partials) close it, and client errors — bad parameters, unknown
+        datasets — say nothing about the engine's health, so they are
+        neutral.
+        """
+        if isinstance(outcome, ResilienceError):
+            self.breaker.record_failure()
+        elif isinstance(outcome, DeadlineExceeded) or not isinstance(
+            outcome, ReproError
+        ):
+            self.breaker.record_success()
 
     def _estimate_cost_sync(
         self, inputs: tuple[str, ...], spec: QuerySpec
@@ -496,6 +574,7 @@ class KSJQServer:
         """
         started = time.monotonic()
         try:
+            checkpoint("serving.execute")
             result = self.engine.execute(*inputs, spec=spec, deadline=deadline)
         except ReproError as exc:
             return started, exc
@@ -510,7 +589,11 @@ class KSJQServer:
     ) -> bytes:
         if isinstance(outcome, DeadlineExceeded):
             self.metrics.observe(
-                route, service_seconds, queue_wait=queue_wait, deadline_hit=True
+                route,
+                service_seconds,
+                queue_wait=queue_wait,
+                deadline_hit=True,
+                degraded=True,
             )
             return json_response(
                 200,
@@ -518,9 +601,22 @@ class KSJQServer:
                     "pairs": [list(p) for p in outcome.partial_pairs],
                     "count": len(outcome.partial_pairs),
                     "partial": True,
+                    "degraded": True,
                     "elapsed": outcome.elapsed,
                     "budget": outcome.budget,
                     "error": _error_dict(outcome),
+                },
+            )
+        if isinstance(outcome, ResilienceError):
+            # The recovery ladder (retry -> pool rebuild -> degrade to
+            # threads/serial) ran dry: a typed 503, never a traceback
+            # and never an unverified answer.
+            self.metrics.observe(route, service_seconds, error=True, degraded=True)
+            return json_response(
+                503,
+                {"degraded": True, "error": _error_dict(outcome)},
+                headers={
+                    "Retry-After": f"{max(self.breaker.retry_after, 0.05):.3f}"
                 },
             )
         if isinstance(outcome, ReproError):
@@ -591,6 +687,7 @@ class KSJQServer:
                 "done": True,
                 "count": count,
                 "partial": kind == "deadline",
+                "degraded": kind != "done",
                 "emitted_at": time.monotonic(),
             }
             if kind == "deadline":
@@ -603,6 +700,16 @@ class KSJQServer:
                     if isinstance(value, ReproError)
                     else _internal_error_dict()
                 )
+            if kind == "error":
+                # Same judgement as _judge_breaker: resilience
+                # exhaustion and untyped failures count against the
+                # breaker; client-side ReproErrors are neutral.
+                if isinstance(value, ResilienceError) or not isinstance(
+                    value, ReproError
+                ):
+                    self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
             writer.write(chunk(final))
             writer.write(last_chunk())
             await writer.drain()
@@ -613,6 +720,7 @@ class KSJQServer:
             time.monotonic() - started,
             deadline_hit=deadline_hit,
             error=error,
+            degraded=deadline_hit or error,
         )
 
     def _consume_stream_sync(

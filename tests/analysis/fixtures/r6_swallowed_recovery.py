@@ -1,0 +1,32 @@
+"""R6 fixture: swallowing an index-load failure instead of routing it.
+
+Exactly one violation: the second ``except`` eats the failure — no
+re-raise, no re-verification, no resilience route — so a corrupt index
+silently downgrades to an *empty* answer, which is exactly the
+wrong-answer mode R6 exists to forbid. The first handler (re-raise)
+and the ``quarantine`` route in ``good_indexed_lookup`` are clean.
+"""
+
+
+def dominance_index(dataset):  # pragma: no cover - fixture scaffolding
+    raise OSError("index file corrupt")
+
+
+def quarantine_and_fallback(dataset):  # pragma: no cover - scaffolding
+    return []
+
+
+def good_indexed_lookup(dataset):
+    try:
+        return dominance_index(dataset)
+    except OSError:
+        return quarantine_and_fallback(dataset)
+
+
+def bad_indexed_lookup(dataset):
+    try:
+        return dominance_index(dataset)
+    except ValueError:
+        raise
+    except OSError:  # R6: swallowed index-load failure
+        return []

@@ -1,6 +1,6 @@
 """The invariant linter's own tests: seeded violations and a clean tree.
 
-Every rule R1-R4 is demonstrated by a fixture module carrying exactly
+Every rule R1-R6 is demonstrated by a fixture module carrying exactly
 one violation; the linter must report exactly one diagnostic per
 fixture, with the right rule id and the right line. The current source
 tree must produce zero diagnostics — that is the CI gate.
@@ -40,6 +40,7 @@ def _source_line(path: Path, lineno: int) -> str:
         ("r4_fork_outside_layer.py", "R4", "ProcessPoolExecutor(max_workers=2)"),
         ("r4_layer/parallel.py", "R4", "ProcessPoolExecutor(max_workers=2)"),
         ("serving/r5_blocking_async.py", "R5", "engine.execute("),
+        ("r6_swallowed_recovery.py", "R6", "except OSError:  # R6"),
     ],
 )
 def test_fixture_produces_exactly_one_diagnostic(
@@ -177,6 +178,43 @@ def test_r5_is_scoped_to_the_serving_package() -> None:
     assert invariants._check_async_executor_discipline(fixture, tree)
     elsewhere = FIXTURES / "r5_blocking_async.py"  # not on disk; path-only
     assert invariants._check_async_executor_discipline(elsewhere, tree) == []
+
+
+def test_r6_sees_the_real_engine_non_vacuously() -> None:
+    """The engine's indexed dispatch is *seen* by R6 (its try bodies
+    reach index-load sites) and passes only because the generic handler
+    routes through the quarantine path — gutting that route trips R6."""
+    import ast
+
+    from tools.check import invariants
+
+    path = SRC_ROOT / "api" / "engine.py"
+    assert not [d for d in check_file(path) if d.rule == "R6"]
+    source = path.read_text()
+    assert "self._quarantine_indexes(plan, inputs)" in source
+    mutated = source.replace("self._quarantine_indexes(plan, inputs)", "pass")
+    assert mutated != source
+    diags = invariants._check_swallowed_recovery(path, ast.parse(mutated))
+    assert diags and all(d.rule == "R6" for d in diags)
+
+
+def test_r6_sees_the_catalog_maintenance_guard_non_vacuously() -> None:
+    """Index maintenance swallows failures *by design* — but only
+    because the handler records the quarantine; a handler stripped down
+    to a bare ``pass`` is exactly what R6 forbids."""
+    import ast
+
+    from tools.check import invariants
+
+    path = SRC_ROOT / "api" / "catalog.py"
+    assert not [d for d in check_file(path) if d.rule == "R6"]
+    source = path.read_text()
+    assert "with_inserted_rows" in source
+    mutated = source.replace("resilience_stats", "plain_stats").replace(
+        "invalidations", "skipped"
+    )
+    diags = invariants._check_swallowed_recovery(path, ast.parse(mutated))
+    assert any(d.rule == "R6" for d in diags)
 
 
 def test_r5_flags_lock_acquisition_in_async_code() -> None:

@@ -1,0 +1,95 @@
+"""Unit tests for the circuit breaker's three-state machine.
+
+Driven by an injected fake clock, so every transition — trip, timed
+reopen, single half-open probe, close — is exercised deterministically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import CircuitBreaker, resilience_stats
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def tripped(clock: FakeClock, threshold: int = 3) -> CircuitBreaker:
+    breaker = CircuitBreaker(
+        failure_threshold=threshold, reset_timeout=1.0, clock=clock
+    )
+    for _ in range(threshold):
+        breaker.record_failure()
+    return breaker
+
+
+class TestCircuitBreaker:
+    def test_closed_allows_and_counts_failures(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # below threshold
+        assert breaker.retry_after == 0.0
+
+    def test_success_resets_the_failure_count(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # streak broken by the success
+
+    def test_trips_open_at_threshold(self, clock):
+        breaker = tripped(clock)
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.retry_after == pytest.approx(1.0)
+        clock.advance(0.4)
+        assert breaker.retry_after == pytest.approx(0.6)
+
+    def test_half_open_admits_exactly_one_probe(self, clock):
+        breaker = tripped(clock)
+        clock.advance(1.5)
+        assert breaker.allow()  # wins the probe slot
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # everyone else stays shed
+
+    def test_probe_success_closes(self, clock):
+        breaker = tripped(clock)
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() and breaker.allow()  # fully re-admitted
+
+    def test_probe_failure_reopens_for_a_full_timeout(self, clock):
+        breaker = tripped(clock)
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.retry_after == pytest.approx(1.0)
+
+    def test_opens_are_counted(self, clock):
+        resilience_stats().reset()
+        breaker = tripped(clock)
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()  # re-open from half_open
+        assert resilience_stats().snapshot()["breaker_opens"] == 2
+        assert "open" in repr(breaker)

@@ -1,0 +1,118 @@
+"""Unit tests for the fault-injection framework itself.
+
+The framework's own determinism is what makes the chaos suite a proof
+rather than a dice roll, so these tests pin the schedule semantics
+(``after`` / ``times`` / ``rate``), the arming lifecycle, and the
+disarmed fast path.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ResilienceError
+from repro.resilience import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    arm,
+    armed_plan,
+    arming,
+    checkpoint,
+    disarm,
+    resilience_stats,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("s", kind="meteor")
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            FaultSpec("s", times=-1)
+        with pytest.raises(ValueError):
+            FaultSpec("s", after=-1)
+        with pytest.raises(ValueError):
+            FaultSpec("s", rate=1.5)
+
+    def test_after_skips_then_times_bounds(self):
+        spec = FaultSpec("s", times=2, after=3)
+        fired = [spec.fires(h, seed=0) for h in range(8)]
+        assert fired == [False, False, False, True, True, False, False, False]
+
+    def test_times_none_is_persistent(self):
+        spec = FaultSpec("s", times=None)
+        assert all(spec.fires(h, seed=0) for h in range(50))
+
+    def test_rate_is_deterministic_in_seed_and_hit(self):
+        spec = FaultSpec("s", rate=0.5)
+        a = [spec.fires(h, seed=7) for h in range(64)]
+        b = [spec.fires(h, seed=7) for h in range(64)]
+        c = [spec.fires(h, seed=8) for h in range(64)]
+        assert a == b
+        assert a != c  # a different seed reshuffles the schedule
+        assert any(a) and not all(a)  # a real coin, not a constant
+
+    def test_kinds_catalog(self):
+        assert FAULT_KINDS == ("crash", "slow", "corrupt", "io")
+
+
+class TestFaultPlan:
+    def test_times_one_fires_exactly_once(self):
+        plan = FaultPlan([FaultSpec("site", kind="io", times=1)])
+        with pytest.raises(InjectedFault):
+            plan.hit("site")
+        for _ in range(5):
+            plan.hit("site")  # budget spent: clean from now on
+        assert plan.hits("site") == 6
+
+    def test_unknown_site_is_a_clean_pass(self):
+        plan = FaultPlan([FaultSpec("site", kind="io")])
+        plan.hit("elsewhere")
+        assert plan.hits("elsewhere") == 0
+
+    def test_injected_fault_is_typed_and_picklable(self):
+        exc = InjectedFault("shard.verify", "crash")
+        assert isinstance(exc, ResilienceError)
+        clone = pickle.loads(pickle.dumps(exc))
+        assert (clone.site, clone.kind) == ("shard.verify", "crash")
+        assert "shard.verify" in str(clone)
+
+    def test_firing_counts_toward_stats(self):
+        plan = FaultPlan([FaultSpec("site", kind="io", times=2)])
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                plan.hit("site")
+        assert resilience_stats().snapshot()["faults_injected"] == 2
+
+    def test_slow_fault_sleeps_instead_of_raising(self):
+        plan = FaultPlan([FaultSpec("site", kind="slow", delay=0.0)])
+        plan.hit("site")  # must not raise
+        assert plan.hits("site") == 1
+
+
+class TestArming:
+    def test_checkpoint_is_noop_while_disarmed(self):
+        disarm()
+        checkpoint("shard.verify")  # must not raise, record, or count
+        assert resilience_stats().snapshot()["faults_injected"] == 0
+
+    def test_arming_context_restores_previous_plan(self):
+        outer = arm(FaultPlan())
+        inner = FaultPlan([FaultSpec("x", kind="io")])
+        with arming(inner) as active:
+            assert active is inner and armed_plan() is inner
+        assert armed_plan() is outer
+        disarm()
+        assert armed_plan() is None
+
+    def test_checkpoint_fires_through_armed_plan(self):
+        with arming(FaultPlan([FaultSpec("site", kind="corrupt", times=1)])):
+            with pytest.raises(InjectedFault) as excinfo:
+                checkpoint("site")
+        assert excinfo.value.kind == "corrupt"

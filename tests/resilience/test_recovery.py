@@ -1,0 +1,130 @@
+"""Regression tests for the recovery ladder: worker crashes, transient
+shard faults, degradation, and index quarantine.
+
+The load-bearing property throughout: recovery never changes the
+answer. k-dominance is non-transitive, so the parallel path's
+mandatory cross-shard verification re-checks every merged candidate
+against the full matrix — which is exactly why re-executing a failed
+shard (on a rebuilt pool, on threads, or serially) is provably
+answer-preserving. Every test asserts *byte identity* against the
+clean serial ground truth, not set equality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Engine, QuerySpec
+from repro.core import JoinPlan, run_naive, run_parallel
+from repro.core.parallel import ShardPlan
+from repro.errors import ResilienceError
+from repro.resilience import FaultPlan, FaultSpec, arming, resilience_stats
+
+from ..helpers import make_random_pair
+
+K = 6  # with d=4, a=1 the paper's valid range is [5, 7]
+
+
+def make_plan(seed: int = 7, n: int = 48) -> tuple[JoinPlan, object]:
+    left, right = make_random_pair(seed=seed, n=n, d=4, g=3, a=1)
+    plan = JoinPlan(left, right, aggregate="sum")
+    return plan, run_naive(plan, K)
+
+
+class TestShardRecovery:
+    def test_transient_fault_is_retried_in_place_on_threads(self):
+        plan, want = make_plan()
+        faults = FaultPlan([FaultSpec("shard.verify", kind="io", times=1)])
+        with arming(faults):
+            got = run_parallel(plan, K, shards=ShardPlan(4, 0, "thread", "test"))
+        assert got.pairs.tobytes() == want.pairs.tobytes()
+        snap = resilience_stats().snapshot()
+        assert snap["faults_injected"] == 1
+        assert snap["shard_retries"] >= 1
+        assert snap["degradations"] == 0  # recovered on the same rung
+
+    def test_worker_crash_mid_verify_rebuilds_pool_and_stays_exact(self):
+        """Satellite (a): a process-pool worker dies hard (``os._exit``,
+        the parent sees a genuine ``BrokenProcessPool``) in the middle
+        of cross-shard verification; only the failed shard buckets are
+        re-executed on a rebuilt pool, and the answer is byte-identical
+        to the clean serial run."""
+        plan, want = make_plan()
+        faults = FaultPlan([FaultSpec("shard.verify", kind="crash", times=1)])
+        with arming(faults):
+            got = run_parallel(plan, K, shards=ShardPlan(2, 0, "process", "test"))
+        assert got.pairs.tobytes() == want.pairs.tobytes()
+        snap = resilience_stats().snapshot()
+        assert snap["pool_rebuilds"] >= 1
+        assert snap["shard_retries"] >= 1
+
+    def test_crash_during_candidate_generation_is_recovered_too(self):
+        plan, want = make_plan(seed=11)
+        faults = FaultPlan([FaultSpec("shard.candidates", kind="crash", times=1)])
+        with arming(faults):
+            got = run_parallel(plan, K, shards=ShardPlan(2, 0, "process", "test"))
+        assert got.pairs.tobytes() == want.pairs.tobytes()
+        assert resilience_stats().snapshot()["pool_rebuilds"] >= 1
+
+    def test_persistent_fault_degrades_then_surfaces_typed(self):
+        """A fault no rung can outlast must end in a typed
+        ResilienceError — never a silently dropped shard."""
+        plan, _want = make_plan()
+        faults = FaultPlan([FaultSpec("shard.verify", kind="corrupt", times=None)])
+        with arming(faults):
+            with pytest.raises(ResilienceError):
+                run_parallel(plan, K, shards=ShardPlan(4, 0, "thread", "test"))
+        assert resilience_stats().snapshot()["degradations"] >= 1
+
+    def test_slow_fault_is_just_a_straggler(self):
+        plan, want = make_plan()
+        faults = FaultPlan(
+            [FaultSpec("shard.verify", kind="slow", times=2, delay=0.002)]
+        )
+        with arming(faults):
+            got = run_parallel(plan, K, shards=ShardPlan(4, 0, "thread", "test"))
+        assert got.pairs.tobytes() == want.pairs.tobytes()
+        assert resilience_stats().snapshot()["shard_retries"] == 0
+
+
+class TestIndexQuarantine:
+    def make_engine(self) -> tuple[Engine, object]:
+        left, right = make_random_pair(seed=5, n=48, d=4, g=3, a=1)
+        engine = Engine()
+        engine.register("left", left)
+        engine.register("right", right)
+        want = engine.execute(
+            "left", "right", spec=QuerySpec.for_ksjq(k=K, algorithm="naive", aggregate="sum")
+        )
+        return engine, want
+
+    def test_index_failure_quarantines_and_falls_back_exact(self):
+        engine, want = self.make_engine()
+        spec = QuerySpec.for_ksjq(k=K, algorithm="indexed", aggregate="sum")
+        faults = FaultPlan([FaultSpec("index.build", kind="corrupt", times=None)])
+        with arming(faults):
+            got = engine.execute("left", "right", spec=spec)
+        assert got.pairs.tobytes() == want.pairs.tobytes()
+        assert got.algorithm != "indexed"  # degraded to an exact family
+        assert resilience_stats().snapshot()["index_quarantines"] >= 1
+        assert engine.cache_info()["resilience"]["index_quarantines"] >= 1
+
+    def test_recovered_index_serves_again_after_quarantine(self):
+        engine, want = self.make_engine()
+        spec = QuerySpec.for_ksjq(k=K, algorithm="indexed", aggregate="sum")
+        faults = FaultPlan([FaultSpec("index.build", kind="corrupt", times=1)])
+        with arming(faults):
+            first = engine.execute("left", "right", spec=spec)
+        second = engine.execute("left", "right", spec=spec)  # clean rebuild
+        assert first.pairs.tobytes() == want.pairs.tobytes()
+        assert second.pairs.tobytes() == want.pairs.tobytes()
+        assert second.algorithm == "indexed"
+
+    def test_explain_reports_the_resilience_posture(self):
+        engine, _want = self.make_engine()
+        report = engine.explain(
+            "left", "right", spec=QuerySpec.for_ksjq(k=K, algorithm="auto", aggregate="sum")
+        )
+        assert report.resilience is not None
+        assert "recovery ladder" in report.resilience
+        assert "resilience:" in report.summary()

@@ -1,0 +1,80 @@
+"""Unit tests for the bounded, deterministically-jittered retry loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ResilienceError
+from repro.resilience import RetryPolicy, retry_call
+
+
+class TestRetryPolicy:
+    def test_schedule_is_deterministic(self):
+        policy = RetryPolicy(seed=3)
+        assert [policy.delay(a) for a in range(4)] == [
+            policy.delay(a) for a in range(4)
+        ]
+
+    def test_seed_desynchronizes_call_sites(self):
+        a = RetryPolicy(seed=1)
+        b = RetryPolicy(seed=2)
+        assert [a.delay(i) for i in range(4)] != [b.delay(i) for i in range(4)]
+
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.25, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.25)  # ceiling
+        assert policy.delay(10) == pytest.approx(0.25)
+
+    def test_jitter_only_shrinks_the_backoff(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, jitter=0.5)
+        for attempt in range(5):
+            full = RetryPolicy(base_delay=0.1, max_delay=1.0, jitter=0.0).delay(
+                attempt
+            )
+            jittered = policy.delay(attempt)
+            assert 0.5 * full <= jittered <= full
+
+
+class TestRetryCall:
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+        naps = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        out = retry_call(
+            flaky, policy=RetryPolicy(max_attempts=3, jitter=0.0), sleep=naps.append
+        )
+        assert out == "ok"
+        assert len(calls) == 3 and len(naps) == 2
+        assert naps[1] > naps[0]  # exponential
+
+    def test_exhaustion_propagates_the_typed_error(self):
+        calls = []
+
+        def doomed():
+            calls.append(1)
+            raise ResilienceError("always")
+
+        with pytest.raises(ResilienceError, match="always"):
+            retry_call(
+                doomed, policy=RetryPolicy(max_attempts=3), sleep=lambda _s: None
+            )
+        assert len(calls) == 3  # the policy's whole budget, no more
+
+    def test_non_retryable_bugs_propagate_immediately(self):
+        calls = []
+
+        def buggy():
+            calls.append(1)
+            raise ValueError("a bug, not a fault")
+
+        with pytest.raises(ValueError):
+            retry_call(buggy, sleep=lambda _s: None)
+        assert len(calls) == 1

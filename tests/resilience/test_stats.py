@@ -1,0 +1,40 @@
+"""Unit tests for the process-wide resilience counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import COUNTER_NAMES, ResilienceStats, resilience_stats
+
+
+class TestResilienceStats:
+    def test_snapshot_starts_at_zero_for_every_counter(self):
+        stats = ResilienceStats()
+        assert stats.snapshot() == {name: 0 for name in COUNTER_NAMES}
+
+    def test_record_increments_and_supports_batches(self):
+        stats = ResilienceStats()
+        stats.record("shard_retries")
+        stats.record("shard_retries", 4)
+        assert stats.snapshot()["shard_retries"] == 5
+
+    def test_unknown_counter_is_a_loud_error(self):
+        with pytest.raises(KeyError):
+            ResilienceStats().record("made_up_counter")
+
+    def test_reset_zeroes_everything(self):
+        stats = ResilienceStats()
+        for name in COUNTER_NAMES:
+            stats.record(name, 2)
+        stats.reset()
+        assert stats.snapshot() == {name: 0 for name in COUNTER_NAMES}
+
+    def test_snapshot_is_a_copy(self):
+        stats = ResilienceStats()
+        snap = stats.snapshot()
+        snap["degradations"] = 99
+        assert stats.snapshot()["degradations"] == 0
+
+    def test_process_singleton(self):
+        assert resilience_stats() is resilience_stats()
+        assert "ResilienceStats" in repr(resilience_stats())

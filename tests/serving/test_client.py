@@ -1,0 +1,100 @@
+"""Unit tests for the client-side Retry-After backoff helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.client import (
+    RETRYABLE_STATUSES,
+    parse_retry_after,
+    request_with_backoff,
+)
+
+
+def respond(*responses):
+    """A ``send`` callable replaying canned (status, headers, body)."""
+    queue = list(responses)
+
+    def send():
+        return queue.pop(0) if len(queue) > 1 else queue[0]
+
+    return send
+
+
+class TestParseRetryAfter:
+    def test_reads_delta_seconds_case_insensitively(self):
+        assert parse_retry_after({"Retry-After": "1.5"}) == 1.5
+        assert parse_retry_after({"retry-after": "2"}) == 2.0
+
+    def test_absent_or_garbage_is_none(self):
+        assert parse_retry_after({}) is None
+        assert parse_retry_after({"Retry-After": "Wed, 21 Oct"}) is None
+
+    def test_negative_clamps_to_zero(self):
+        assert parse_retry_after({"Retry-After": "-3"}) == 0.0
+
+
+class TestRequestWithBackoff:
+    def test_success_returns_immediately(self):
+        naps = []
+        status, _h, body = request_with_backoff(
+            respond((200, {}, "ok")), sleep=naps.append
+        )
+        assert (status, body) == (200, "ok")
+        assert naps == []
+
+    def test_honors_retry_after_on_shed_then_succeeds(self):
+        naps = []
+        send = respond(
+            (429, {"Retry-After": "0.25"}, "busy"),
+            (503, {"Retry-After": "0.5"}, "sick"),
+            (200, {}, "ok"),
+        )
+        status, _h, body = request_with_backoff(send, sleep=naps.append)
+        assert (status, body) == (200, "ok")
+        assert naps == [0.25, 0.5]  # exactly what the server asked for
+
+    def test_caps_each_wait_at_max_backoff(self):
+        naps = []
+        send = respond((503, {"Retry-After": "30"}, "sick"), (200, {}, "ok"))
+        request_with_backoff(send, max_backoff=0.1, sleep=naps.append)
+        assert naps == [0.1]
+
+    def test_bounded_attempts_return_the_last_shed_response(self):
+        naps = []
+        calls = []
+
+        def send():
+            calls.append(1)
+            return 429, {"Retry-After": "0.01"}, "busy"
+
+        status, _h, body = request_with_backoff(
+            send, max_attempts=3, sleep=naps.append
+        )
+        assert (status, body) == (429, "busy")
+        assert len(calls) == 3 and len(naps) == 2
+
+    def test_missing_header_falls_back_to_deterministic_backoff(self):
+        naps_a, naps_b = [], []
+        send = respond((503, {}, "sick"), (200, {}, "ok"))
+        request_with_backoff(send, sleep=naps_a.append)
+        request_with_backoff(respond((503, {}, "s"), (200, {}, "ok")), sleep=naps_b.append)
+        assert naps_a == naps_b  # reproducible schedule
+        assert all(n > 0 for n in naps_a)
+
+    def test_client_errors_are_not_retried(self):
+        calls = []
+
+        def send():
+            calls.append(1)
+            return 400, {}, "bad request"
+
+        status, _h, _b = request_with_backoff(send, sleep=lambda _s: None)
+        assert status == 400 and len(calls) == 1
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            request_with_backoff(respond((200, {}, "ok")), max_attempts=0)
+
+    def test_retryable_statuses_are_the_shedding_pair(self):
+        assert RETRYABLE_STATUSES == (429, 503)

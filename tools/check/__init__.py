@@ -4,7 +4,7 @@ The test suite can only spot-check the invariants the engine's
 exactness rests on; this package makes them machine-checked on every
 commit. Two layers:
 
-* :mod:`tools.check.invariants` — an AST linter with five rules tied
+* :mod:`tools.check.invariants` — an AST linter with six rules tied
   to the reproduction's correctness arguments (see
   ``docs/static-analysis.md``):
 
@@ -25,6 +25,10 @@ commit. Two layers:
     bodies must not call blocking engine entry points or acquire
     locks directly; engine work goes through ``loop.run_in_executor``
     so the event loop never stalls behind one query.
+  - **R6 no-swallowed-recovery** — an ``except`` around a shard merge
+    or an index load must re-raise, re-verify, or route through the
+    resilience layer (quarantine/retry/degrade/fallback); swallowing
+    such failures can silently change the answer.
 
 * :mod:`tools.check.typing_gate` — a typing-completeness gate
   (**T1**: every function in the strictly-typed packages is fully
@@ -82,7 +86,7 @@ def run_checks(
 ) -> list[Diagnostic]:
     """Run every enabled rule over ``paths`` (default: ``src/repro``).
 
-    ``rules`` filters by rule id (``R1`` ... ``R5``, ``T1``, ``T2``);
+    ``rules`` filters by rule id (``R1`` ... ``R6``, ``T1``, ``T2``);
     ``None`` enables all of them. Diagnostics come back sorted by file
     and line so output (and the fixture tests) are deterministic.
     """
@@ -125,7 +129,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="append",
         dest="rules",
         metavar="ID",
-        help="only run the given rule id (repeatable): R1-R5, T1, T2",
+        help="only run the given rule id (repeatable): R1-R6, T1, T2",
     )
     args = parser.parse_args(argv)
     diagnostics = run_checks(args.paths or None, args.rules)

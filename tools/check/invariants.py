@@ -1,6 +1,6 @@
 """AST linter for the reproduction's machine-checkable invariants.
 
-Five rules, each tied to a correctness argument of the engine (the
+Six rules, each tied to a correctness argument of the engine (the
 prose versions live in ``docs/static-analysis.md``):
 
 R1 — **no-unverified-merge.** k-dominance is non-transitive (paper
@@ -50,6 +50,18 @@ layer exists to avoid. Engine work must be handed to
 ``self._run_sync`` is fine (an attribute load, not a call); calling
 it is not. Nested sync ``def`` bodies are exempt: they are the
 wrappers the executor runs on a worker thread.
+
+R6 — **no-swallowed-recovery.** A ``try`` whose body reaches a shard
+merge (``concatenate`` / ``hstack`` / ``vstack``) or an index
+load/build site must not swallow the failure: every ``except`` handler
+must re-raise, re-verify (reach a verification kernel or a
+``verify``-named helper), or route through the resilience layer
+(quarantine / retry / degrade / fallback — any reference whose name
+carries one of those markers, e.g. ``_quarantine_indexes`` or
+``resilience_stats``). A bare ``except: pass`` around either site is
+exactly the bug the fault-injection suite exists to catch — a dropped
+shard or a half-built index silently *changing the answer* instead of
+surfacing as a typed :class:`~repro.errors.ResilienceError`.
 """
 
 from __future__ import annotations
@@ -64,7 +76,7 @@ from . import Diagnostic
 
 __all__ = ["check_file", "RULES"]
 
-RULES = ("R1", "R2", "R3", "R4", "R5")
+RULES = ("R1", "R2", "R3", "R4", "R5", "R6")
 
 # --- R1 configuration -------------------------------------------------
 #: Kernels producing *unverified* local candidate supersets.
@@ -92,6 +104,33 @@ BLOCKING_ENGINE_CALLS = frozenset(
     }
 )
 
+# --- R6 configuration -------------------------------------------------
+#: Index load/build entry points: a failure here must quarantine and
+#: fall back to the exact non-indexed plan, never be swallowed.
+INDEX_LOAD_CALLS = frozenset(
+    {
+        "DominanceIndex",
+        "_cell_partition",
+        "_side_index",
+        "cell_partition",
+        "dominance_index",
+        "peek_dominance_index",
+        "run_cascade_indexed",
+        "run_indexed",
+        "side_index",
+        "with_inserted_rows",
+    }
+)
+#: Name markers of the sanctioned recovery routes: a handler touching a
+#: name carrying one of these is routing the failure, not eating it.
+RECOVERY_ROUTE_MARKERS = (
+    "resilience",
+    "quarantine",
+    "retry",
+    "degrad",
+    "fallback",
+)
+
 
 def check_file(path: Path) -> list[Diagnostic]:
     """All R1-R4 diagnostics for one Python source file."""
@@ -106,6 +145,7 @@ def check_file(path: Path) -> list[Diagnostic]:
     diagnostics.extend(_check_fingerprint_completeness(path, tree))
     diagnostics.extend(_check_fork_safety(path, tree))
     diagnostics.extend(_check_async_executor_discipline(path, tree))
+    diagnostics.extend(_check_swallowed_recovery(path, tree))
     return diagnostics
 
 
@@ -508,6 +548,71 @@ def _mentions_lock(expr: ast.AST) -> bool:
         if isinstance(sub, ast.Attribute) and "lock" in sub.attr.lower():
             return True
     return False
+
+
+# ----------------------------------------------------------------------
+# R6: no-swallowed-recovery
+# ----------------------------------------------------------------------
+def _names_in(nodes: Iterator[ast.AST] | list[ast.stmt]) -> set[str]:
+    """Plain names + attribute tails referenced anywhere under ``nodes``."""
+    names: set[str] = set()
+    for node in nodes:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                names.add(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                names.add(sub.attr)
+    return names
+
+
+def _handler_recovers(handler: ast.ExceptHandler) -> bool:
+    """Does one ``except`` handler re-raise, re-verify, or route the
+    failure through the resilience layer?"""
+    if any(isinstance(sub, ast.Raise) for sub in ast.walk(handler)):
+        return True
+    names = _names_in(handler.body)
+    if names & VERIFIERS or any("verify" in name for name in names):
+        return True
+    return any(
+        marker in name.lower()
+        for name in names
+        for marker in RECOVERY_ROUTE_MARKERS
+    )
+
+
+def _check_swallowed_recovery(path: Path, tree: ast.Module) -> list[Diagnostic]:
+    """R6: merge/index-load failures must be re-raised, re-verified, or
+    routed through resilience — never silently swallowed."""
+    diagnostics: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Try) or not node.handlers:
+            continue
+        body_names = _names_in(node.body)
+        merges = bool(body_names & MERGE_CALLS)
+        loads_index = bool(body_names & INDEX_LOAD_CALLS)
+        if not merges and not loads_index:
+            continue
+        site = "shard-merge" if merges else "index-load"
+        for handler in node.handlers:
+            if _handler_recovers(handler):
+                continue
+            caught = (
+                ast.unparse(handler.type) if handler.type is not None else "BaseException"
+            )
+            diagnostics.append(
+                Diagnostic(
+                    path,
+                    handler.lineno,
+                    "R6",
+                    f"no-swallowed-recovery: `except {caught}` around a "
+                    f"{site} site neither re-raises, re-verifies, nor "
+                    "routes through the resilience layer "
+                    "(quarantine/retry/degrade/fallback); swallowing here "
+                    "can silently change the answer — surface a typed "
+                    "ResilienceError or re-verify the merged candidates",
+                )
+            )
+    return diagnostics
 
 
 def _guarded_by_main_thread_check(tree: ast.Module, call: ast.Call) -> bool:

@@ -36,7 +36,15 @@ __all__ = [
 #: Sub-packages of ``repro`` held to the strict profile. ``experiments``
 #: is the figure-reproduction harness — typed, but not yet strictly
 #: (matching the mypy per-module override in pyproject.toml).
-STRICT_PACKAGES = ("api", "core", "relational", "skyline", "datagen", "serving")
+STRICT_PACKAGES = (
+    "api",
+    "core",
+    "relational",
+    "skyline",
+    "datagen",
+    "serving",
+    "resilience",
+)
 
 
 def in_strict_scope(path: Path) -> bool:
