@@ -412,18 +412,23 @@ class MaintenanceStats:
     ``fallback_recomputes`` those answered by a full recompute (delta
     too large for the cost model, a ``replace``, a missed version, or a
     spec outside the delta-capable family); ``delta_rows`` the base
-    rows inserted plus deleted across both.
+    rows inserted plus deleted across both; ``failed_deltas`` those
+    whose application failed and only dirtied the handle (the
+    recompute is deferred to the next read, so they count in none of
+    the other three).
     """
 
     maintained: int = 0
     fallback_recomputes: int = 0
     delta_rows: int = 0
+    failed_deltas: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
             "maintained": self.maintained,
             "fallback_recomputes": self.fallback_recomputes,
             "delta_rows": self.delta_rows,
+            "failed_deltas": self.failed_deltas,
         }
 
 
@@ -713,10 +718,17 @@ class Engine:
                 ref for ref in self._maintained if ref() not in (None, handle)
             ]
 
-    def _record_maintenance(self, delta_rows: int, fallback: bool) -> None:
+    def _record_maintenance(
+        self, delta_rows: int, fallback: bool, failed: bool = False
+    ) -> None:
         """Handle hook: account one processed mutation in the engine-wide
-        maintenance counters (reported by :meth:`cache_info`)."""
+        maintenance counters (reported by :meth:`cache_info`). A failed
+        application only dirtied the handle — no rows were maintained
+        and no recompute ran — so it is tallied separately."""
         with self._lock:
+            if failed:
+                self.maintenance_stats.failed_deltas += 1
+                return
             self.maintenance_stats.delta_rows += delta_rows
             if fallback:
                 self.maintenance_stats.fallback_recomputes += 1

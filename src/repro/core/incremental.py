@@ -73,20 +73,26 @@ DEFAULT_FALLBACK_RATIO = 0.5
 class MaintenanceCounters:
     """Per-handle maintenance statistics.
 
-    ``applied_deltas`` counts every mutation the handle processed;
-    ``fallback_recomputes`` the subset answered by a full recompute;
-    ``delta_rows`` the base rows inserted plus deleted across them.
+    ``applied_deltas`` counts every mutation the handle answered
+    (incrementally or by recompute); ``fallback_recomputes`` the
+    subset answered by a full recompute; ``delta_rows`` the base rows
+    inserted plus deleted across them; ``failed_deltas`` mutations
+    whose application *failed* — those only dirty the handle (the
+    recompute is deferred to the next read) and are counted in none of
+    the other three.
     """
 
     applied_deltas: int = 0
     fallback_recomputes: int = 0
     delta_rows: int = 0
+    failed_deltas: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
             "applied_deltas": self.applied_deltas,
             "fallback_recomputes": self.fallback_recomputes,
             "delta_rows": self.delta_rows,
+            "failed_deltas": self.failed_deltas,
         }
 
 
@@ -263,7 +269,8 @@ class MaintainedResult:
         no engine/catalog/dataset lock held; mutations of datasets that
         are not inputs of this handle are ignored via the version map.
         """
-        fallback = True
+        fallback = False
+        failed = False
         with self._lock:
             if self._closed:
                 return
@@ -283,22 +290,29 @@ class MaintainedResult:
                         self._apply_insert(dataset, relation, delta)
                     else:
                         self._apply_delete(dataset, relation, delta)
-                    fallback = False
                 else:
+                    fallback = True
                     self._recompute()
             except Exception:  # noqa: BLE001 - degradation boundary
                 # A failed application must not poison the handle:
                 # mark it dirty so the next read recomputes from fresh
-                # snapshots, and count the degradation. The stale
-                # cached answer is never served — result() checks the
-                # flag under this same lock.
+                # snapshots. The stale cached answer is never served —
+                # result() checks the flag under this same lock. No
+                # recompute ran *here* (it is deferred to the dirty
+                # read), so the delta counts as failed — not as
+                # applied, and not as a fallback recompute.
                 self._dirty = True
+                failed = True
+                fallback = False
                 resilience_stats().record("delta_failures")
-            self._counters.applied_deltas += 1
-            self._counters.delta_rows += delta.rows_touched
-            if fallback:
-                self._counters.fallback_recomputes += 1
-        self._engine._record_maintenance(delta.rows_touched, fallback)
+            if failed:
+                self._counters.failed_deltas += 1
+            else:
+                self._counters.applied_deltas += 1
+                self._counters.delta_rows += delta.rows_touched
+                if fallback:
+                    self._counters.fallback_recomputes += 1
+        self._engine._record_maintenance(delta.rows_touched, fallback, failed=failed)
 
     def _resync(self) -> None:
         """Recompute if any input advanced past the recorded versions

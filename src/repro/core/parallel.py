@@ -64,6 +64,7 @@ from ..resilience import (
     InjectedFault,
     RetryPolicy,
     checkpoint,
+    mark_pool_worker,
     resilience_stats,
     retry_call,
 )
@@ -360,41 +361,67 @@ def _map_on_processes(
     A dead worker (SIGKILL, OOM, injected crash) surfaces as
     ``BrokenProcessPool`` on the futures of every task that was in
     flight; a transient task failure comes back as the future's
-    exception. Either way only the *failed* tasks are re-executed — on
-    a rebuilt pool when the old one broke — under the bounded
-    :data:`SHARD_RETRY_POLICY`. Returns results in task order, or
-    ``None`` when the policy is exhausted and the caller should degrade
-    to threads. Pools are only ever created on the main thread: forking
-    while sibling batch-lane threads run (``execute_many``) risks
-    inheriting locks held mid-operation.
+    exception. Either way only the *failed* tasks are re-executed under
+    the bounded :data:`SHARD_RETRY_POLICY` — and only a pool that
+    actually *broke* is torn down and rebuilt (counted as
+    ``pool_rebuilds``); task-level transients retry on the live pool
+    without paying pool startup again. Returns results in task order,
+    or ``None`` when the policy is exhausted and the caller should
+    degrade to threads. Pools are only ever created on the main
+    thread: forking while sibling batch-lane threads run
+    (``execute_many``) risks inheriting locks held mid-operation.
     """
     on_main_thread = threading.current_thread() is threading.main_thread()
     if on_main_thread:
         results: list[np.ndarray | None] = [None] * len(tasks)
         pending = list(range(len(tasks)))
-        for attempt in range(SHARD_RETRY_POLICY.max_attempts):
-            if attempt:
-                resilience_stats().record("pool_rebuilds")
-                resilience_stats().record("shard_retries", len(pending))
-                time.sleep(SHARD_RETRY_POLICY.delay(attempt - 1))
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(workers, len(pending)), mp_context=context
-                ) as pool:
+        pool: ProcessPoolExecutor | None = None
+        rebuilding = False
+        try:
+            for attempt in range(SHARD_RETRY_POLICY.max_attempts):
+                if attempt:
+                    resilience_stats().record("shard_retries", len(pending))
+                    time.sleep(SHARD_RETRY_POLICY.delay(attempt - 1))
+                broken = False
+                try:
+                    if pool is None:
+                        pool = ProcessPoolExecutor(
+                            max_workers=min(workers, len(pending)),
+                            mp_context=context,
+                            initializer=mark_pool_worker,
+                        )
+                        if rebuilding:
+                            resilience_stats().record("pool_rebuilds")
+                            rebuilding = False
                     futures = {i: pool.submit(fn, tasks[i]) for i in pending}
                     failed = []
                     for i, future in futures.items():
                         try:
                             results[i] = future.result()
-                        except (*_RECOVERABLE, BrokenProcessPool):
+                        except BrokenProcessPool:
+                            failed.append(i)
+                            broken = True
+                        except _RECOVERABLE:
                             failed.append(i)
                     pending = failed
-            except (OSError, BrokenProcessPool):
-                # The pool itself could not start or broke while
-                # submitting; everything still pending gets retried.
-                pass
-            if not pending:
-                return [r for r in results if r is not None]
+                except OSError:
+                    # The pool could not start; everything still
+                    # pending gets retried on the next attempt.
+                    pass
+                except BrokenProcessPool:
+                    # The pool broke while submitting; the partially
+                    # submitted futures are lost, but their indices
+                    # are still in ``pending``.
+                    broken = True
+                if broken and pool is not None:
+                    pool.shutdown(wait=True)
+                    pool = None
+                    rebuilding = True
+                if not pending:
+                    return [r for r in results if r is not None]
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
     return None
 
 

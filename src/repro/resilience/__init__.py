@@ -36,6 +36,7 @@ from .faults import (
     arming,
     checkpoint,
     disarm,
+    mark_pool_worker,
 )
 from .retry import RetryPolicy, retry_call
 from .stats import COUNTER_NAMES, ResilienceStats, resilience_stats
@@ -54,6 +55,7 @@ __all__ = [
     "arming",
     "checkpoint",
     "disarm",
+    "mark_pool_worker",
     "resilience_stats",
     "retry_call",
 ]

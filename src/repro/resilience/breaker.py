@@ -13,7 +13,11 @@ three-state machine:
     ``reset_timeout`` has elapsed.
 ``half_open``
     Exactly one probe request is admitted; its success closes the
-    breaker, its failure re-opens it for another full timeout.
+    breaker, its failure re-opens it for another full timeout, and an
+    outcome that says nothing about engine health (a client error, a
+    disconnect) releases the probe slot via :meth:`record_neutral` so
+    the next arrival may probe — a leaked slot would shed traffic
+    forever, since ``half_open`` has no timeout of its own.
 
 The breaker is called from the serving event loop *and* judged by
 results produced on executor threads, so it synchronizes with a lock —
@@ -92,11 +96,33 @@ class CircuitBreaker:
             return True
 
     def record_success(self) -> None:
-        """An admitted request succeeded; close the breaker."""
+        """An admitted request succeeded; close the breaker.
+
+        Only from ``closed`` (streak reset) or ``half_open`` (probe
+        verdict): in the ``open`` state a success necessarily comes
+        from a slow request admitted *before* the trip, says nothing
+        about current engine health, and must not let queued traffic
+        skip the reset timeout — it is treated as neutral.
+        """
         with self._lock:
+            if self._state == "open":
+                return
             self._state = "closed"
             self._failures = 0
             self._probing = False
+
+    def record_neutral(self) -> None:
+        """An admitted request ended without an engine-health verdict
+        (client error, disconnect, post-admission shed): release the
+        half-open probe slot, change nothing else.
+
+        Every ``allow()`` grant must eventually be answered by exactly
+        one of success/failure/neutral — otherwise the probe slot
+        leaks and ``allow()`` sheds all traffic forever.
+        """
+        with self._lock:
+            if self._state == "half_open":
+                self._probing = False
 
     def record_failure(self) -> None:
         """An admitted request failed; trip or re-open as appropriate."""

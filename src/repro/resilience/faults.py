@@ -18,8 +18,16 @@ A :class:`FaultPlan` arms a seeded, deterministic schedule of
     Inside a process-pool worker, the worker dies hard
     (``os._exit``) — the parent observes a genuine
     ``BrokenProcessPool``, exactly like a SIGKILLed or OOM-killed
-    worker. On threads or the main process (where dying would take the
-    interpreter down) it degrades to raising :class:`InjectedFault`.
+    worker. Workers are identified *explicitly*: the shard pools pass
+    :func:`mark_pool_worker` as their executor initializer, so a
+    process is only killed when it declared itself expendable.
+    (``multiprocessing.parent_process()`` is not a safe signal — the
+    engine or server itself may legitimately run inside a
+    ``multiprocessing.Process``, e.g. under a prefork server or a
+    forking test harness, and killing *that* would take the whole
+    service down instead of degrading.) Everywhere else — threads,
+    the main process, any unmarked child — the fault degrades to
+    raising :class:`InjectedFault`, which the recovery ladder absorbs.
 ``slow``
     The checkpoint sleeps for ``delay`` seconds (a straggler shard).
 ``corrupt`` / ``io``
@@ -62,6 +70,7 @@ __all__ = [
     "armed_plan",
     "arming",
     "checkpoint",
+    "mark_pool_worker",
 ]
 
 #: Failure modes a :class:`FaultSpec` can inject.
@@ -70,6 +79,30 @@ FAULT_KINDS = ("crash", "slow", "corrupt", "io")
 #: Exit status of a deliberately crashed pool worker (visible in the
 #: parent's ``BrokenProcessPool`` message; any non-zero value works).
 CRASH_EXIT_CODE = 13
+
+#: Has *this* process declared itself an expendable pool worker?
+#: Set by :func:`mark_pool_worker` (an executor initializer), never
+#: inferred from process ancestry: being a multiprocessing child does
+#: not make a process safe to ``os._exit`` — the engine or server may
+#: itself run inside a ``multiprocessing.Process``.
+_pool_worker = False
+
+
+def mark_pool_worker() -> None:
+    """Declare the current process an expendable pool worker.
+
+    Pass as the ``initializer=`` of a ``ProcessPoolExecutor`` whose
+    workers a ``crash`` fault may kill (``core/parallel`` does). Only
+    marked processes die hard; everywhere else the fault degrades to
+    :class:`InjectedFault` so the recovery ladder can absorb it.
+    """
+    global _pool_worker
+    _pool_worker = True
+
+
+def in_pool_worker() -> bool:
+    """Is this process a marked pool worker? (test hook)"""
+    return _pool_worker
 
 
 class InjectedFault(ResilienceError):
@@ -194,7 +227,7 @@ class FaultPlan:
             if spec.kind == "slow":
                 time.sleep(spec.delay)
                 continue
-            if spec.kind == "crash" and multiprocessing.parent_process() is not None:
+            if spec.kind == "crash" and _pool_worker:
                 # A real worker death: the parent sees BrokenProcessPool,
                 # exactly as if the OOM killer took the worker.
                 os._exit(CRASH_EXIT_CODE)

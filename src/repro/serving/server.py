@@ -136,6 +136,37 @@ class ServingConfig:
     fault_plan: FaultPlan | None = None
 
 
+class _BreakerJudgement:
+    """One breaker verdict per admitted request, guaranteed.
+
+    Created right after a successful ``breaker.allow()`` (which may
+    have granted the half-open probe slot). The first ``success()`` /
+    ``failure()`` call wins; ``settle()`` runs in the request's
+    ``finally`` and records a neutral outcome if no verdict was ever
+    reached — a client-error 400, an admission 429, a disconnect
+    mid-stream — releasing the probe slot instead of leaking it.
+    """
+
+    def __init__(self, breaker: CircuitBreaker) -> None:
+        self._breaker = breaker
+        self._settled = False
+
+    def success(self) -> None:
+        if not self._settled:
+            self._settled = True
+            self._breaker.record_success()
+
+    def failure(self) -> None:
+        if not self._settled:
+            self._settled = True
+            self._breaker.record_failure()
+
+    def settle(self) -> None:
+        if not self._settled:
+            self._settled = True
+            self._breaker.record_neutral()
+
+
 def _error_code(exc: BaseException) -> str:
     code = getattr(exc, "code", None)
     if isinstance(code, str):
@@ -485,73 +516,89 @@ class KSJQServer:
                 headers={"Retry-After": f"{exc.retry_after:.3f}"},
             )
 
-        cost: float | None = None
-        if self.config.probe_costs:
-            try:
-                cost = await loop.run_in_executor(
-                    self._probe_executor, self._estimate_cost_sync, inputs, spec
-                )
-            except ReproError as exc:
-                # Unknown dataset names, invalid hop/aggregate configs
-                # and similar binding failures surface here, before any
-                # admission slot is consumed.
-                self.metrics.observe(route, 0.0, error=True)
-                return json_response(400, {"error": _error_dict(exc)})
-
+        # From here on the request may hold the breaker's half-open
+        # probe slot. Every exit path — cost-probe 400, admission 429,
+        # client disconnect mid-stream, neutral client error — must
+        # settle the judgement exactly once, else the slot leaks and
+        # allow() sheds all traffic forever (half_open has no timeout).
+        judgement = _BreakerJudgement(self.breaker)
         try:
-            self.admission.reserve(cost)
-        except AdmissionRejected as exc:
-            self.metrics.observe(route, 0.0, shed=True)
-            return json_response(
-                429,
-                {"error": _error_dict(exc)},
-                headers={"Retry-After": f"{exc.retry_after:.3f}"},
-            )
+            cost: float | None = None
+            if self.config.probe_costs:
+                try:
+                    cost = await loop.run_in_executor(
+                        self._probe_executor, self._estimate_cost_sync, inputs, spec
+                    )
+                except ReproError as exc:
+                    # Unknown dataset names, invalid hop/aggregate
+                    # configs and similar binding failures surface
+                    # here, before any admission slot is consumed.
+                    self.metrics.observe(route, 0.0, error=True)
+                    return json_response(400, {"error": _error_dict(exc)})
 
-        # The deadline starts *here*: an admitted request's budget
-        # covers queue wait plus service, so the configured deadline is
-        # an end-to-end latency bound, not just a compute bound.
-        deadline = Deadline(deadline_s) if deadline_s is not None else None
-        admitted_at = time.monotonic()
-        service_seconds: float | None = None
-        try:
-            if progressive:
-                assert writer is not None  # /find_k never streams
-                await self._stream_query(route, writer, inputs, spec, deadline)
-                service_seconds = time.monotonic() - admitted_at
-                return None
             try:
-                started, outcome = await loop.run_in_executor(
-                    self._executor, self._run_sync, inputs, spec, deadline
+                self.admission.reserve(cost)
+            except AdmissionRejected as exc:
+                self.metrics.observe(route, 0.0, shed=True)
+                return json_response(
+                    429,
+                    {"error": _error_dict(exc)},
+                    headers={"Retry-After": f"{exc.retry_after:.3f}"},
                 )
-            except Exception:
-                # Untyped failures never escape _run_sync's ReproError
-                # net by design; if one does, it still counts against
-                # the breaker before the 500 boundary renders it.
-                self.breaker.record_failure()
-                raise
-            self._judge_breaker(outcome)
-            service_seconds = time.monotonic() - started
-            queue_wait = started - admitted_at
-            return self._render_outcome(route, outcome, service_seconds, queue_wait)
+
+            # The deadline starts *here*: an admitted request's budget
+            # covers queue wait plus service, so the configured deadline
+            # is an end-to-end latency bound, not just a compute bound.
+            deadline = Deadline(deadline_s) if deadline_s is not None else None
+            admitted_at = time.monotonic()
+            service_seconds: float | None = None
+            try:
+                if progressive:
+                    assert writer is not None  # /find_k never streams
+                    await self._stream_query(
+                        route, writer, inputs, spec, deadline, judgement
+                    )
+                    service_seconds = time.monotonic() - admitted_at
+                    return None
+                try:
+                    started, outcome = await loop.run_in_executor(
+                        self._executor, self._run_sync, inputs, spec, deadline
+                    )
+                except Exception:
+                    # Untyped failures never escape _run_sync's
+                    # ReproError net by design; if one does, it still
+                    # counts against the breaker before the 500
+                    # boundary renders it.
+                    judgement.failure()
+                    raise
+                self._judge_breaker(outcome, judgement)
+                service_seconds = time.monotonic() - started
+                queue_wait = started - admitted_at
+                return self._render_outcome(
+                    route, outcome, service_seconds, queue_wait
+                )
+            finally:
+                self.admission.release(service_seconds)
         finally:
-            self.admission.release(service_seconds)
+            judgement.settle()
 
-    def _judge_breaker(self, outcome: "QueryResult | ReproError") -> None:
+    def _judge_breaker(
+        self, outcome: "QueryResult | ReproError", judgement: "_BreakerJudgement"
+    ) -> None:
         """Feed one engine outcome to the circuit breaker.
 
         Only *server-side* failures count: resilience exhaustion trips
         the breaker, successful runs (including verified deadline
         partials) close it, and client errors — bad parameters, unknown
         datasets — say nothing about the engine's health, so they are
-        neutral.
+        left neutral (the judgement's settle() releases any probe slot).
         """
         if isinstance(outcome, ResilienceError):
-            self.breaker.record_failure()
+            judgement.failure()
         elif isinstance(outcome, DeadlineExceeded) or not isinstance(
             outcome, ReproError
         ):
-            self.breaker.record_success()
+            judgement.success()
 
     def _estimate_cost_sync(
         self, inputs: tuple[str, ...], spec: QuerySpec
@@ -653,6 +700,7 @@ class KSJQServer:
         inputs: tuple[str, ...],
         spec: QuerySpec,
         deadline: Deadline | None,
+        judgement: "_BreakerJudgement",
     ) -> None:
         """Stream one progressive query as chunked JSON lines.
 
@@ -701,15 +749,16 @@ class KSJQServer:
                     else _internal_error_dict()
                 )
             if kind == "error":
-                # Same judgement as _judge_breaker: resilience
-                # exhaustion and untyped failures count against the
-                # breaker; client-side ReproErrors are neutral.
+                # Same policy as _judge_breaker: resilience exhaustion
+                # and untyped failures count against the breaker;
+                # client-side ReproErrors stay neutral (the caller's
+                # settle() releases any probe slot).
                 if isinstance(value, ResilienceError) or not isinstance(
                     value, ReproError
                 ):
-                    self.breaker.record_failure()
+                    judgement.failure()
             else:
-                self.breaker.record_success()
+                judgement.success()
             writer.write(chunk(final))
             writer.write(last_chunk())
             await writer.drain()

@@ -85,6 +85,37 @@ class TestCircuitBreaker:
         assert not breaker.allow()
         assert breaker.retry_after == pytest.approx(1.0)
 
+    def test_stale_success_in_open_state_is_neutral(self, clock):
+        """A slow request admitted before the trip that finishes well
+        says nothing about current health: it must not close an open
+        breaker and let queued traffic skip the reset timeout."""
+        breaker = tripped(clock)
+        breaker.record_success()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.retry_after == pytest.approx(1.0)
+
+    def test_neutral_outcome_releases_the_probe_slot(self, clock):
+        """A probe that ends with no health verdict (client error,
+        disconnect) must release the slot — a leaked slot would shed
+        all traffic forever, since half_open has no timeout."""
+        breaker = tripped(clock)
+        clock.advance(1.5)
+        assert breaker.allow()  # wins the probe slot
+        assert not breaker.allow()  # slot held
+        breaker.record_neutral()
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the next arrival may probe again
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_neutral_never_resets_the_failure_streak(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+        breaker.record_failure()
+        breaker.record_neutral()  # unlike a success: no streak reset
+        breaker.record_failure()
+        assert breaker.state == "open"
+
     def test_opens_are_counted(self, clock):
         resilience_stats().reset()
         breaker = tripped(clock)

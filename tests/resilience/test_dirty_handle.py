@@ -69,6 +69,28 @@ class TestDirtyHandle:
         assert not live.dirty
         live.close()
 
+    def test_failed_delta_counts_as_failed_not_applied(self):
+        """Regression: a failed application defers its recompute to the
+        dirty read — it must not inflate ``applied_deltas`` or
+        ``fallback_recomputes``, on the handle or engine-wide."""
+        engine, _left, _right = fresh_engine(seed=57)
+        live = engine.maintain("left", "right", spec())
+        faults = FaultPlan([FaultSpec("delta.apply", kind="io", times=1)])
+        with arming(faults):
+            engine.catalog["left"].insert_rows(new_rows(engine))
+        stats = live.stats()
+        assert stats["failed_deltas"] == 1
+        assert stats["applied_deltas"] == 0
+        assert stats["fallback_recomputes"] == 0
+        info = engine.cache_info()
+        assert info["failed_deltas"] == 1
+        assert info["maintained"] == 0 and info["fallback_recomputes"] == 0
+        # The deferred dirty-read recompute is the explicit-read kind:
+        # still not a fallback_recompute.
+        live.result()
+        assert live.stats()["fallback_recomputes"] == 0
+        live.close()
+
     def test_clean_deltas_never_set_the_dirty_flag(self):
         engine, left, _right = fresh_engine(seed=33)
         live = engine.maintain("left", "right", spec())

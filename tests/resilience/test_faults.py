@@ -8,6 +8,7 @@ disarmed fast path.
 
 from __future__ import annotations
 
+import multiprocessing
 import pickle
 
 import pytest
@@ -23,8 +24,38 @@ from repro.resilience import (
     arming,
     checkpoint,
     disarm,
+    mark_pool_worker,
     resilience_stats,
 )
+from repro.resilience.faults import CRASH_EXIT_CODE
+
+
+def _crash_probe_child(conn, marked: bool) -> None:
+    """Run one crash-fault checkpoint in a child process.
+
+    Reports ``"raised"`` when the fault degraded to a typed raise; a
+    marked worker instead dies hard (``os._exit``) before reporting.
+    """
+    if marked:
+        mark_pool_worker()
+    plan = FaultPlan([FaultSpec("probe.site", kind="crash", times=1)])
+    try:
+        with arming(plan):
+            try:
+                checkpoint("probe.site")
+            except InjectedFault:
+                conn.send("raised")
+                return
+            conn.send("clean")
+    finally:
+        conn.close()
+
+
+def _fork_ctx():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        pytest.skip("fork start method unavailable")
 
 
 class TestFaultSpec:
@@ -116,3 +147,40 @@ class TestArming:
             with pytest.raises(InjectedFault) as excinfo:
                 checkpoint("site")
         assert excinfo.value.kind == "corrupt"
+
+
+class TestCrashScoping:
+    """``crash`` faults may only kill processes that *declared*
+    themselves expendable pool workers via :func:`mark_pool_worker`.
+
+    Regression: worker-ness used to be inferred from
+    ``multiprocessing.parent_process()``, which is true of ANY
+    multiprocessing child — an engine or server legitimately running
+    inside a ``multiprocessing.Process`` (prefork servers, forking test
+    harnesses) would be killed outright instead of degrading to a
+    typed raise the recovery ladder can absorb.
+    """
+
+    def test_crash_in_unmarked_multiprocessing_child_degrades_to_raise(self):
+        ctx = _fork_ctx()
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(target=_crash_probe_child, args=(child, False))
+        proc.start()
+        proc.join(30)
+        assert proc.exitcode == 0  # survived: the fault raised, typed
+        assert parent.recv() == "raised"
+
+    def test_crash_in_marked_pool_worker_dies_hard(self):
+        ctx = _fork_ctx()
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(target=_crash_probe_child, args=(child, True))
+        proc.start()
+        proc.join(30)
+        assert proc.exitcode == CRASH_EXIT_CODE  # a genuine worker death
+        assert not parent.poll()  # it never got to report anything
+
+    def test_crash_in_the_main_process_degrades_to_raise(self):
+        with arming(FaultPlan([FaultSpec("site", kind="crash", times=1)])):
+            with pytest.raises(InjectedFault) as excinfo:
+                checkpoint("site")
+        assert excinfo.value.kind == "crash"

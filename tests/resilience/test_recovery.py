@@ -66,6 +66,20 @@ class TestShardRecovery:
         assert got.pairs.tobytes() == want.pairs.tobytes()
         assert resilience_stats().snapshot()["pool_rebuilds"] >= 1
 
+    def test_transient_task_fault_keeps_the_process_pool_alive(self):
+        """Regression: a task-level transient (an injected I/O fault
+        raised *inside* a worker) must retry on the live pool — no
+        teardown, no ``pool_rebuilds`` count, no re-fork cost. Only an
+        actual ``BrokenProcessPool`` justifies a rebuild."""
+        plan, want = make_plan(seed=13)
+        faults = FaultPlan([FaultSpec("shard.verify", kind="io", times=1)])
+        with arming(faults):
+            got = run_parallel(plan, K, shards=ShardPlan(2, 0, "process", "test"))
+        assert got.pairs.tobytes() == want.pairs.tobytes()
+        snap = resilience_stats().snapshot()
+        assert snap["shard_retries"] >= 1
+        assert snap["pool_rebuilds"] == 0  # the pool never broke
+
     def test_persistent_fault_degrades_then_surfaces_typed(self):
         """A fault no rung can outlast must end in a typed
         ResilienceError — never a silently dropped shard."""

@@ -121,6 +121,26 @@ class TestCircuitBreaker:
         _s, _h, metrics = recovering_server.request("GET", "/metrics")
         assert metrics["breaker"]["state"] == "closed"
 
+    def test_client_error_probe_does_not_leak_the_half_open_slot(
+        self, recovering_server
+    ):
+        """Regression: a request that wins the half-open probe slot but
+        ends with a *neutral* outcome (here a 400 for an unknown
+        dataset) must release the slot. Leaked, allow() would return
+        False forever — half_open has no timeout — and the server would
+        shed every request with 503 until restart."""
+        for _ in range(3):
+            assert recovering_server.request("POST", "/query", body=QUERY)[0] == 503
+        time.sleep(0.1)  # past reset_timeout: the next request probes
+        status, _h, body = recovering_server.request(
+            "POST", "/query", body={**QUERY, "datasets": ["left", "nonesuch"]}
+        )
+        assert status == 400  # client error: neutral, not a verdict
+        status, _h, body = recovering_server.request("POST", "/query", body=QUERY)
+        assert status == 200 and body["partial"] is False
+        _s, _h, metrics = recovering_server.request("GET", "/metrics")
+        assert metrics["breaker"]["state"] == "closed"
+
     def test_client_backoff_rides_out_the_outage(self, recovering_server):
         """request_with_backoff + the server's Retry-After together
         recover without the caller seeing a single failure."""
